@@ -1,0 +1,149 @@
+// Ablation: structural plasticity itself — the paper's signature
+// mechanism. At a small receptive field, a frozen random mask wastes its
+// few connections on uninformative features (the phi angles); learned
+// masks migrate to the invariant-mass features. This bench compares
+//   (a) plasticity OFF (random mask frozen at initialization)
+//   (b) fixed swap budget (the paper's setting)
+//   (c) adaptive swap budget (the paper's §VII future-work proposal)
+// across receptive-field sizes, plus the MI captured by the final masks.
+
+#include <cstdio>
+
+#include "core/adaptive_plasticity.hpp"
+#include "core/classifier.hpp"
+#include "core/layer.hpp"
+#include "data/dataset.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/classification.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace streambrain;
+
+namespace {
+
+enum class Mode { kFrozen, kFixed, kAdaptive };
+
+struct Outcome {
+  double accuracy = 0.0;
+  double mask_mi = 0.0;
+  std::size_t total_swaps = 0;
+};
+
+Outcome run(Mode mode, double rf, const tensor::MatrixF& x_train,
+            const std::vector<int>& y_train, const tensor::MatrixF& x_test,
+            const std::vector<int>& y_test) {
+  core::BcpnnConfig config;
+  config.input_hypercolumns = data::kHiggsFeatures;
+  config.input_bins = 10;
+  config.hcus = 1;
+  config.mcus = 60;
+  config.receptive_field = rf;
+  config.epochs = 8;
+  config.batch_size = 64;
+  config.seed = 42;
+
+  auto engine = parallel::make_engine(config.engine);
+  util::Rng rng(config.seed);
+  core::BcpnnLayer layer(config, *engine, rng);
+  core::AdaptivePlasticityController controller;
+
+  Outcome outcome;
+  tensor::MatrixF batch;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const float noise =
+        3.0f * (1.0f - static_cast<float>(epoch) /
+                           static_cast<float>(config.epochs - 1));
+    for (std::size_t start = 0; start < x_train.rows();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, x_train.rows());
+      batch.resize(end - start, x_train.cols());
+      for (std::size_t r = start; r < end; ++r) {
+        std::copy_n(x_train.row(r), x_train.cols(), batch.row(r - start));
+      }
+      layer.train_batch(batch, noise);
+    }
+    switch (mode) {
+      case Mode::kFrozen:
+        break;  // no plasticity
+      case Mode::kFixed:
+        outcome.total_swaps += layer.plasticity_step();
+        break;
+      case Mode::kAdaptive:
+        outcome.total_swaps += controller.step(layer).swaps;
+        break;
+    }
+  }
+
+  // Supervised read-out probe.
+  auto head_engine = parallel::make_engine(config.engine);
+  core::BcpnnClassifier head(config.hidden_units(), config.hcus, 2,
+                             *head_engine, 0.1f);
+  tensor::MatrixF hidden;
+  layer.forward(x_train, hidden);
+  const auto targets = data::one_hot_labels(y_train, 2);
+  for (int epoch = 0; epoch < 14; ++epoch) head.train_batch(hidden, targets);
+  tensor::MatrixF hidden_test;
+  layer.forward(x_test, hidden_test);
+  outcome.accuracy =
+      metrics::accuracy(head.predict_labels(hidden_test), y_test);
+  outcome.mask_mi =
+      core::AdaptivePlasticityController::mask_mutual_information(layer);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t events =
+      static_cast<std::size_t>(args.get_int("events", 2000));
+
+  std::printf("=== Ablation: structural plasticity (frozen / fixed / adaptive) ===\n\n");
+
+  data::SyntheticHiggsGenerator generator;
+  auto dataset = generator.generate(events);
+  util::Rng rng(9);
+  data::shuffle(dataset, rng);
+  const auto [train, test] = data::split(dataset, 0.75);
+  encode::OneHotEncoder encoder(10);
+  const auto x_train = encoder.fit_transform(train.features);
+  const auto x_test = encoder.transform(test.features);
+
+  util::Table table({"receptive field", "mode", "accuracy", "mask MI",
+                     "total swaps"});
+  double frozen_small_rf = 0.0;
+  double learned_small_rf = 0.0;
+  for (const double rf : {0.15, 0.40}) {
+    for (const Mode mode : {Mode::kFrozen, Mode::kFixed, Mode::kAdaptive}) {
+      const auto outcome = run(mode, rf, x_train, train.labels, x_test,
+                               test.labels);
+      const char* name = mode == Mode::kFrozen   ? "frozen (no plasticity)"
+                         : mode == Mode::kFixed  ? "fixed budget (paper)"
+                                                 : "adaptive budget (SVII)";
+      table.add_row({util::Table::pct(rf, 0), name,
+                     util::Table::pct(outcome.accuracy),
+                     util::Table::num(outcome.mask_mi, 3),
+                     std::to_string(outcome.total_swaps)});
+      if (rf == 0.15 && mode == Mode::kFrozen) {
+        frozen_small_rf = outcome.accuracy;
+      }
+      if (rf == 0.15 && mode == Mode::kFixed) {
+        learned_small_rf = outcome.accuracy;
+      }
+    }
+  }
+  table.print();
+
+  std::printf("\nshape check: at a small (15%%) receptive field, learned masks"
+              " must beat\nfrozen random masks: %.2f%% vs %.2f%% [%s]\n",
+              100.0 * learned_small_rf, 100.0 * frozen_small_rf,
+              learned_small_rf > frozen_small_rf - 0.01 ? "OK" : "MISS");
+  std::printf(
+      "(at large receptive fields the mask covers most features either way,\n"
+      "so plasticity matters less — exactly why the paper calls the\n"
+      "receptive-field size a critical hyperparameter.)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig. 2: in-situ Catalyst-style observation of the receptive
+// fields while training the Higgs network — 4 HCUs at 40% density, with
+// the adaptor triggered at the end of every epoch, writing
+// ParaView-compatible VTI snapshots plus an ASCII live view.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+#include "util/cli.hpp"
+#include "viz/ascii.hpp"
+#include "viz/catalyst.hpp"
+
+using namespace streambrain;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::string out_dir =
+      args.get_string("out", "fig2_insitu_fields");
+
+  std::printf("=== Fig. 2: in-situ visualization, 4 HCUs, density 40%% ===\n");
+  std::printf("VTI snapshots (ParaView-compatible) -> %s/\n\n", out_dir.c_str());
+
+  viz::CatalystOptions catalyst_options;
+  catalyst_options.output_dir = out_dir;
+  catalyst_options.write_vti = true;
+  catalyst_options.write_pgm = true;
+  catalyst_options.write_ppm = true;  // paper's red/blue color convention
+  catalyst_options.grid_width = 7;  // 28 features as a 7x4 grid
+  viz::CatalystAdaptor catalyst(catalyst_options);
+
+  core::HiggsExperimentConfig config;
+  config.train_events = static_cast<std::size_t>(args.get_int("train", 1500));
+  config.test_events = 500;
+  config.network.bcpnn.hcus = 4;
+  config.network.bcpnn.mcus = 40;
+  config.network.bcpnn.receptive_field = 0.40;
+  config.network.bcpnn.epochs = 10;
+  config.network.bcpnn.head_epochs = 10;
+  config.seed = 42;
+  config.catalyst = &catalyst;
+
+  const auto result = core::run_higgs_experiment(config);
+
+  std::printf("live view (epoch -> per-HCU field over the 28 features):\n");
+  for (const auto& snapshot : catalyst.history()) {
+    if (snapshot.epoch % 3 != 0 && snapshot.epoch + 1 != catalyst.history().size()) {
+      continue;  // print every third epoch like a paced live session
+    }
+    std::printf("epoch %2zu:\n", snapshot.epoch);
+    for (std::size_t h = 0; h < snapshot.masks.size(); ++h) {
+      std::printf("  HCU %zu %s\n", h,
+                  viz::render_mask_bar(snapshot.masks[h]).c_str());
+    }
+  }
+
+  std::size_t vti_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(out_dir)) {
+    if (entry.path().extension() == ".vti") ++vti_files;
+  }
+  const auto drift = catalyst.mask_drift();
+  double mean_drift = 0.0;
+  for (double d : drift) mean_drift += d / static_cast<double>(drift.size());
+
+  std::printf("\nresults:\n");
+  std::printf("  test accuracy: %.2f%%  (pipeline sanity)\n",
+              100.0 * result.test_accuracy);
+  std::printf("  VTI snapshots written: %zu (%zu epochs x 4 HCUs) [%s]\n",
+              vti_files, config.network.bcpnn.epochs,
+              vti_files == config.network.bcpnn.epochs * 4 ? "OK" : "MISS");
+  std::printf("  field development visible: %.0f%% of connections migrated "
+              "over training [%s]\n",
+              100.0 * mean_drift, mean_drift > 0.05 ? "OK" : "MISS");
+  std::printf("\nopen the .vti files in ParaView to replicate the paper's "
+              "figure exactly.\n");
+  return 0;
+}

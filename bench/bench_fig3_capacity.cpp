@@ -1,0 +1,126 @@
+// Reproduces Fig. 3: test accuracy (bars) and training time (lines) as a
+// function of network capacity — #HCUs x #MCUs at a fixed 30% receptive
+// field, averaged over repeated runs.
+//
+// Paper protocol: MCUs in {30, 300, 3000}, HCUs in {1, 2, 4, 6, 8}, 10
+// runs each on an A100 with millions of events. This harness runs a
+// proportionally scaled grid: the event count is ~1000x smaller, so the
+// MCU grid scales to {10, 30, 100} to keep the capacity/data ratio the
+// paper operates at (pass --mcus 30,300,3000 --train N for full size).
+//
+// Expected shape (paper):
+//   * accuracy rises strongly with MCUs per HCU (+5% from 30->300,
+//     +0.5% from 300->3000) — capacity helps, with diminishing returns;
+//   * accuracy is nearly flat in #HCUs (<1% effect);
+//   * training time grows with both #MCUs and #HCUs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+using namespace streambrain;
+
+namespace {
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> values;
+  for (const auto& piece : util::split(csv, ',')) {
+    if (const auto v = util::parse_int(piece)) {
+      values.push_back(static_cast<std::size_t>(*v));
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const auto mcu_grid = parse_sizes(args.get_string("mcus", "10,30,100"));
+  const auto hcu_grid = parse_sizes(args.get_string("hcus", "1,2,4,8"));
+  const std::size_t repeats =
+      static_cast<std::size_t>(args.get_int("repeats", 3));
+  const std::size_t train =
+      static_cast<std::size_t>(args.get_int("train", 4000));
+  const std::size_t test = static_cast<std::size_t>(args.get_int("test", 1200));
+
+  std::printf("=== Fig. 3: capacity sweep (#HCUs x #MCUs), RF = 30%% ===\n");
+  std::printf("paper grid: MCUs {30,300,3000} x HCUs {1,2,4,6,8}, 10 runs\n");
+  std::printf("this run:   MCUs {%s} x HCUs {%s}, %zu runs, %zu train events\n\n",
+              args.get_string("mcus", "10,30,100").c_str(),
+              args.get_string("hcus", "1,2,4,8").c_str(), repeats, train);
+
+  util::Table table({"MCUs", "HCUs", "accuracy (mean)", "accuracy (std)",
+                     "train time (s)"});
+  util::CsvWriter csv({"mcus", "hcus", "accuracy_mean", "accuracy_std",
+                       "train_seconds"});
+
+  // Track the paper's two headline shape claims while sweeping.
+  std::vector<double> accuracy_by_mcus(mcu_grid.size(), 0.0);
+  std::vector<double> time_smallest_largest(2, 0.0);
+
+  for (std::size_t mi = 0; mi < mcu_grid.size(); ++mi) {
+    for (std::size_t hcus : hcu_grid) {
+      core::HiggsExperimentConfig config;
+      config.train_events = train;
+      config.test_events = test;
+      config.network.bcpnn.hcus = hcus;
+      config.network.bcpnn.mcus = mcu_grid[mi];
+      config.network.bcpnn.receptive_field = 0.30;
+      config.network.bcpnn.epochs = static_cast<std::size_t>(args.get_int("epochs", 10));
+      config.network.bcpnn.head_epochs = 20;
+      config.seed = 42;
+
+      util::RunningStat accuracy;
+      util::RunningStat seconds;
+      for (const auto& result :
+           core::run_higgs_experiment_repeated(config, repeats)) {
+        accuracy.add(result.test_accuracy);
+        seconds.add(result.train_seconds);
+      }
+      table.add_row({std::to_string(mcu_grid[mi]), std::to_string(hcus),
+                     util::Table::pct(accuracy.mean()),
+                     util::Table::pct(accuracy.stddev()),
+                     util::Table::num(seconds.mean(), 3)});
+      csv.add_row({std::to_string(mcu_grid[mi]), std::to_string(hcus),
+                   util::Table::num(accuracy.mean(), 4),
+                   util::Table::num(accuracy.stddev(), 4),
+                   util::Table::num(seconds.mean(), 4)});
+      if (hcus == hcu_grid.front()) {
+        accuracy_by_mcus[mi] = accuracy.mean();
+        if (mi == 0) time_smallest_largest[0] = seconds.mean();
+      }
+      if (hcus == hcu_grid.back() && mi + 1 == mcu_grid.size()) {
+        time_smallest_largest[1] = seconds.mean();
+      }
+    }
+  }
+  table.print();
+  csv.write("results/fig3_capacity.csv");
+  std::printf("\ndata series written to results/fig3_capacity.csv\n");
+
+  std::printf("\nshape checks vs paper:\n");
+  if (accuracy_by_mcus.size() >= 3) {
+    const double first_step =
+        accuracy_by_mcus[1] - accuracy_by_mcus[0];
+    const double second_step =
+        accuracy_by_mcus[2] - accuracy_by_mcus[1];
+    std::printf("  capacity helps then saturates: %+.2f%% (%zu->%zu MCUs), %+.2f%% (%zu->%zu)   paper: +5%%, +0.54%% [%s]\n",
+                100.0 * first_step, mcu_grid[0], mcu_grid[1],
+                100.0 * second_step, mcu_grid[1], mcu_grid[2],
+                (first_step > 0.015 && second_step < first_step) ? "OK"
+                                                                 : "MISS");
+  }
+  std::printf("  time grows with capacity: %.3fs (smallest) -> %.3fs (largest)  paper: 86.6s -> 606s [%s]\n",
+              time_smallest_largest[0], time_smallest_largest[1],
+              time_smallest_largest[1] > time_smallest_largest[0] ? "OK"
+                                                                  : "MISS");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Fig. 5: the final receptive-field masks produced at
+// different receptive-field sizes, rendered over the 28 Higgs input
+// features. The paper shows 0%..95% masks over the feature "image" and
+// notes that masks at different sizes need not be nested — the best 5%
+// connections are not necessarily a subset of the best 10% connections.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/higgs.hpp"
+#include "util/cli.hpp"
+#include "viz/ascii.hpp"
+
+using namespace streambrain;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t mcus = static_cast<std::size_t>(args.get_int("mcus", 60));
+  const std::size_t train =
+      static_cast<std::size_t>(args.get_int("train", 2500));
+
+  std::printf("=== Fig. 5: mask evolution across receptive-field sizes ===\n");
+  std::printf("('#' = active connection / red in the paper, '.' = silent / blue)\n\n");
+
+  const auto& names = data::higgs_feature_names();
+  std::map<int, std::vector<bool>> masks_by_rf;
+
+  for (int rf_percent = 5; rf_percent <= 95; rf_percent += 10) {
+    core::HiggsExperimentConfig config;
+    config.train_events = train;
+    config.test_events = 600;
+    config.network.bcpnn.hcus = 1;
+    config.network.bcpnn.mcus = mcus;
+    config.network.bcpnn.receptive_field = rf_percent / 100.0;
+    config.network.bcpnn.epochs = 14;
+    config.network.bcpnn.plasticity_swaps = 4;
+    config.network.bcpnn.plasticity_hysteresis = 0.01;
+    config.network.bcpnn.head_epochs = 8;
+    config.seed = 42;
+    const auto result = core::run_higgs_experiment(config);
+    masks_by_rf[rf_percent] = result.final_masks[0];
+    std::printf("RF %3d%%  %s  (accuracy %.2f%%)\n", rf_percent,
+                viz::render_mask_bar(result.final_masks[0]).c_str(),
+                100.0 * result.test_accuracy);
+  }
+
+  // Which features does the smallest informative mask select? (Below
+  // ~20%% the mask is noise-trapped: with so few visible features the
+  // activations carry no signal, so no silent feature can accumulate
+  // mutual information — the same regime where the paper's Fig. 4 shows
+  // chance accuracy.)
+  std::printf("\nfeatures selected by the RF=25%% mask:\n");
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    if (masks_by_rf[25][f]) std::printf("  - %s\n", names[f].c_str());
+  }
+
+  // Paper observation: masks are not nested across sizes.
+  std::size_t nested_violations = 0;
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    if (masks_by_rf[5][f] && !masks_by_rf[25][f]) ++nested_violations;
+  }
+  std::printf(
+      "\nnon-nesting check: %zu features active at RF=5%% but absent at"
+      " RF=25%% [%s]\n(paper: \"the best connections for a 5%% receptive"
+      " field [are] not necessarily\nincluded in a 10%% receptive field\")\n",
+      nested_violations, nested_violations > 0 ? "OK" : "MISS");
+
+  // High-level mass features should dominate small masks: count how many
+  // of the 7 high-level features (columns 21..27) the 25% mask selected.
+  std::size_t high_level_selected = 0;
+  std::size_t mask25_active = 0;
+  for (std::size_t f = 0; f < 28; ++f) {
+    mask25_active += masks_by_rf[25][f] ? 1 : 0;
+    if (f >= 21) high_level_selected += masks_by_rf[25][f] ? 1 : 0;
+  }
+  std::printf(
+      "\ninterpretability check: %zu of the %zu connections in the RF=25%%"
+      " mask\nare high-level invariant-mass features (structural plasticity"
+      " discovers\nthe physics-motivated discriminants on its own; 7 of 28"
+      " features are\nhigh-level, so random masks would pick ~%.1f) [%s]\n",
+      high_level_selected, mask25_active,
+      static_cast<double>(mask25_active) * 7.0 / 28.0,
+      high_level_selected >= 3 ? "OK" : "MISS");
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Benchmarks the incremental-learning motivation of Section II: the
+// paper lists "the lack of incremental learning ... and the possibility
+// of catastrophic forgetting" among the deficiencies of backprop models
+// that brain-inspired learning addresses. Protocol: class-incremental
+// digits — phase A trains on digits 0..4, phase B continues training on
+// digits 5..9 ONLY; we then measure how much phase-A knowledge survived.
+// BCPNN's local trace learning (per-class minicolumns, no global error
+// signal) should retain far more than an MLP fine-tuned the same way.
+
+#include <cstdio>
+
+#include "baselines/mlp.hpp"
+#include "core/classifier.hpp"
+#include "core/layer.hpp"
+#include "core/sgd_head.hpp"
+#include "data/dataset.hpp"
+#include "data/digits.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/classification.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace streambrain;
+
+namespace {
+
+data::Dataset filter_classes(const data::Dataset& dataset, int lo, int hi) {
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    if (dataset.labels[r] >= lo && dataset.labels[r] <= hi) rows.push_back(r);
+  }
+  return dataset.select(rows);
+}
+
+double accuracy_on(core::BcpnnLayer& layer, core::BcpnnClassifier& head,
+                   const tensor::MatrixF& x, const std::vector<int>& y) {
+  tensor::MatrixF hidden;
+  layer.forward(x, hidden);
+  return metrics::accuracy(head.predict_labels(hidden), y);
+}
+
+/// Incremental head training on a frozen representation: the hidden
+/// layer learned its features once (local, unsupervised); new classes
+/// arrive as new head traces. Low alpha = slow decay of old class
+/// statistics — BCPNN's incremental-learning knob.
+void train_head_phase(core::BcpnnLayer& layer, core::BcpnnClassifier& head,
+                      const tensor::MatrixF& x, const std::vector<int>& y,
+                      std::size_t epochs) {
+  tensor::MatrixF hidden;
+  layer.forward(x, hidden);
+  const auto targets = data::one_hot_labels(y, 10);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    head.train_batch(hidden, targets);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t examples =
+      static_cast<std::size_t>(args.get_int("examples", 2500));
+
+  std::printf("=== Incremental learning: digits 0-4, then 5-9 only ===\n\n");
+
+  data::SyntheticDigitGenerator generator;
+  const auto all_train = generator.generate(examples);
+  data::SyntheticDigitGenerator test_generator({0.02, 2, 999});
+  const auto all_test = test_generator.generate(1000);
+
+  const auto train_a = filter_classes(all_train, 0, 4);
+  const auto train_b = filter_classes(all_train, 5, 9);
+  const auto test_a = filter_classes(all_test, 0, 4);
+  const auto test_b = filter_classes(all_test, 5, 9);
+
+  encode::OneHotEncoder encoder(2);
+  const auto xa = encoder.fit_transform(train_a.features);
+  const auto xb = encoder.transform(train_b.features);
+  const auto xa_test = encoder.transform(test_a.features);
+  const auto xb_test = encoder.transform(test_b.features);
+
+  // ---- BCPNN -----------------------------------------------------------
+  core::BcpnnConfig config;
+  config.input_hypercolumns = data::kDigitPixels;
+  config.input_bins = 2;
+  config.hcus = 4;
+  config.mcus = 20;
+  config.receptive_field = 0.3;
+  config.alpha = 0.05f;
+  config.batch_size = 64;
+  config.plasticity_swaps = 8;
+  config.seed = 3;
+  auto engine = parallel::make_engine(config.engine);
+  util::Rng rng(config.seed);
+  core::BcpnnLayer layer(config, *engine, rng);
+  auto head_engine = parallel::make_engine(config.engine);
+  // Low head alpha + full-batch head updates = slow trace decay: the
+  // incremental-memory knob.
+  core::BcpnnClassifier head(config.hidden_units(), config.hcus, 10,
+                             *head_engine, 0.02f);
+
+  // Features are learned once, unsupervised, from phase-A data (digit
+  // strokes transfer across classes); thereafter only the head learns.
+  tensor::MatrixF batch;
+  for (int epoch = 0; epoch < 15; ++epoch) {
+    const float noise = 2.0f * (1.0f - epoch / 14.0f);
+    for (std::size_t start = 0; start < xa.rows();
+         start += config.batch_size) {
+      const std::size_t end = std::min(start + config.batch_size, xa.rows());
+      batch.resize(end - start, xa.cols());
+      for (std::size_t r = start; r < end; ++r) {
+        std::copy_n(xa.row(r), xa.cols(), batch.row(r - start));
+      }
+      layer.train_batch(batch, noise);
+    }
+    layer.plasticity_step();
+  }
+
+  train_head_phase(layer, head, xa, train_a.labels, 30);
+  const double bcpnn_a_before = accuracy_on(layer, head, xa_test,
+                                            test_a.labels);
+  train_head_phase(layer, head, xb, train_b.labels, 30);
+  const double bcpnn_a_after = accuracy_on(layer, head, xa_test,
+                                           test_a.labels);
+  const double bcpnn_b = accuracy_on(layer, head, xb_test, test_b.labels);
+
+  // ---- MLP baseline (same two-phase schedule) ---------------------------
+  // A 10-way MLP trained on A then fine-tuned on B only.
+  baselines::Standardizer standardizer;
+  const auto ra = standardizer.fit_transform(train_a.features);
+  const auto rb = standardizer.transform(train_b.features);
+  const auto ra_test = standardizer.transform(test_a.features);
+
+  // The bundled Mlp is binary; emulate 10-way with one-vs-rest over the
+  // BCPNN classifier's API? Simpler: reuse the SGD-trained BcpnnClassifier
+  // replacement — a softmax regression via core::SgdHead on raw pixels.
+  core::SgdHeadConfig sgd_config;
+  sgd_config.learning_rate = 0.2f;
+  core::SgdHead mlp(ra.cols(), 10, sgd_config);
+  const auto ta = data::one_hot_labels(train_a.labels, 10);
+  const auto tb = data::one_hot_labels(train_b.labels, 10);
+  for (int epoch = 0; epoch < 30; ++epoch) mlp.train_epoch(ra, ta);
+  const double mlp_a_before =
+      metrics::accuracy(mlp.predict_labels(ra_test), test_a.labels);
+  for (int epoch = 0; epoch < 30; ++epoch) mlp.train_epoch(rb, tb);
+  const double mlp_a_after =
+      metrics::accuracy(mlp.predict_labels(ra_test), test_a.labels);
+
+  util::Table table({"model", "classes 0-4 after phase A",
+                     "classes 0-4 after phase B", "retention"});
+  table.add_row({"BCPNN (local traces)", util::Table::pct(bcpnn_a_before),
+                 util::Table::pct(bcpnn_a_after),
+                 util::Table::pct(bcpnn_a_after /
+                                  std::max(bcpnn_a_before, 1e-9))});
+  table.add_row({"softmax SGD (backprop-style)",
+                 util::Table::pct(mlp_a_before), util::Table::pct(mlp_a_after),
+                 util::Table::pct(mlp_a_after /
+                                  std::max(mlp_a_before, 1e-9))});
+  table.print();
+
+  std::printf("\n(new classes 5-9 after phase B, BCPNN: %.2f%%)\n",
+              100.0 * bcpnn_b);
+  std::printf(
+      "\nshape check: BCPNN retains more phase-A knowledge than the\n"
+      "gradient-trained model: %.0f%% vs %.0f%% retention [%s]\n",
+      100.0 * bcpnn_a_after / std::max(bcpnn_a_before, 1e-9),
+      100.0 * mlp_a_after / std::max(mlp_a_before, 1e-9),
+      bcpnn_a_after / std::max(bcpnn_a_before, 1e-9) >
+              mlp_a_after / std::max(mlp_a_before, 1e-9)
+          ? "OK"
+          : "MISS");
+  return 0;
+}

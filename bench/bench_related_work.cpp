@@ -1,0 +1,116 @@
+// Reproduces the related-work comparison of Section VI: on the same
+// dataset split, BCPNN (pure and +SGD) against the classical baselines —
+// logistic regression / shallow MLP ("Shallow Neural Networks"), a deeper
+// MLP ("Deep Neural Networks"), AdaBoost stumps ("Boosted Decision
+// Trees") and Gaussian naive Bayes. The paper quotes 81.6% AUC (MLP) to
+// 88% AUC (DNN) from the literature vs 75.5/76.4% for BCPNN; the expected
+// *shape* is baselines-above-BCPNN with the deep model on top.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/adaboost.hpp"
+#include "baselines/logistic.hpp"
+#include "baselines/mlp.hpp"
+#include "baselines/naive_bayes.hpp"
+#include "core/pipeline.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/classification.hpp"
+#include "metrics/roc.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace streambrain;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t train_events =
+      static_cast<std::size_t>(args.get_int("train", 6000));
+  const std::size_t test_events =
+      static_cast<std::size_t>(args.get_int("test", 2000));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string csv = args.get_string("csv", "");
+
+  std::printf("=== Related-work comparison (paper Section VI) ===\n");
+  std::printf("train=%zu test=%zu seed=%llu\n\n", train_events, test_events,
+              static_cast<unsigned long long>(seed));
+
+  // Shared data split for every model.
+  util::Rng rng(seed ^ 0xD1CE5EEDULL);
+  data::Dataset dataset = data::load_or_generate_higgs(
+      csv, (train_events + test_events) * 2, seed);
+  dataset =
+      data::balanced_subset(dataset, (train_events + test_events) / 2, rng);
+  auto [train, test] = data::split(
+      dataset,
+      static_cast<double>(train_events) / static_cast<double>(dataset.size()));
+
+  util::Table table({"model", "test accuracy", "test AUC", "train time (s)",
+                     "paper AUC ref"});
+
+  // ---- BCPNN (pure) and BCPNN+SGD via the standard pipeline -------------
+  for (const bool hybrid : {false, true}) {
+    core::HiggsExperimentConfig config;
+    config.csv_path = csv;
+    config.train_events = train_events;
+    config.test_events = test_events;
+    config.seed = seed;
+    config.network.head = hybrid ? core::HeadType::kSgd : core::HeadType::kBcpnn;
+    config.network.bcpnn.hcus = 1;
+    config.network.bcpnn.mcus = 300;
+    config.network.bcpnn.receptive_field = 0.40;
+    const auto result = core::run_higgs_experiment(config);
+    table.add_row({hybrid ? "BCPNN+SGD (ours)" : "BCPNN (ours)",
+                   util::Table::pct(result.test_accuracy),
+                   util::Table::pct(result.test_auc),
+                   util::Table::num(result.train_seconds),
+                   hybrid ? "76.4%" : "75.5%"});
+  }
+
+  // ---- Classical baselines on the raw features ---------------------------
+  baselines::Standardizer standardizer;
+  const tensor::MatrixF x_train = standardizer.fit_transform(train.features);
+  const tensor::MatrixF x_test = standardizer.transform(test.features);
+
+  const auto evaluate = [&](baselines::BinaryClassifier& model,
+                            const std::string& label,
+                            const std::string& paper_ref) {
+    util::Stopwatch watch;
+    model.fit(x_train, train.labels);
+    const double seconds = watch.seconds();
+    const double acc = metrics::accuracy(model.predict(x_test), test.labels);
+    const double auc = metrics::auc(model.predict_scores(x_test), test.labels);
+    table.add_row({label, util::Table::pct(acc), util::Table::pct(auc),
+                   util::Table::num(seconds), paper_ref});
+  };
+
+  baselines::GaussianNaiveBayes naive_bayes;
+  evaluate(naive_bayes, "Gaussian naive Bayes", "-");
+
+  baselines::LogisticRegression logistic;
+  evaluate(logistic, "logistic regression", "-");
+
+  baselines::AdaBoost boost;
+  evaluate(boost, "AdaBoost stumps (~BDT)", "~85%");
+
+  baselines::MlpConfig shallow_cfg;
+  shallow_cfg.hidden_layers = {64};
+  baselines::Mlp shallow(shallow_cfg);
+  evaluate(shallow, "shallow MLP (1x64)", "81.6%");
+
+  baselines::MlpConfig deep_cfg;
+  deep_cfg.hidden_layers = {96, 96, 48};
+  deep_cfg.epochs = 60;
+  baselines::Mlp deep(deep_cfg);
+  evaluate(deep, "deep MLP (96-96-48)", "88%");
+
+  table.print();
+  std::printf(
+      "\nExpected shape (paper): baselines above BCPNN on AUC, the deep\n"
+      "network on top; BCPNN trades raw AUC for interpretable receptive\n"
+      "fields and unsupervised feature discovery.\n");
+  return 0;
+}

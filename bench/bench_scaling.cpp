@@ -1,0 +1,83 @@
+// Benchmarks Section II-B's scaling claim: BCPNN's local learning makes
+// data-parallel training communication-light — one trace allreduce per
+// batch is ALL the traffic. This harness trains the same hidden layer on
+// 1, 2, 4 and 8 simulated ranks, reports the communication volume per
+// epoch, and verifies the learned representation stays useful.
+
+#include <cstdio>
+
+#include "core/classifier.hpp"
+#include "core/distributed.hpp"
+#include "data/dataset.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/roc.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace streambrain;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t events =
+      static_cast<std::size_t>(args.get_int("events", 2000));
+
+  core::BcpnnConfig config;
+  config.input_hypercolumns = data::kHiggsFeatures;
+  config.input_bins = 10;
+  config.hcus = 1;
+  config.mcus = static_cast<std::size_t>(args.get_int("mcus", 60));
+  config.receptive_field = 0.4;
+  config.epochs = static_cast<std::size_t>(args.get_int("epochs", 5));
+  config.batch_size = 64;
+  config.seed = 42;
+
+  std::printf("=== Scaling: data-parallel BCPNN over simulated MPI ranks ===\n");
+  std::printf("%zu events, 1 HCU x %zu MCUs, %zu epochs, batch %zu\n\n",
+              events, config.mcus, config.epochs, config.batch_size);
+
+  data::SyntheticHiggsGenerator generator;
+  const auto dataset = generator.generate(events);
+  encode::OneHotEncoder encoder(10);
+  const auto x = encoder.fit_transform(dataset.features);
+  const auto targets = data::one_hot_labels(dataset.labels, 2);
+
+  // Model state that must be synchronized per batch: the traces.
+  const std::size_t trace_floats =
+      config.input_units() + config.hidden_units() +
+      config.input_units() * config.hidden_units();
+
+  util::Table table({"ranks", "train time (s)", "allreduces", "MB sent/rank",
+                     "probe AUC"});
+  for (const int ranks : {1, 2, 4, 8}) {
+    auto engine = parallel::make_engine(config.engine);
+    util::Rng rng(config.seed);
+    core::BcpnnLayer layer(config, *engine, rng);
+    const auto report = core::distributed_unsupervised_fit(layer, x, ranks);
+
+    // Probe: supervised head on the synchronized representation.
+    auto head_engine = parallel::make_engine(config.engine);
+    core::BcpnnClassifier head(config.hidden_units(), config.hcus, 2,
+                               *head_engine, 0.1f);
+    tensor::MatrixF hidden;
+    layer.forward(x, hidden);
+    for (int epoch = 0; epoch < 8; ++epoch) head.train_batch(hidden, targets);
+    const double auc = metrics::auc(head.predict_scores(hidden),
+                                    dataset.labels);
+
+    table.add_row({std::to_string(ranks), util::Table::num(report.seconds),
+                   std::to_string(report.sync_count),
+                   util::Table::num(static_cast<double>(report.bytes_per_rank)
+                                    / 1e6, 1),
+                   util::Table::pct(auc)});
+  }
+  table.print();
+
+  std::printf("\nmodel state synchronized per batch: %zu floats (%.1f MB)\n",
+              trace_floats, trace_floats * sizeof(float) / 1e6);
+  std::printf(
+      "\nshape check vs paper (Section II-B): communication is one trace\n"
+      "allreduce per batch — no gradient exchange, no backward pass. The\n"
+      "probe AUC column shows every rank count learns a usable model.\n");
+  return 0;
+}

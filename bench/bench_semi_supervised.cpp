@@ -1,0 +1,109 @@
+// Benchmarks the semi-supervised mode the paper motivates in Section I
+// ("allows bringing order even to unlabeled (the majority) of data"):
+// accuracy as a function of the labeled fraction, BCPNN semi-supervised
+// (hidden layer sees ALL events, head sees only the labels) vs a
+// supervised-only MLP baseline restricted to the same labeled subset.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/mlp.hpp"
+#include "core/network.hpp"
+#include "core/semi_supervised.hpp"
+#include "data/dataset.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/classification.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace streambrain;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t events =
+      static_cast<std::size_t>(args.get_int("events", 2400));
+
+  std::printf("=== Semi-supervised learning: accuracy vs labeled fraction ===\n");
+  std::printf("%zu training events; labels revealed to the classifier head "
+              "only\n\n", events);
+
+  data::SyntheticHiggsGenerator generator;
+  auto dataset = generator.generate(events + events / 3);
+  util::Rng rng(77);
+  data::shuffle(dataset, rng);
+  const auto [train, test] = data::split(
+      dataset,
+      static_cast<double>(events) / static_cast<double>(dataset.size()));
+  encode::OneHotEncoder encoder(10);
+  const auto x_train = encoder.fit_transform(train.features);
+  const auto x_test = encoder.transform(test.features);
+
+  baselines::Standardizer standardizer;
+  const auto raw_train = standardizer.fit_transform(train.features);
+  const auto raw_test = standardizer.transform(test.features);
+
+  util::Table table({"labeled fraction", "labels", "BCPNN semi-sup",
+                     "MLP (labels only)"});
+
+  for (const double fraction : {0.02, 0.05, 0.10, 0.25, 1.00}) {
+    // Hide labels uniformly at random (deterministic per fraction).
+    util::Rng mask_rng(1000 + static_cast<std::uint64_t>(fraction * 1000));
+    std::vector<int> partial = train.labels;
+    std::vector<std::size_t> labeled_rows;
+    for (std::size_t i = 0; i < partial.size(); ++i) {
+      if (mask_rng.bernoulli(fraction)) {
+        labeled_rows.push_back(i);
+      } else {
+        partial[i] = core::kUnlabeled;
+      }
+    }
+    if (labeled_rows.size() < 10) continue;
+
+    // BCPNN: unsupervised on all rows, head on the labeled subset.
+    core::NetworkConfig config;
+    config.bcpnn.input_hypercolumns = train.dim();
+    config.bcpnn.input_bins = 10;
+    config.bcpnn.hcus = 1;
+    config.bcpnn.mcus = 80;
+    config.bcpnn.receptive_field = 0.4;
+    config.bcpnn.epochs = 6;
+    config.bcpnn.head_epochs = 16;
+    config.bcpnn.seed = 42;
+    core::Network network(config);
+    core::fit_semi_supervised(network, x_train, partial);
+    const double bcpnn_accuracy =
+        metrics::accuracy(network.predict(x_test), test.labels);
+
+    // MLP: can only use the labeled rows.
+    tensor::MatrixF x_labeled(labeled_rows.size(), raw_train.cols());
+    std::vector<int> y_labeled(labeled_rows.size());
+    for (std::size_t i = 0; i < labeled_rows.size(); ++i) {
+      std::copy_n(raw_train.row(labeled_rows[i]), raw_train.cols(),
+                  x_labeled.row(i));
+      y_labeled[i] = train.labels[labeled_rows[i]];
+    }
+    baselines::MlpConfig mlp_config;
+    mlp_config.hidden_layers = {32};
+    mlp_config.epochs = 30;
+    baselines::Mlp mlp(mlp_config);
+    mlp.fit(x_labeled, y_labeled);
+    const double mlp_accuracy =
+        metrics::accuracy(mlp.predict(raw_test), test.labels);
+
+    table.add_row({util::Table::pct(fraction, 0),
+                   std::to_string(labeled_rows.size()),
+                   util::Table::pct(bcpnn_accuracy),
+                   util::Table::pct(mlp_accuracy)});
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: the BCPNN column degrades gracefully as labels vanish —\n"
+      "the representation was learned from the full unlabeled stream, so\n"
+      "only the tiny read-out is label-starved. This is the Section I\n"
+      "argument for unsupervised brain-inspired learning on scientific\n"
+      "data, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Data-parallel BCPNN training over the in-process MPI substrate —
+// the usage pattern of StreamBrain's MPI backend. Trains the hidden
+// layer across simulated ranks, shows that the only communication is
+// one trace allreduce per batch, and verifies the model quality.
+//
+// Usage:
+//   example_distributed_training [--ranks 4] [--events 2400] [--mcus 80]
+
+#include <cstdio>
+
+#include "core/classifier.hpp"
+#include "core/distributed.hpp"
+#include "data/dataset.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/classification.hpp"
+#include "metrics/roc.hpp"
+#include "util/cli.hpp"
+
+using namespace streambrain;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const int ranks = static_cast<int>(args.get_int("ranks", 4));
+  const std::size_t events =
+      static_cast<std::size_t>(args.get_int("events", 2400));
+
+  std::printf("=== Distributed BCPNN training (%d simulated MPI ranks) ===\n\n",
+              ranks);
+
+  // Shared data; each rank will train on a round-robin shard.
+  data::SyntheticHiggsGenerator generator;
+  auto dataset = generator.generate(events + events / 3);
+  util::Rng rng(99);
+  data::shuffle(dataset, rng);
+  const auto [train, test] = data::split(
+      dataset, static_cast<double>(events) / static_cast<double>(dataset.size()));
+  encode::OneHotEncoder encoder(10);
+  const auto x_train = encoder.fit_transform(train.features);
+  const auto x_test = encoder.transform(test.features);
+
+  core::BcpnnConfig config;
+  config.input_hypercolumns = data::kHiggsFeatures;
+  config.input_bins = 10;
+  config.hcus = 1;
+  config.mcus = static_cast<std::size_t>(args.get_int("mcus", 80));
+  config.receptive_field = 0.4;
+  config.epochs = static_cast<std::size_t>(args.get_int("epochs", 8));
+  config.batch_size = 64;
+  config.seed = 42;
+
+  auto engine = parallel::make_engine(config.engine);
+  util::Rng layer_rng(config.seed);
+  core::BcpnnLayer layer(config, *engine, layer_rng);
+
+  std::printf("training hidden layer on %zu events across %d ranks...\n",
+              train.size(), ranks);
+  const auto report = core::distributed_unsupervised_fit(layer, x_train, ranks);
+  std::printf("  wall time            : %.2f s\n", report.seconds);
+  std::printf("  trace allreduces     : %zu (one per batch — ALL the traffic)\n",
+              report.sync_count);
+  std::printf("  logical traffic/rank : %.1f MB\n",
+              static_cast<double>(report.bytes_per_rank) / 1e6);
+
+  // Supervised head on the synchronized representation.
+  std::printf("\ntraining supervised read-out on rank-synchronized traces...\n");
+  auto head_engine = parallel::make_engine(config.engine);
+  core::BcpnnClassifier head(config.hidden_units(), config.hcus, 2,
+                             *head_engine, 0.1f);
+  tensor::MatrixF hidden_train;
+  layer.forward(x_train, hidden_train);
+  const auto targets = data::one_hot_labels(train.labels, 2);
+  for (int epoch = 0; epoch < 16; ++epoch) {
+    head.train_batch(hidden_train, targets);
+  }
+
+  tensor::MatrixF hidden_test;
+  layer.forward(x_test, hidden_test);
+  const double accuracy =
+      metrics::accuracy(head.predict_labels(hidden_test), test.labels);
+  const double auc =
+      metrics::auc(head.predict_scores(hidden_test), test.labels);
+  std::printf("\ntest accuracy: %.2f%%   test AUC: %.2f%%\n", 100.0 * accuracy,
+              100.0 * auc);
+  std::printf(
+      "\nwhy this scales (paper Section II-B): learning is local, so ranks\n"
+      "never exchange gradients or activations — only the probability\n"
+      "traces, once per batch, with a deterministic reduction.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Spiking inference — BCPNN's second model of computation (Section II:
+// "The BCPNN model supports both spiking- and rate-based models of
+// computation, where the former maps well to neuromorphic hardware").
+// Trains the usual rate-based Higgs network, then runs inference by
+// sampling categorical spikes per hypercolumn and shows the
+// accuracy/latency trade-off as the spike budget (timesteps) grows.
+//
+// Usage:
+//   example_spiking_inference [--events 3000] [--mcus 80]
+
+#include <cstdio>
+
+#include "core/classifier.hpp"
+#include "core/layer.hpp"
+#include "data/dataset.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/classification.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace streambrain;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t events =
+      static_cast<std::size_t>(args.get_int("events", 3000));
+
+  std::printf("=== Spiking BCPNN inference (neuromorphic mode) ===\n\n");
+
+  data::SyntheticHiggsGenerator generator;
+  auto dataset = generator.generate(events + events / 3);
+  util::Rng rng(55);
+  data::shuffle(dataset, rng);
+  const auto [train, test] = data::split(
+      dataset,
+      static_cast<double>(events) / static_cast<double>(dataset.size()));
+  encode::OneHotEncoder encoder(10);
+  const auto x_train = encoder.fit_transform(train.features);
+  const auto x_test = encoder.transform(test.features);
+
+  core::BcpnnConfig config;
+  config.input_hypercolumns = data::kHiggsFeatures;
+  config.input_bins = 10;
+  config.hcus = 1;
+  config.mcus = static_cast<std::size_t>(args.get_int("mcus", 80));
+  config.receptive_field = 0.4;
+  config.epochs = 8;
+  config.batch_size = 64;
+  config.seed = 42;
+
+  auto engine = parallel::make_engine(config.engine);
+  util::Rng layer_rng(config.seed);
+  core::BcpnnLayer layer(config, *engine, layer_rng);
+
+  std::printf("training rate-based (%zu events)...\n", train.size());
+  tensor::MatrixF batch;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const float noise =
+        3.0f * (1.0f - static_cast<float>(epoch) /
+                           static_cast<float>(config.epochs - 1));
+    for (std::size_t start = 0; start < x_train.rows();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, x_train.rows());
+      batch.resize(end - start, x_train.cols());
+      for (std::size_t r = start; r < end; ++r) {
+        std::copy_n(x_train.row(r), x_train.cols(), batch.row(r - start));
+      }
+      layer.train_batch(batch, noise);
+    }
+    layer.plasticity_step();
+  }
+  auto head_engine = parallel::make_engine(config.engine);
+  core::BcpnnClassifier head(config.hidden_units(), config.hcus, 2,
+                             *head_engine, 0.1f);
+  tensor::MatrixF hidden;
+  layer.forward(x_train, hidden);
+  const auto targets = data::one_hot_labels(train.labels, 2);
+  for (int epoch = 0; epoch < 16; ++epoch) head.train_batch(hidden, targets);
+
+  // Rate-based reference.
+  tensor::MatrixF hidden_test;
+  util::Stopwatch rate_watch;
+  layer.forward(x_test, hidden_test);
+  const double rate_seconds = rate_watch.seconds();
+  const double rate_accuracy =
+      metrics::accuracy(head.predict_labels(hidden_test), test.labels);
+
+  std::printf("\nrate-based reference: %.2f%% accuracy (%.1f ms)\n\n",
+              100.0 * rate_accuracy, 1e3 * rate_seconds);
+
+  util::Table table({"spikes per HCU", "accuracy", "vs rate code",
+                     "inference time (ms)"});
+  for (const std::size_t timesteps : {1, 2, 4, 16, 64, 256}) {
+    util::Stopwatch watch;
+    tensor::MatrixF spikes;
+    layer.forward_spiking(x_test, spikes, timesteps);
+    const double seconds = watch.seconds();
+    const double accuracy =
+        metrics::accuracy(head.predict_labels(spikes), test.labels);
+    table.add_row({std::to_string(timesteps), util::Table::pct(accuracy),
+                   util::Table::pct(accuracy - rate_accuracy),
+                   util::Table::num(1e3 * seconds, 1)});
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: a handful of spikes per hypercolumn already recovers the\n"
+      "rate-based accuracy — the code each hypercolumn transmits is a\n"
+      "categorical sample, which is why BCPNN \"maps well to neuromorphic\n"
+      "hardware\" (each spike is one event, no multiplies on the wire).\n");
+  return 0;
+}

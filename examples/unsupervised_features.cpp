@@ -1,0 +1,113 @@
+// Unsupervised feature discovery on digit images — the paper's Fig. 1
+// intuition as a runnable example. Trains HCUs without any labels, shows
+// the receptive fields migrating onto the glyphs, then quantifies how
+// much label information the unsupervised features carry by training a
+// read-out afterwards ("bringing order to unlabeled data").
+//
+// Usage:
+//   example_unsupervised_features [--hcus 3] [--epochs 12] [--out dir]
+
+#include <cstdio>
+
+#include "core/classifier.hpp"
+#include "core/layer.hpp"
+#include "data/digits.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/classification.hpp"
+#include "util/cli.hpp"
+#include "viz/ascii.hpp"
+#include "viz/catalyst.hpp"
+
+using namespace streambrain;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t hcus = static_cast<std::size_t>(args.get_int("hcus", 3));
+  const std::size_t epochs =
+      static_cast<std::size_t>(args.get_int("epochs", 12));
+
+  std::printf("=== Unsupervised BCPNN feature learning on digits ===\n\n");
+
+  data::SyntheticDigitGenerator generator;
+  const auto train = generator.generate(2000);
+  data::SyntheticDigitGenerator test_generator({0.02, 2, 1234});
+  const auto test = test_generator.generate(500);
+
+  encode::OneHotEncoder encoder(2);  // dual rate code per pixel
+  const auto x_train = encoder.fit_transform(train.features);
+  const auto x_test = encoder.transform(test.features);
+
+  core::BcpnnConfig config;
+  config.input_hypercolumns = data::kDigitPixels;
+  config.input_bins = 2;
+  config.hcus = hcus;
+  config.mcus = 24;
+  config.receptive_field = 0.2;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.plasticity_swaps = 8;
+  config.seed = 11;
+
+  auto engine = parallel::make_engine(config.engine);
+  util::Rng rng(config.seed);
+  core::BcpnnLayer layer(config, *engine, rng);
+
+  viz::CatalystOptions viz_options;
+  viz_options.output_dir = args.get_string("out", "");
+  viz_options.grid_width = data::kDigitSide;
+  viz::CatalystAdaptor catalyst(viz_options);
+
+  // --- Phase 1: unsupervised — no labels touched -----------------------
+  std::printf("unsupervised training (%zu HCUs x %zu MCUs, no labels)...\n",
+              config.hcus, config.mcus);
+  tensor::MatrixF batch;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const float noise =
+        3.0f * (1.0f - static_cast<float>(epoch) /
+                           static_cast<float>(epochs > 1 ? epochs - 1 : 1));
+    for (std::size_t start = 0; start < x_train.rows();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, x_train.rows());
+      batch.resize(end - start, x_train.cols());
+      for (std::size_t r = start; r < end; ++r) {
+        std::copy_n(x_train.row(r), x_train.cols(), batch.row(r - start));
+      }
+      layer.train_batch(batch, noise);
+    }
+    layer.plasticity_step();
+    catalyst.co_process(epoch, layer.masks().all());
+  }
+
+  std::printf("\nreceptive fields after unsupervised training:\n");
+  for (std::size_t h = 0; h < config.hcus; ++h) {
+    std::printf("HCU %zu:\n%s\n", h,
+                viz::render_mask_grid(layer.masks().mask(h), data::kDigitSide,
+                                      data::kDigitSide)
+                    .c_str());
+  }
+  std::printf("pairwise field overlap (Jaccard): %.2f — the fields complement"
+              " each other\n\n", catalyst.latest_overlap());
+
+  // --- Phase 2: tiny supervised read-out on frozen features ------------
+  std::printf("training a read-out on the frozen unsupervised features...\n");
+  auto head_engine = parallel::make_engine(config.engine);
+  core::BcpnnClassifier head(config.hidden_units(), config.hcus, 10,
+                             *head_engine, 0.1f);
+  tensor::MatrixF hidden_train;
+  layer.forward(x_train, hidden_train);
+  const auto targets = data::one_hot_labels(train.labels, 10);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    head.train_batch(hidden_train, targets);
+  }
+
+  tensor::MatrixF hidden_test;
+  layer.forward(x_test, hidden_test);
+  const double accuracy =
+      metrics::accuracy(head.predict_labels(hidden_test), test.labels);
+  std::printf("10-class digit accuracy from unsupervised features: %.1f%%"
+              " (chance: 10%%)\n", 100.0 * accuracy);
+  std::printf("\nThe hidden layer never saw a label — the class structure was"
+              "\ndiscovered by local learning alone (paper Section II-C).\n");
+  return 0;
+}

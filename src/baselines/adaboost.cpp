@@ -1,0 +1,100 @@
+#include "baselines/adaboost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace streambrain::baselines {
+
+AdaBoost::AdaBoost(AdaBoostConfig config) : config_(config) {}
+
+void AdaBoost::fit(const tensor::MatrixF& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("AdaBoost::fit: size mismatch");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  stumps_.clear();
+
+  // Candidate thresholds: quantiles of each feature.
+  std::vector<std::vector<float>> candidates(d);
+  {
+    std::vector<float> column(n);
+    for (std::size_t f = 0; f < d; ++f) {
+      for (std::size_t r = 0; r < n; ++r) column[r] = x(r, f);
+      std::sort(column.begin(), column.end());
+      auto& cuts = candidates[f];
+      for (std::size_t k = 1; k <= config_.threshold_candidates; ++k) {
+        const std::size_t idx =
+            k * (n - 1) / (config_.threshold_candidates + 1);
+        const float cut = column[idx];
+        if (cuts.empty() || cuts.back() != cut) cuts.push_back(cut);
+      }
+    }
+  }
+
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    Stump best;
+    double best_error = 0.5;
+    // Exhaustive stump search under the current weights; for each
+    // threshold pick the polarity with the smaller weighted error.
+    for (std::size_t f = 0; f < d; ++f) {
+      for (float threshold : candidates[f]) {
+        // error for polarity +1 (predict 1 when x > threshold)
+        double error_pos = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+          const int prediction = x(r, f) > threshold ? 1 : 0;
+          if (prediction != y[r]) error_pos += weights[r];
+        }
+        const double error_neg = 1.0 - error_pos;  // flipped polarity
+        const int polarity = error_pos <= error_neg ? +1 : -1;
+        const double error = std::min(error_pos, error_neg);
+        if (error < best_error) {
+          best = {f, threshold, polarity, 0.0f};
+          best_error = error;
+        }
+      }
+    }
+    const double error = std::clamp(best_error, 1e-10, 1.0 - 1e-10);
+    if (error >= 0.5) break;  // no stump better than chance — stop early
+    best.alpha = static_cast<float>(0.5 * std::log((1.0 - error) / error));
+    stumps_.push_back(best);
+
+    // Re-weight examples; normalize.
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const int raw = x(r, best.feature) > best.threshold ? 1 : 0;
+      const int prediction = best.polarity > 0 ? raw : 1 - raw;
+      const double margin = (prediction == y[r]) ? 1.0 : -1.0;
+      weights[r] *= std::exp(-best.alpha * margin);
+      total += weights[r];
+    }
+    for (auto& w : weights) w /= total;
+  }
+  if (stumps_.empty()) {
+    // Degenerate data: keep a zero-vote stump so predict() is defined.
+    stumps_.push_back({0, 0.0f, 1, 0.0f});
+  }
+}
+
+std::vector<double> AdaBoost::predict_scores(const tensor::MatrixF& x) const {
+  if (stumps_.empty()) throw std::logic_error("AdaBoost::predict before fit");
+  std::vector<double> scores(x.rows());
+  double alpha_total = 0.0;
+  for (const auto& stump : stumps_) alpha_total += stump.alpha;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double margin = 0.0;
+    for (const auto& stump : stumps_) {
+      const int raw = x(r, stump.feature) > stump.threshold ? 1 : 0;
+      const int prediction = stump.polarity > 0 ? raw : 1 - raw;
+      margin += stump.alpha * (prediction == 1 ? 1.0 : -1.0);
+    }
+    // Squash the normalized margin to [0,1] for score-style consumers.
+    const double z = alpha_total > 0.0 ? margin / alpha_total : 0.0;
+    scores[r] = 0.5 * (z + 1.0);
+  }
+  return scores;
+}
+
+}  // namespace streambrain::baselines

@@ -1,0 +1,44 @@
+#pragma once
+// AdaBoost over decision stumps — the stand-in for the "Boosted Decision
+// Trees" baseline of the related-work comparison. Each round fits the
+// best single-feature threshold stump under the current example weights;
+// candidate thresholds are feature quantiles for speed.
+
+#include <cstdint>
+
+#include "baselines/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace streambrain::baselines {
+
+struct AdaBoostConfig {
+  std::size_t rounds = 60;
+  std::size_t threshold_candidates = 24;  ///< quantile cuts per feature
+};
+
+class AdaBoost final : public BinaryClassifier {
+ public:
+  explicit AdaBoost(AdaBoostConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "adaboost_stumps"; }
+  void fit(const tensor::MatrixF& x, const std::vector<int>& y) override;
+  [[nodiscard]] std::vector<double> predict_scores(
+      const tensor::MatrixF& x) const override;
+
+  [[nodiscard]] std::size_t rounds_fitted() const noexcept {
+    return stumps_.size();
+  }
+
+ private:
+  struct Stump {
+    std::size_t feature = 0;
+    float threshold = 0.0f;
+    int polarity = 1;   ///< +1: predict 1 above threshold; -1: below
+    float alpha = 0.0f; ///< vote weight
+  };
+
+  AdaBoostConfig config_;
+  std::vector<Stump> stumps_;
+};
+
+}  // namespace streambrain::baselines

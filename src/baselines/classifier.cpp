@@ -1,0 +1,55 @@
+#include "baselines/classifier.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace streambrain::baselines {
+
+void Standardizer::fit(const tensor::MatrixF& x) {
+  if (x.rows() == 0) {
+    throw std::invalid_argument("Standardizer::fit: empty input");
+  }
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0f);
+  stddev_.assign(d, 0.0f);
+  std::vector<double> sum(d, 0.0);
+  std::vector<double> sum_sq(d, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      sum[c] += row[c];
+      sum_sq[c] += static_cast<double>(row[c]) * row[c];
+    }
+  }
+  const double n = static_cast<double>(x.rows());
+  for (std::size_t c = 0; c < d; ++c) {
+    const double mean = sum[c] / n;
+    const double var = std::max(0.0, sum_sq[c] / n - mean * mean);
+    mean_[c] = static_cast<float>(mean);
+    const double sd = std::sqrt(var);
+    stddev_[c] = static_cast<float>(sd > 1e-12 ? sd : 1.0);
+  }
+}
+
+tensor::MatrixF Standardizer::transform(const tensor::MatrixF& x) const {
+  if (!fitted()) throw std::logic_error("Standardizer::transform before fit");
+  if (x.cols() != mean_.size()) {
+    throw std::invalid_argument("Standardizer::transform: width mismatch");
+  }
+  tensor::MatrixF out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* src = x.row(r);
+    float* dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      dst[c] = (src[c] - mean_[c]) / stddev_[c];
+    }
+  }
+  return out;
+}
+
+tensor::MatrixF Standardizer::fit_transform(const tensor::MatrixF& x) {
+  fit(x);
+  return transform(x);
+}
+
+}  // namespace streambrain::baselines

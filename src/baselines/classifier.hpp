@@ -1,0 +1,58 @@
+#pragma once
+// Common interface for the baseline classifiers the paper compares
+// against (Section VI: boosted decision trees, shallow neural networks,
+// deep neural networks on the same dataset). All baselines consume raw
+// (unencoded) feature matrices; use Standardizer for the neural models.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace streambrain::baselines {
+
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Train on features x (rows = examples) with labels in {0,1}.
+  virtual void fit(const tensor::MatrixF& x, const std::vector<int>& y) = 0;
+
+  /// P(class == 1) per row (or a monotone score in [0,1]).
+  [[nodiscard]] virtual std::vector<double> predict_scores(
+      const tensor::MatrixF& x) const = 0;
+
+  /// Hard labels at the 0.5 threshold.
+  [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x) const {
+    const auto scores = predict_scores(x);
+    std::vector<int> labels(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      labels[i] = scores[i] > 0.5 ? 1 : 0;
+    }
+    return labels;
+  }
+};
+
+/// Per-feature z-score normalization (fit on train, apply anywhere).
+class Standardizer {
+ public:
+  void fit(const tensor::MatrixF& x);
+  [[nodiscard]] tensor::MatrixF transform(const tensor::MatrixF& x) const;
+  [[nodiscard]] tensor::MatrixF fit_transform(const tensor::MatrixF& x);
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] const std::vector<float>& mean() const noexcept {
+    return mean_;
+  }
+  [[nodiscard]] const std::vector<float>& stddev() const noexcept {
+    return stddev_;
+  }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+}  // namespace streambrain::baselines

@@ -1,0 +1,79 @@
+#include "baselines/logistic.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace streambrain::baselines {
+
+LogisticRegression::LogisticRegression(LogisticConfig config)
+    : config_(config) {}
+
+namespace {
+inline float sigmoid(float z) noexcept {
+  return 1.0f / (1.0f + std::exp(-z));
+}
+}  // namespace
+
+void LogisticRegression::fit(const tensor::MatrixF& x,
+                             const std::vector<int>& y) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("LogisticRegression::fit: size mismatch");
+  }
+  const std::size_t d = x.cols();
+  const std::size_t n = x.rows();
+  weights_.assign(d, 0.0f);
+  bias_ = 0.0f;
+  std::vector<float> velocity(d, 0.0f);
+  float bias_velocity = 0.0f;
+  std::vector<float> grad(d);
+
+  util::Rng rng(config_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  float lr = config_.learning_rate;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, n);
+      std::fill(grad.begin(), grad.end(), 0.0f);
+      float grad_bias = 0.0f;
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t r = order[k];
+        const float* row = x.row(r);
+        float z = bias_;
+        for (std::size_t c = 0; c < d; ++c) z += weights_[c] * row[c];
+        const float err = sigmoid(z) - static_cast<float>(y[r]);
+        for (std::size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+        grad_bias += err;
+      }
+      const float inv_b = 1.0f / static_cast<float>(end - start);
+      for (std::size_t c = 0; c < d; ++c) {
+        velocity[c] = config_.momentum * velocity[c] -
+                      lr * (grad[c] * inv_b + config_.l2 * weights_[c]);
+        weights_[c] += velocity[c];
+      }
+      bias_velocity = config_.momentum * bias_velocity - lr * grad_bias * inv_b;
+      bias_ += bias_velocity;
+    }
+    lr *= config_.learning_rate_decay;
+  }
+}
+
+std::vector<double> LogisticRegression::predict_scores(
+    const tensor::MatrixF& x) const {
+  if (x.cols() != weights_.size()) {
+    throw std::invalid_argument("LogisticRegression: width mismatch");
+  }
+  std::vector<double> scores(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.row(r);
+    float z = bias_;
+    for (std::size_t c = 0; c < x.cols(); ++c) z += weights_[c] * row[c];
+    scores[r] = sigmoid(z);
+  }
+  return scores;
+}
+
+}  // namespace streambrain::baselines

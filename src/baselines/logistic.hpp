@@ -1,0 +1,45 @@
+#pragma once
+// L2-regularized logistic regression trained by minibatch SGD with
+// momentum. The simplest "shallow" baseline in the related-work
+// comparison; also a sanity floor every other model must beat.
+
+#include <cstdint>
+
+#include "baselines/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace streambrain::baselines {
+
+struct LogisticConfig {
+  float learning_rate = 0.05f;
+  float learning_rate_decay = 0.98f;
+  float momentum = 0.9f;
+  float l2 = 1e-4f;
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  std::uint64_t seed = 11;
+};
+
+class LogisticRegression final : public BinaryClassifier {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {});
+
+  [[nodiscard]] std::string name() const override {
+    return "logistic_regression";
+  }
+  void fit(const tensor::MatrixF& x, const std::vector<int>& y) override;
+  [[nodiscard]] std::vector<double> predict_scores(
+      const tensor::MatrixF& x) const override;
+
+  [[nodiscard]] const std::vector<float>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] float bias() const noexcept { return bias_; }
+
+ private:
+  LogisticConfig config_;
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+}  // namespace streambrain::baselines

@@ -1,0 +1,156 @@
+#include "baselines/mlp.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/gemm.hpp"
+#include "tensor/kernels.hpp"
+
+namespace streambrain::baselines {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)), rng_(config_.seed) {}
+
+void Mlp::build(std::size_t input_dim) {
+  layers_.clear();
+  std::vector<std::size_t> dims;
+  dims.push_back(input_dim);
+  for (std::size_t h : config_.hidden_layers) dims.push_back(h);
+  dims.push_back(2);  // binary softmax output
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    Layer layer;
+    layer.weights = tensor::MatrixF(dims[l], dims[l + 1]);
+    layer.bias.assign(dims[l + 1], 0.0f);
+    layer.weight_velocity = tensor::MatrixF(dims[l], dims[l + 1], 0.0f);
+    layer.bias_velocity.assign(dims[l + 1], 0.0f);
+    // He initialization for the ReLU stacks.
+    const float std_dev =
+        std::sqrt(2.0f / static_cast<float>(dims[l]));
+    for (float& w : layer.weights) {
+      w = static_cast<float>(rng_.normal(0.0, std_dev));
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::forward(const tensor::MatrixF& x,
+                  std::vector<tensor::MatrixF>& activations) const {
+  activations.resize(layers_.size());
+  const tensor::MatrixF* input = &x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    tensor::MatrixF& out = activations[l];
+    out.resize(input->rows(), layers_[l].weights.cols());
+    tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f, *input,
+                 layers_[l].weights, 0.0f, out);
+    tensor::add_row_bias(out, layers_[l].bias.data());
+    if (l + 1 < layers_.size()) {
+      for (float& v : out) v = v > 0.0f ? v : 0.0f;  // ReLU
+    } else {
+      tensor::softmax_blocks(out, out.cols());
+    }
+    input = &out;
+  }
+}
+
+void Mlp::fit(const tensor::MatrixF& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("Mlp::fit: size mismatch");
+  }
+  build(x.cols());
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  float lr = config_.learning_rate;
+
+  tensor::MatrixF batch_x;
+  std::vector<tensor::MatrixF> activations;
+  std::vector<tensor::MatrixF> deltas(layers_.size());
+  tensor::MatrixF grad;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, n);
+      const std::size_t b = end - start;
+      batch_x.resize(b, x.cols());
+      for (std::size_t r = 0; r < b; ++r) {
+        std::copy_n(x.row(order[start + r]), x.cols(), batch_x.row(r));
+      }
+      forward(batch_x, activations);
+
+      // Output delta: probs - one_hot(y).
+      tensor::MatrixF& out_delta = deltas.back();
+      out_delta = activations.back();
+      for (std::size_t r = 0; r < b; ++r) {
+        out_delta(r, static_cast<std::size_t>(y[order[start + r]])) -= 1.0f;
+      }
+
+      // Backward through the stack.
+      for (std::size_t l = layers_.size(); l-- > 0;) {
+        const tensor::MatrixF& input =
+            l == 0 ? batch_x : activations[l - 1];
+        // Weight gradient = input^T * delta / b.
+        grad.resize(layers_[l].weights.rows(), layers_[l].weights.cols());
+        tensor::gemm(tensor::Transpose::kYes, tensor::Transpose::kNo,
+                     1.0f / static_cast<float>(b), input, deltas[l], 0.0f,
+                     grad);
+        // Delta for the previous layer (before applying this update).
+        if (l > 0) {
+          tensor::MatrixF& prev_delta = deltas[l - 1];
+          prev_delta.resize(b, layers_[l].weights.rows());
+          tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kYes, 1.0f,
+                       deltas[l], layers_[l].weights, 0.0f, prev_delta);
+          // ReLU derivative mask from the stored activation.
+          const tensor::MatrixF& act = activations[l - 1];
+          for (std::size_t k = 0; k < prev_delta.size(); ++k) {
+            if (act.data()[k] <= 0.0f) prev_delta.data()[k] = 0.0f;
+          }
+        }
+        // SGD + momentum + L2.
+        float* w = layers_[l].weights.data();
+        float* v = layers_[l].weight_velocity.data();
+        const float* g = grad.data();
+        const float mu = config_.momentum;
+        const float l2 = config_.l2;
+#pragma omp simd
+        for (std::size_t k = 0; k < layers_[l].weights.size(); ++k) {
+          v[k] = mu * v[k] - lr * (g[k] + l2 * w[k]);
+          w[k] += v[k];
+        }
+        for (std::size_t c = 0; c < layers_[l].bias.size(); ++c) {
+          float gb = 0.0f;
+          for (std::size_t r = 0; r < b; ++r) gb += deltas[l](r, c);
+          gb /= static_cast<float>(b);
+          layers_[l].bias_velocity[c] =
+              mu * layers_[l].bias_velocity[c] - lr * gb;
+          layers_[l].bias[c] += layers_[l].bias_velocity[c];
+        }
+      }
+    }
+    lr *= config_.learning_rate_decay;
+  }
+}
+
+std::vector<double> Mlp::predict_scores(const tensor::MatrixF& x) const {
+  if (layers_.empty()) throw std::logic_error("Mlp::predict before fit");
+  std::vector<tensor::MatrixF> activations;
+  forward(x, activations);
+  const tensor::MatrixF& probs = activations.back();
+  std::vector<double> scores(probs.rows());
+  for (std::size_t r = 0; r < probs.rows(); ++r) scores[r] = probs(r, 1);
+  return scores;
+}
+
+double Mlp::loss(const tensor::MatrixF& x, const std::vector<int>& y) const {
+  std::vector<tensor::MatrixF> activations;
+  forward(x, activations);
+  const tensor::MatrixF& probs = activations.back();
+  double total = 0.0;
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    total -= std::log(
+        std::max(probs(r, static_cast<std::size_t>(y[r])), 1e-12f));
+  }
+  return x.rows() > 0 ? total / static_cast<double>(x.rows()) : 0.0;
+}
+
+}  // namespace streambrain::baselines

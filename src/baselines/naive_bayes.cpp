@@ -1,0 +1,74 @@
+#include "baselines/naive_bayes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace streambrain::baselines {
+
+void GaussianNaiveBayes::fit(const tensor::MatrixF& x,
+                             const std::vector<int>& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("GaussianNaiveBayes::fit: bad input");
+  }
+  const std::size_t d = x.cols();
+  std::size_t count[2] = {0, 0};
+  for (int cls = 0; cls < 2; ++cls) {
+    mean_[cls].assign(d, 0.0f);
+    var_[cls].assign(d, 0.0f);
+  }
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const int cls = y[r] == 1 ? 1 : 0;
+    ++count[cls];
+    const float* row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) mean_[cls][c] += row[c];
+  }
+  for (int cls = 0; cls < 2; ++cls) {
+    if (count[cls] == 0) {
+      throw std::invalid_argument("GaussianNaiveBayes::fit: missing a class");
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      mean_[cls][c] /= static_cast<float>(count[cls]);
+    }
+  }
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const int cls = y[r] == 1 ? 1 : 0;
+    const float* row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const float delta = row[c] - mean_[cls][c];
+      var_[cls][c] += delta * delta;
+    }
+  }
+  for (int cls = 0; cls < 2; ++cls) {
+    for (std::size_t c = 0; c < d; ++c) {
+      var_[cls][c] =
+          std::max(var_[cls][c] / static_cast<float>(count[cls]), 1e-6f);
+    }
+    log_prior_[cls] = std::log(static_cast<double>(count[cls]) /
+                               static_cast<double>(x.rows()));
+  }
+  fitted_ = true;
+}
+
+std::vector<double> GaussianNaiveBayes::predict_scores(
+    const tensor::MatrixF& x) const {
+  if (!fitted_) throw std::logic_error("GaussianNaiveBayes before fit");
+  std::vector<double> scores(x.rows());
+  const std::size_t d = x.cols();
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.row(r);
+    double log_like[2] = {log_prior_[0], log_prior_[1]};
+    for (int cls = 0; cls < 2; ++cls) {
+      for (std::size_t c = 0; c < d; ++c) {
+        const double delta = row[c] - mean_[cls][c];
+        log_like[cls] -= 0.5 * (std::log(2.0 * M_PI * var_[cls][c]) +
+                                delta * delta / var_[cls][c]);
+      }
+    }
+    // P(1 | x) via the log-sum-exp-stable two-class ratio.
+    const double diff = log_like[0] - log_like[1];
+    scores[r] = 1.0 / (1.0 + std::exp(diff));
+  }
+  return scores;
+}
+
+}  // namespace streambrain::baselines

@@ -1,0 +1,24 @@
+#pragma once
+// Gaussian naive Bayes — a closed-form probabilistic baseline. Useful as
+// a near-instant reference point and as an approximation of the Bayes
+// rate when features really are class-conditionally independent.
+
+#include "baselines/classifier.hpp"
+
+namespace streambrain::baselines {
+
+class GaussianNaiveBayes final : public BinaryClassifier {
+ public:
+  [[nodiscard]] std::string name() const override { return "naive_bayes"; }
+  void fit(const tensor::MatrixF& x, const std::vector<int>& y) override;
+  [[nodiscard]] std::vector<double> predict_scores(
+      const tensor::MatrixF& x) const override;
+
+ private:
+  std::vector<float> mean_[2];
+  std::vector<float> var_[2];
+  double log_prior_[2] = {0.0, 0.0};
+  bool fitted_ = false;
+};
+
+}  // namespace streambrain::baselines

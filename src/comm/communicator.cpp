@@ -1,0 +1,263 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace streambrain::comm {
+
+World::World(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("World: size must be positive");
+  deposit_.assign(static_cast<std::size_t>(size), nullptr);
+  bytes_sent_.assign(static_cast<std::size_t>(size), 0);
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const bool my_sense = barrier_sense_;
+  if (++barrier_arrived_ == size_) {
+    barrier_arrived_ = 0;
+    barrier_sense_ = !barrier_sense_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_sense_ != my_sense; });
+  }
+}
+
+int Communicator::size() const noexcept { return world_->size(); }
+
+void Communicator::barrier() { world_->barrier_wait(); }
+
+namespace {
+
+template <typename T>
+void apply_reduce(T* acc, const T* other, std::size_t count,
+                  ReduceOp op) noexcept {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) acc[i] += other[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i) {
+        acc[i] = std::min(acc[i], other[i]);
+      }
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i) {
+        acc[i] = std::max(acc[i], other[i]);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+static void allreduce_impl(World& world, Communicator& comm, T* data,
+                           std::size_t count, ReduceOp op,
+                           std::vector<const void*>& deposit,
+                           std::vector<std::uint64_t>& bytes_sent,
+                           std::atomic<std::uint64_t>& total_bytes) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  deposit[static_cast<std::size_t>(rank)] = data;
+  comm.barrier();  // everyone's buffer is visible
+
+  // Deterministic reduction: every rank walks buffers in rank order into a
+  // private accumulator (rank 0's values first), so results are identical
+  // across ranks and across runs regardless of thread timing.
+  std::vector<T> acc(static_cast<const T*>(deposit[0]),
+                     static_cast<const T*>(deposit[0]) + count);
+  for (int r = 1; r < size; ++r) {
+    apply_reduce(acc.data(), static_cast<const T*>(
+                                 deposit[static_cast<std::size_t>(r)]),
+                 count, op);
+  }
+  comm.barrier();  // all reads done before anyone overwrites their buffer
+  std::copy(acc.begin(), acc.end(), data);
+
+  // Ring-allreduce network cost model: 2*(P-1)/P * n elements per rank.
+  const std::uint64_t bytes = static_cast<std::uint64_t>(
+      2.0 * (size - 1) / static_cast<double>(size) *
+      static_cast<double>(count * sizeof(T)));
+  bytes_sent[static_cast<std::size_t>(rank)] += bytes;
+  total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  comm.barrier();
+  (void)world;
+}
+
+void Communicator::allreduce(float* data, std::size_t count, ReduceOp op) {
+  allreduce_impl(*world_, *this, data, count, op, world_->deposit_,
+                 world_->bytes_sent_, world_->total_bytes_);
+}
+
+void Communicator::allreduce(double* data, std::size_t count, ReduceOp op) {
+  allreduce_impl(*world_, *this, data, count, op, world_->deposit_,
+                 world_->bytes_sent_, world_->total_bytes_);
+}
+
+void Communicator::allreduce_mean(float* data, std::size_t count) {
+  allreduce(data, count, ReduceOp::kSum);
+  const float inv = 1.0f / static_cast<float>(size());
+  for (std::size_t i = 0; i < count; ++i) data[i] *= inv;
+}
+
+void Communicator::allreduce_mean(double* data, std::size_t count) {
+  allreduce(data, count, ReduceOp::kSum);
+  const double inv = 1.0 / static_cast<double>(size());
+  for (std::size_t i = 0; i < count; ++i) data[i] *= inv;
+}
+
+void Communicator::broadcast(float* data, std::size_t count, int root) {
+  world_->deposit_[static_cast<std::size_t>(rank_)] = data;
+  barrier();
+  if (rank_ != root) {
+    const float* src = static_cast<const float*>(
+        world_->deposit_[static_cast<std::size_t>(root)]);
+    std::copy(src, src + count, data);
+  } else {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count * sizeof(float)) *
+        static_cast<std::uint64_t>(size() - 1);
+    world_->bytes_sent_[static_cast<std::size_t>(rank_)] += bytes;
+    world_->total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  barrier();
+}
+
+void Communicator::allgather(const float* data, std::size_t count,
+                             float* out) {
+  world_->deposit_[static_cast<std::size_t>(rank_)] = data;
+  barrier();
+  for (int r = 0; r < size(); ++r) {
+    const float* src = static_cast<const float*>(
+        world_->deposit_[static_cast<std::size_t>(r)]);
+    std::copy(src, src + count, out + static_cast<std::size_t>(r) * count);
+  }
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count * sizeof(float)) *
+      static_cast<std::uint64_t>(size() - 1);
+  world_->bytes_sent_[static_cast<std::size_t>(rank_)] += bytes;
+  world_->total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  barrier();
+}
+
+void Communicator::gather(const float* data, std::size_t count, float* out,
+                          int root) {
+  world_->deposit_[static_cast<std::size_t>(rank_)] = data;
+  barrier();
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      const float* src = static_cast<const float*>(
+          world_->deposit_[static_cast<std::size_t>(r)]);
+      std::copy(src, src + count, out + static_cast<std::size_t>(r) * count);
+    }
+  } else {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count * sizeof(float));
+    world_->bytes_sent_[static_cast<std::size_t>(rank_)] += bytes;
+    world_->total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  barrier();
+}
+
+void Communicator::scatter(const float* data, std::size_t count, float* out,
+                           int root) {
+  world_->deposit_[static_cast<std::size_t>(rank_)] = data;
+  barrier();
+  const float* src = static_cast<const float*>(
+      world_->deposit_[static_cast<std::size_t>(root)]);
+  std::copy(src + static_cast<std::size_t>(rank_) * count,
+            src + static_cast<std::size_t>(rank_ + 1) * count, out);
+  if (rank_ == root) {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count * sizeof(float)) *
+        static_cast<std::uint64_t>(size() - 1);
+    world_->bytes_sent_[static_cast<std::size_t>(rank_)] += bytes;
+    world_->total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  barrier();
+}
+
+void Communicator::reduce_scatter(const float* data, std::size_t count,
+                                  float* out) {
+  world_->deposit_[static_cast<std::size_t>(rank_)] = data;
+  barrier();
+  // Each rank reduces only its own destination block, in rank order
+  // (deterministic), directly from the deposited buffers.
+  const std::size_t offset = static_cast<std::size_t>(rank_) * count;
+  const float* rank0 = static_cast<const float*>(world_->deposit_[0]);
+  std::copy(rank0 + offset, rank0 + offset + count, out);
+  for (int r = 1; r < size(); ++r) {
+    const float* src = static_cast<const float*>(
+        world_->deposit_[static_cast<std::size_t>(r)]);
+    for (std::size_t i = 0; i < count; ++i) out[i] += src[offset + i];
+  }
+  const std::uint64_t bytes = static_cast<std::uint64_t>(
+      static_cast<double>(size() - 1) / size() *
+      static_cast<double>(count) * static_cast<double>(size()) *
+      sizeof(float));
+  world_->bytes_sent_[static_cast<std::size_t>(rank_)] += bytes;
+  world_->total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  barrier();
+}
+
+void Communicator::send(const float* data, std::size_t count, int dest,
+                        int tag) {
+  World::Message message;
+  message.payload.assign(data, data + count);
+  {
+    std::lock_guard<std::mutex> lock(world_->mailbox_mutex_);
+    world_->mailboxes_[{rank_, dest, tag}].push_back(std::move(message));
+  }
+  world_->mailbox_cv_.notify_all();
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count * sizeof(float));
+  world_->bytes_sent_[static_cast<std::size_t>(rank_)] += bytes;
+  world_->total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void Communicator::recv(float* data, std::size_t count, int source, int tag) {
+  std::unique_lock<std::mutex> lock(world_->mailbox_mutex_);
+  const auto key = std::make_tuple(source, rank_, tag);
+  world_->mailbox_cv_.wait(lock, [&] {
+    const auto it = world_->mailboxes_.find(key);
+    return it != world_->mailboxes_.end() && !it->second.empty();
+  });
+  auto& queue = world_->mailboxes_[key];
+  World::Message message = std::move(queue.front());
+  queue.erase(queue.begin());
+  lock.unlock();
+  if (message.payload.size() != count) {
+    throw std::runtime_error("recv: message size mismatch");
+  }
+  std::copy(message.payload.begin(), message.payload.end(), data);
+}
+
+std::uint64_t Communicator::bytes_sent() const noexcept {
+  return world_->bytes_sent_[static_cast<std::size_t>(rank_)];
+}
+
+void run(int size, const std::function<void(Communicator&)>& body) {
+  World world(size);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&world, &body, &errors, r] {
+      try {
+        Communicator comm(world, r);
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace streambrain::comm

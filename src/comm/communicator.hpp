@@ -1,0 +1,127 @@
+#pragma once
+// In-process message-passing substrate with MPI semantics.
+//
+// The paper's MPI backend exists to show that BCPNN's local learning makes
+// data-parallel training communication-light (one trace reduction per
+// batch). This substrate reproduces that communication pattern exactly:
+// ranks are threads, collectives have MPI semantics, reductions are
+// deterministic (fixed rank order), and every operation accounts the bytes
+// that would have crossed the network, so benchmarks can report
+// communication volume per epoch.
+//
+// Usage:
+//   comm::run(4, [](comm::Communicator& comm) {
+//     std::vector<float> grads = ...;
+//     comm.allreduce_mean(grads.data(), grads.size());
+//   });
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+namespace streambrain::comm {
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+class World;
+
+/// Per-rank handle. Valid only inside the closure passed to run().
+class Communicator {
+ public:
+  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Synchronize all ranks.
+  void barrier();
+
+  /// Element-wise reduction across ranks; result replicated to all ranks.
+  /// Deterministic: accumulation is in rank order regardless of timing.
+  void allreduce(float* data, std::size_t count, ReduceOp op);
+  void allreduce(double* data, std::size_t count, ReduceOp op);
+
+  /// allreduce(kSum) followed by division by world size.
+  void allreduce_mean(float* data, std::size_t count);
+  void allreduce_mean(double* data, std::size_t count);
+
+  /// Copy `count` elements from `root`'s buffer to every rank.
+  void broadcast(float* data, std::size_t count, int root);
+
+  /// Concatenate each rank's `count` elements into `out` (size*count) on
+  /// every rank, ordered by rank.
+  void allgather(const float* data, std::size_t count, float* out);
+
+  /// Root receives every rank's `count` elements concatenated in rank
+  /// order (`out` is only written on the root, size*count elements).
+  void gather(const float* data, std::size_t count, float* out, int root);
+
+  /// Root distributes `count` elements to each rank from its size*count
+  /// buffer (read only on the root).
+  void scatter(const float* data, std::size_t count, float* out, int root);
+
+  /// Element-wise sum-reduce of size*count inputs; rank r receives the
+  /// r-th `count`-element block of the reduced vector. Deterministic.
+  void reduce_scatter(const float* data, std::size_t count, float* out);
+
+  /// Blocking point-to-point. Matching is by (source, tag).
+  void send(const float* data, std::size_t count, int dest, int tag);
+  void recv(float* data, std::size_t count, int source, int tag);
+
+  /// Bytes this rank has logically sent so far.
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+/// Shared collective state for one group of ranks.
+class World {
+ public:
+  explicit World(int size);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  /// Total bytes logically sent by all ranks.
+  [[nodiscard]] std::uint64_t total_bytes_sent() const noexcept {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Communicator;
+
+  void barrier_wait();
+
+  struct Message {
+    std::vector<float> payload;
+  };
+
+  int size_;
+  // Sense-reversing barrier.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  bool barrier_sense_ = false;
+  // Collective scratch: per-rank buffer pointers.
+  std::vector<const void*> deposit_;
+  // Point-to-point mailboxes keyed by (source, dest, tag).
+  std::mutex mailbox_mutex_;
+  std::condition_variable mailbox_cv_;
+  std::map<std::tuple<int, int, int>, std::vector<Message>> mailboxes_;
+  // Byte accounting.
+  std::vector<std::uint64_t> bytes_sent_;
+  std::atomic<std::uint64_t> total_bytes_{0};
+};
+
+/// Spawn `size` rank threads, invoke `body(comm)` on each, join them all.
+/// Exceptions thrown by any rank are rethrown (first rank wins).
+void run(int size, const std::function<void(Communicator&)>& body);
+
+}  // namespace streambrain::comm

@@ -1,0 +1,45 @@
+#include "core/adaptive_plasticity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streambrain::core {
+
+AdaptivePlasticityController::AdaptivePlasticityController(
+    AdaptivePlasticityConfig config)
+    : config_(config), budget_(config.initial_swaps) {}
+
+double AdaptivePlasticityController::mask_mutual_information(
+    const BcpnnLayer& layer) {
+  const auto mi = layer.mi_map();
+  double total = 0.0;
+  for (std::size_t h = 0; h < mi.size(); ++h) {
+    for (std::size_t i = 0; i < mi[h].size(); ++i) {
+      if (layer.masks().active(h, i)) total += mi[h][i];
+    }
+  }
+  return total;
+}
+
+AdaptivePlasticityEpoch AdaptivePlasticityController::step(BcpnnLayer& layer) {
+  AdaptivePlasticityEpoch record;
+  record.epoch = history_.size();
+  record.budget = budget_;
+  record.mask_mi_before = mask_mutual_information(layer);
+
+  layer.set_plasticity_swaps(budget_);
+  record.swaps = layer.plasticity_step();
+  record.mask_mi_after = mask_mutual_information(layer);
+
+  const double base = std::max(record.mask_mi_before, 1e-9);
+  const double relative_gain = (record.mask_mi_after - record.mask_mi_before) / base;
+  if (relative_gain > config_.grow_threshold) {
+    budget_ = std::min(budget_ + 1, config_.max_swaps);
+  } else if (relative_gain < config_.shrink_threshold) {
+    budget_ = budget_ > config_.min_swaps ? budget_ - 1 : config_.min_swaps;
+  }
+  history_.push_back(record);
+  return record;
+}
+
+}  // namespace streambrain::core

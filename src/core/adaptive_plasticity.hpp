@@ -1,0 +1,63 @@
+#pragma once
+// Online adaptation of the structural-plasticity schedule — the paper's
+// stated future direction: "adapting hyperparameters associated with
+// structural plasticity dynamically online" (Section VII).
+//
+// The controller replaces the fixed swaps-per-epoch budget with a simple
+// feedback law on the quantity plasticity exists to maximize: the total
+// mutual information captured by the active connections. After each
+// epoch's swap step it measures the realized relative MI gain; sustained
+// gains grow the swap budget (the masks are still migrating), stagnation
+// shrinks it toward zero (the fields have converged, stop thrashing).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/layer.hpp"
+
+namespace streambrain::core {
+
+struct AdaptivePlasticityConfig {
+  std::size_t initial_swaps = 4;
+  std::size_t min_swaps = 0;
+  std::size_t max_swaps = 10;
+  /// Relative MI gain above which the budget grows by one.
+  double grow_threshold = 0.02;
+  /// Relative MI gain below which the budget shrinks by one.
+  double shrink_threshold = 0.002;
+};
+
+struct AdaptivePlasticityEpoch {
+  std::size_t epoch = 0;
+  std::size_t budget = 0;        ///< swaps allowed this epoch
+  std::size_t swaps = 0;         ///< swaps actually performed
+  double mask_mi_before = 0.0;   ///< total active-connection MI
+  double mask_mi_after = 0.0;
+};
+
+class AdaptivePlasticityController {
+ public:
+  explicit AdaptivePlasticityController(AdaptivePlasticityConfig config = {});
+
+  /// Run one adaptive plasticity step on `layer` (call once per epoch in
+  /// place of layer.plasticity_step()). Returns the epoch record.
+  AdaptivePlasticityEpoch step(BcpnnLayer& layer);
+
+  [[nodiscard]] std::size_t current_budget() const noexcept {
+    return budget_;
+  }
+  [[nodiscard]] const std::vector<AdaptivePlasticityEpoch>& history()
+      const noexcept {
+    return history_;
+  }
+
+  /// Total MI over a layer's active connections (the controlled signal).
+  static double mask_mutual_information(const BcpnnLayer& layer);
+
+ private:
+  AdaptivePlasticityConfig config_;
+  std::size_t budget_;
+  std::vector<AdaptivePlasticityEpoch> history_;
+};
+
+}  // namespace streambrain::core

@@ -1,0 +1,72 @@
+#include "core/classifier.hpp"
+
+#include <stdexcept>
+
+namespace streambrain::core {
+
+BcpnnClassifier::BcpnnClassifier(std::size_t inputs, std::size_t input_hcs,
+                                 std::size_t classes,
+                                 parallel::Engine& engine, float alpha,
+                                 float eps, float k_beta)
+    : classes_(classes),
+      engine_(&engine),
+      alpha_(alpha),
+      eps_(eps),
+      k_beta_(k_beta),
+      traces_(inputs, input_hcs == 0 ? inputs : inputs / input_hcs, classes,
+              classes),
+      weights_(inputs, classes, 0.0f),
+      bias_(classes, 0.0f) {
+  if (classes < 2) {
+    throw std::invalid_argument("BcpnnClassifier: need at least 2 classes");
+  }
+  recompute_weights();
+}
+
+void BcpnnClassifier::train_batch(const tensor::MatrixF& hidden,
+                                  const tensor::MatrixF& targets) {
+  if (targets.cols() != classes_ || targets.rows() != hidden.rows()) {
+    throw std::invalid_argument("BcpnnClassifier::train_batch: shape");
+  }
+  traces_.update(*engine_, hidden, targets, alpha_);
+  recompute_weights();
+}
+
+void BcpnnClassifier::recompute_weights() {
+  engine_->recompute_weights(traces_.pi().data(), traces_.pj().data(),
+                             traces_.pij(), eps_, k_beta_, weights_,
+                             bias_.data());
+}
+
+void BcpnnClassifier::predict(const tensor::MatrixF& hidden,
+                              tensor::MatrixF& probs) {
+  engine_->support(hidden, weights_, bias_.data(), probs);
+  engine_->softmax_hcu(probs, classes_, 1.0f);
+}
+
+std::vector<int> BcpnnClassifier::predict_labels(
+    const tensor::MatrixF& hidden) {
+  predict(hidden, scratch_);
+  std::vector<int> labels(scratch_.rows());
+  for (std::size_t r = 0; r < scratch_.rows(); ++r) {
+    const float* row = scratch_.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes_; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    labels[r] = static_cast<int>(best);
+  }
+  return labels;
+}
+
+std::vector<double> BcpnnClassifier::predict_scores(
+    const tensor::MatrixF& hidden) {
+  predict(hidden, scratch_);
+  std::vector<double> scores(scratch_.rows());
+  for (std::size_t r = 0; r < scratch_.rows(); ++r) {
+    scores[r] = scratch_(r, 1);
+  }
+  return scores;
+}
+
+}  // namespace streambrain::core

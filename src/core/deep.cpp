@@ -1,0 +1,141 @@
+#include "core/deep.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+#include "tensor/kernels.hpp"
+
+namespace streambrain::core {
+
+DeepBcpnn::DeepBcpnn(DeepBcpnnConfig config)
+    : config_(std::move(config)),
+      engine_(parallel::make_engine(config_.engine)),
+      rng_(config_.seed) {
+  if (config_.layers.empty()) {
+    throw std::invalid_argument("DeepBcpnn: need at least one hidden layer");
+  }
+  // Layer l consumes the hypercolumn geometry of layer l-1's output.
+  std::size_t below_hcs = config_.input_hypercolumns;
+  std::size_t below_units = config_.input_bins;
+  for (const auto& spec : config_.layers) {
+    BcpnnConfig layer_config;
+    layer_config.input_hypercolumns = below_hcs;
+    layer_config.input_bins = below_units;
+    layer_config.hcus = spec.hcus;
+    layer_config.mcus = spec.mcus;
+    layer_config.receptive_field = spec.receptive_field;
+    layer_config.alpha = config_.alpha;
+    layer_config.epochs = config_.epochs_per_layer;
+    layer_config.batch_size = config_.batch_size;
+    layer_config.noise_start = config_.noise_start;
+    layer_config.engine = config_.engine;
+    layer_config.seed = config_.seed;
+    layers_.push_back(
+        std::make_unique<BcpnnLayer>(layer_config, *engine_, rng_));
+    below_hcs = spec.hcus;
+    below_units = spec.mcus;
+  }
+  head_ = std::make_unique<BcpnnClassifier>(
+      config_.layers.back().hcus * config_.layers.back().mcus,
+      config_.layers.back().hcus, config_.classes, *engine_, 0.1f);
+}
+
+void DeepBcpnn::train_layer_unsupervised(std::size_t index,
+                                         const tensor::MatrixF& x) {
+  BcpnnLayer& layer = *layers_[index];
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  tensor::MatrixF batch;
+  const std::size_t epochs = config_.epochs_per_layer;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const float progress =
+        epochs > 1 ? static_cast<float>(epoch) / static_cast<float>(epochs - 1)
+                   : 1.0f;
+    const float noise = config_.noise_start * (1.0f - progress);
+    rng_.shuffle(order);
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, n);
+      batch.resize(end - start, x.cols());
+      for (std::size_t r = start; r < end; ++r) {
+        std::copy_n(x.row(order[r]), x.cols(), batch.row(r - start));
+      }
+      layer.train_batch(batch, noise);
+    }
+    layer.plasticity_step();
+  }
+}
+
+void DeepBcpnn::propagate(std::size_t index, const tensor::MatrixF& in,
+                          tensor::MatrixF& out) {
+  layers_[index]->forward(in, out);
+  if (config_.propagate_wta) {
+    tensor::wta_blocks(out, config_.layers[index].mcus);
+  }
+}
+
+void DeepBcpnn::fit(const tensor::MatrixF& x, const std::vector<int>& labels) {
+  if (x.rows() != labels.size()) {
+    throw std::invalid_argument("DeepBcpnn::fit: rows != labels");
+  }
+  // Greedy stack: train layer 0 on the input, freeze, propagate, repeat.
+  tensor::MatrixF current = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    train_layer_unsupervised(l, current);
+    tensor::MatrixF next;
+    propagate(l, current, next);
+    current = std::move(next);
+  }
+  // Supervised head on the top code — recomputed via transform() so the
+  // head trains on exactly the representation it will see at inference
+  // (soft top layer, WTA below).
+  current = transform(x);
+  const tensor::MatrixF targets =
+      data::one_hot_labels(labels, config_.classes);
+  const std::size_t n = current.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  tensor::MatrixF batch_h;
+  tensor::MatrixF batch_t;
+  for (std::size_t epoch = 0; epoch < config_.head_epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, n);
+      batch_h.resize(end - start, current.cols());
+      batch_t.resize(end - start, config_.classes);
+      for (std::size_t r = start; r < end; ++r) {
+        std::copy_n(current.row(order[r]), current.cols(),
+                    batch_h.row(r - start));
+        std::copy_n(targets.row(order[r]), config_.classes,
+                    batch_t.row(r - start));
+      }
+      head_->train_batch(batch_h, batch_t);
+    }
+  }
+}
+
+tensor::MatrixF DeepBcpnn::transform(const tensor::MatrixF& x) {
+  tensor::MatrixF current = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    tensor::MatrixF next;
+    if (l + 1 == layers_.size()) {
+      // Keep the top code soft: the head benefits from graded evidence.
+      layers_[l]->forward(current, next);
+    } else {
+      propagate(l, current, next);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+std::vector<int> DeepBcpnn::predict(const tensor::MatrixF& x) {
+  return head_->predict_labels(transform(x));
+}
+
+std::vector<double> DeepBcpnn::predict_scores(const tensor::MatrixF& x) {
+  return head_->predict_scores(transform(x));
+}
+
+}  // namespace streambrain::core

@@ -1,0 +1,39 @@
+#pragma once
+// Data-parallel BCPNN training over the comm substrate — the pattern of
+// StreamBrain's MPI backend. Because BCPNN learning is local, the only
+// state that must be synchronized is the probability traces: each rank
+// trains on its shard and the ranks average traces after every batch
+// (a single allreduce; weights are recomputed locally from the averaged
+// traces). Section II-B's claim — "one can conceptually launch different
+// BCPNN instances and scale horizontally without the limiting factor on
+// communication" — is exactly what bench_scaling measures with this
+// trainer.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/layer.hpp"
+#include "tensor/matrix.hpp"
+
+namespace streambrain::core {
+
+struct DistributedReport {
+  int ranks = 1;
+  double seconds = 0.0;
+  std::uint64_t bytes_per_rank = 0;    ///< logical network traffic, one rank
+  std::uint64_t total_bytes = 0;       ///< across all ranks
+  std::size_t sync_count = 0;          ///< number of trace allreduces
+};
+
+/// Unsupervised data-parallel training of `layer` on encoded inputs `x`.
+///
+/// Rows are sharded round-robin across `ranks` simulated ranks; every rank
+/// runs the identical annealing schedule and plasticity steps (which stay
+/// deterministic because traces are identical after each allreduce). On
+/// return, `layer` holds the synchronized state. With ranks == 1 this
+/// degenerates to ordinary training.
+DistributedReport distributed_unsupervised_fit(BcpnnLayer& layer,
+                                               const tensor::MatrixF& x,
+                                               int ranks);
+
+}  // namespace streambrain::core

@@ -1,0 +1,111 @@
+#pragma once
+// The unsupervised BCPNN hidden layer: HCU/MCU geometry, soft-WTA
+// activation, local trace learning, Bayesian weight recomputation, and
+// structural plasticity over the receptive-field masks.
+//
+// Learning is fully local (Section II-A): a batch update touches only the
+// layer's own traces; nothing propagates backward. The layer is
+// unsupervised — its training target is its own (noise-perturbed)
+// activation, with the noise annealed to zero over the training schedule
+// so minicolumns first explore and then commit to features.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/hyperparams.hpp"
+#include "core/plasticity.hpp"
+#include "core/traces.hpp"
+#include "parallel/engine.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace streambrain::core {
+
+class BcpnnLayer {
+ public:
+  /// `engine` must outlive the layer.
+  BcpnnLayer(const BcpnnConfig& config, parallel::Engine& engine,
+             util::Rng& rng);
+
+  // --- Inference ---------------------------------------------------------
+  /// Deterministic forward pass: activations = soft-WTA(support(x)).
+  /// `x` is [batch x input_units()], activations resized to
+  /// [batch x hidden_units()].
+  void forward(const tensor::MatrixF& x, tensor::MatrixF& activations);
+
+  /// Forward with additive Gaussian support noise (training-time only).
+  void forward_noisy(const tensor::MatrixF& x, tensor::MatrixF& activations,
+                     float noise_std);
+
+  // --- Learning ----------------------------------------------------------
+  /// One unsupervised batch: noisy forward, trace EMA update, weight
+  /// recomputation. This is the inner loop the engines accelerate.
+  void train_batch(const tensor::MatrixF& x, float noise_std);
+
+  /// Recompute weights and biases from the traces and re-apply the masks.
+  void recompute_weights();
+
+  /// One structural-plasticity step (call once per epoch). Returns the
+  /// number of connection swaps performed.
+  std::size_t plasticity_step();
+
+  /// Override the per-epoch swap budget (used by the adaptive-plasticity
+  /// controller, the paper's future-work extension).
+  void set_plasticity_swaps(std::size_t swaps) noexcept {
+    config_.plasticity_swaps = swaps;
+  }
+
+  /// Spiking forward pass — BCPNN's spiking model of computation
+  /// (Section II: "supports both spiking- and rate-based models").
+  /// Each HCU emits one categorical spike per timestep drawn from its
+  /// soft-WTA distribution; activations are normalized spike counts and
+  /// converge to the rate-based forward() as timesteps grows.
+  void forward_spiking(const tensor::MatrixF& x, tensor::MatrixF& activations,
+                       std::size_t timesteps);
+
+  // --- Introspection -------------------------------------------------------
+  [[nodiscard]] const BcpnnConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t input_units() const noexcept {
+    return config_.input_units();
+  }
+  [[nodiscard]] std::size_t hidden_units() const noexcept {
+    return config_.hidden_units();
+  }
+  [[nodiscard]] const ReceptiveFieldMasks& masks() const noexcept {
+    return masks_;
+  }
+  [[nodiscard]] const ProbabilityTraces& traces() const noexcept {
+    return traces_;
+  }
+  [[nodiscard]] ProbabilityTraces& mutable_traces() noexcept {
+    return traces_;
+  }
+  [[nodiscard]] const tensor::MatrixF& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] const std::vector<float>& bias() const noexcept {
+    return bias_;
+  }
+  /// MI map used by the last plasticity step (for visualization).
+  [[nodiscard]] std::vector<std::vector<float>> mi_map() const;
+
+  /// Overwrite traces and masks (used by the distributed trainer to adopt
+  /// the synchronized state); recomputes the weights.
+  void set_state(const ProbabilityTraces& traces,
+                 const ReceptiveFieldMasks& masks);
+
+ private:
+  void apply_masks();
+
+  BcpnnConfig config_;
+  parallel::Engine* engine_;
+  util::Rng rng_;
+  ProbabilityTraces traces_;
+  ReceptiveFieldMasks masks_;
+  tensor::MatrixF weights_;   // [input_units x hidden_units]
+  std::vector<float> bias_;   // [hidden_units]
+  tensor::MatrixF noise_scratch_;
+};
+
+}  // namespace streambrain::core

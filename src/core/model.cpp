@@ -1,0 +1,140 @@
+#include "core/model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/classification.hpp"
+
+namespace streambrain::core {
+
+Model& Model::input(std::size_t hypercolumns, std::size_t bins) {
+  if (compiled()) throw std::logic_error("Model: input() after compile()");
+  input_hypercolumns_ = hypercolumns;
+  input_bins_ = bins;
+  return *this;
+}
+
+Model& Model::hidden(std::size_t hcus, std::size_t mcus,
+                     double receptive_field) {
+  if (compiled()) throw std::logic_error("Model: hidden() after compile()");
+  hidden_.push_back({hcus, mcus, receptive_field});
+  return *this;
+}
+
+Model& Model::classifier(std::size_t classes, Head head) {
+  if (compiled()) {
+    throw std::logic_error("Model: classifier() after compile()");
+  }
+  classes_ = classes;
+  head_ = head;
+  return *this;
+}
+
+Model& Model::set_option(const std::string& key, double value) {
+  if (compiled()) throw std::logic_error("Model: set_option() after compile()");
+  options_.set_double(key, value);
+  return *this;
+}
+
+Model& Model::compile(const std::string& engine, std::uint64_t seed) {
+  if (compiled()) throw std::logic_error("Model: already compiled");
+  if (input_hypercolumns_ == 0 || input_bins_ == 0) {
+    throw std::logic_error("Model: input() not declared");
+  }
+  if (hidden_.empty()) {
+    throw std::logic_error("Model: no hidden layers");
+  }
+
+  if (hidden_.size() == 1) {
+    NetworkConfig config;
+    config.bcpnn.input_hypercolumns = input_hypercolumns_;
+    config.bcpnn.input_bins = input_bins_;
+    config.bcpnn.hcus = hidden_[0].hcus;
+    config.bcpnn.mcus = hidden_[0].mcus;
+    config.bcpnn.receptive_field = hidden_[0].receptive_field;
+    config.bcpnn.engine = engine;
+    config.bcpnn.seed = seed;
+    config.bcpnn.apply(options_);  // schedule overrides
+    config.classes = classes_;
+    config.head = head_ == Head::kBcpnn ? HeadType::kBcpnn : HeadType::kSgd;
+    network_ = std::make_unique<Network>(std::move(config));
+    return *this;
+  }
+
+  DeepBcpnnConfig config;
+  config.input_hypercolumns = input_hypercolumns_;
+  config.input_bins = input_bins_;
+  config.layers.clear();
+  for (const auto& spec : hidden_) {
+    config.layers.push_back({spec.hcus, spec.mcus, spec.receptive_field});
+  }
+  config.classes = classes_;
+  config.engine = engine;
+  config.seed = seed;
+  config.alpha = static_cast<float>(options_.get_double("alpha", config.alpha));
+  config.epochs_per_layer = static_cast<std::size_t>(options_.get_double(
+      "epochs", static_cast<double>(config.epochs_per_layer)));
+  config.head_epochs = static_cast<std::size_t>(options_.get_double(
+      "head_epochs", static_cast<double>(config.head_epochs)));
+  config.batch_size = static_cast<std::size_t>(options_.get_double(
+      "batch_size", static_cast<double>(config.batch_size)));
+  config.noise_start = static_cast<float>(
+      options_.get_double("noise_start", config.noise_start));
+  if (head_ == Head::kSgd) {
+    // The deep variant always uses the BCPNN head; the hybrid read-out is
+    // only wired for the paper's three-layer topology.
+    throw std::invalid_argument(
+        "Model: SGD head is only supported for single-hidden-layer models");
+  }
+  deep_ = std::make_unique<DeepBcpnn>(std::move(config));
+  return *this;
+}
+
+void Model::fit(const tensor::MatrixF& x, const std::vector<int>& labels) {
+  if (!compiled()) throw std::logic_error("Model: fit() before compile()");
+  if (network_) {
+    network_->fit(x, labels);
+  } else {
+    deep_->fit(x, labels);
+  }
+}
+
+std::vector<int> Model::predict(const tensor::MatrixF& x) {
+  if (!compiled()) throw std::logic_error("Model: predict() before compile()");
+  return network_ ? network_->predict(x) : deep_->predict(x);
+}
+
+std::vector<double> Model::predict_scores(const tensor::MatrixF& x) {
+  if (!compiled()) throw std::logic_error("Model: predict() before compile()");
+  return network_ ? network_->predict_scores(x) : deep_->predict_scores(x);
+}
+
+double Model::evaluate(const tensor::MatrixF& x,
+                       const std::vector<int>& labels) {
+  return metrics::accuracy(predict(x), labels);
+}
+
+Network& Model::network() {
+  if (!network_) {
+    throw std::logic_error("Model::network(): not a compiled 3-layer model");
+  }
+  return *network_;
+}
+
+std::string Model::summary() const {
+  std::ostringstream out;
+  out << "Model (" << (compiled() ? "compiled" : "not compiled") << ")\n";
+  out << "  input        : " << input_hypercolumns_ << " hypercolumns x "
+      << input_bins_ << " units = " << input_hypercolumns_ * input_bins_
+      << "\n";
+  for (std::size_t l = 0; l < hidden_.size(); ++l) {
+    out << "  hidden[" << l << "]    : " << hidden_[l].hcus << " HCUs x "
+        << hidden_[l].mcus << " MCUs, receptive field "
+        << static_cast<int>(100.0 * hidden_[l].receptive_field) << "%\n";
+  }
+  out << "  classifier   : " << classes_ << " classes, "
+      << (head_ == Head::kBcpnn ? "BCPNN" : "SGD") << " head\n";
+  return out.str();
+}
+
+}  // namespace streambrain::core

@@ -1,0 +1,92 @@
+#pragma once
+// Keras-style model facade — StreamBrain's user-facing API design:
+// "The StreamBrain interface (or language) is heavily inspired by Keras,
+// where the user constructs the network layer-by-layer after finally
+// calling the training function" (Section III-A).
+//
+//   Model model;
+//   model.input(28, 10)                       // 28 features x 10 quantiles
+//        .hidden(1, 300, 0.40)                // 1 HCU x 300 MCUs, RF 40%
+//        .classifier(2, Model::Head::kSgd)    // BCPNN+SGD hybrid read-out
+//        .compile("simd", /*seed=*/42);
+//   model.fit(x_train, y_train);
+//   double acc = model.evaluate(x_test, y_test);
+//
+// One hidden() call builds the paper's three-layer network; several stack
+// a DeepBcpnn. All hyper-parameters have paper defaults and can be
+// overridden through set_option() before compile().
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/deep.hpp"
+#include "core/network.hpp"
+#include "util/config.hpp"
+
+namespace streambrain::core {
+
+class Model {
+ public:
+  enum class Head { kBcpnn, kSgd };
+
+  Model() = default;
+
+  /// Declare the encoded input geometry (hypercolumns x units each).
+  Model& input(std::size_t hypercolumns, std::size_t bins);
+
+  /// Append one hidden BCPNN layer.
+  Model& hidden(std::size_t hcus, std::size_t mcus, double receptive_field);
+
+  /// Set the classification layer.
+  Model& classifier(std::size_t classes, Head head = Head::kBcpnn);
+
+  /// Override schedule/learning options before compile(). Recognized
+  /// keys: alpha, epochs, head_epochs, batch_size, noise_start,
+  /// plasticity_swaps, inverse_temperature.
+  Model& set_option(const std::string& key, double value);
+
+  /// Materialize the network. Throws std::logic_error if input() or
+  /// hidden() were never called, or on a second compile.
+  Model& compile(const std::string& engine = "simd", std::uint64_t seed = 1);
+
+  [[nodiscard]] bool compiled() const noexcept {
+    return network_ != nullptr || deep_ != nullptr;
+  }
+
+  /// Train (unsupervised hidden phase + supervised head phase).
+  void fit(const tensor::MatrixF& x, const std::vector<int>& labels);
+
+  [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x);
+  [[nodiscard]] std::vector<double> predict_scores(const tensor::MatrixF& x);
+
+  /// Test accuracy.
+  [[nodiscard]] double evaluate(const tensor::MatrixF& x,
+                                const std::vector<int>& labels);
+
+  /// Human-readable layer summary (Keras's model.summary()).
+  [[nodiscard]] std::string summary() const;
+
+  /// Access the underlying single-hidden-layer network (throws when the
+  /// model is deep or not compiled).
+  [[nodiscard]] Network& network();
+
+ private:
+  struct HiddenSpec {
+    std::size_t hcus;
+    std::size_t mcus;
+    double receptive_field;
+  };
+
+  std::size_t input_hypercolumns_ = 0;
+  std::size_t input_bins_ = 0;
+  std::vector<HiddenSpec> hidden_;
+  std::size_t classes_ = 2;
+  Head head_ = Head::kBcpnn;
+  util::Config options_;
+
+  std::unique_ptr<Network> network_;   // depth == 1
+  std::unique_ptr<DeepBcpnn> deep_;    // depth > 1
+};
+
+}  // namespace streambrain::core

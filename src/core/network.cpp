@@ -1,0 +1,137 @@
+#include "core/network.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+#include "util/timer.hpp"
+
+namespace streambrain::core {
+
+Network::Network(NetworkConfig config)
+    : config_(std::move(config)),
+      engine_(parallel::make_engine(config_.bcpnn.engine)),
+      rng_(config_.bcpnn.seed) {
+  config_.bcpnn.validate();
+  hidden_ = std::make_unique<BcpnnLayer>(config_.bcpnn, *engine_, rng_);
+  if (config_.head == HeadType::kBcpnn) {
+    bcpnn_head_ = std::make_unique<BcpnnClassifier>(
+        config_.bcpnn.hidden_units(), config_.bcpnn.hcus, config_.classes,
+        *engine_, config_.bcpnn.alpha_supervised, config_.bcpnn.eps,
+        config_.bcpnn.k_beta);
+  } else {
+    SgdHeadConfig sgd = config_.sgd;
+    sgd.batch_size = config_.bcpnn.batch_size;
+    sgd_head_ = std::make_unique<SgdHead>(config_.bcpnn.hidden_units(),
+                                          config_.classes, sgd);
+  }
+}
+
+FitReport Network::fit_unsupervised(const tensor::MatrixF& x) {
+  FitReport report;
+  const auto& cfg = config_.bcpnn;
+  const std::size_t n = x.rows();
+
+  util::Stopwatch unsup_watch;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  tensor::MatrixF batch;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const float progress =
+        cfg.epochs > 1
+            ? static_cast<float>(epoch) / static_cast<float>(cfg.epochs - 1)
+            : 1.0f;
+    const float noise =
+        cfg.noise_start + (cfg.noise_end - cfg.noise_start) * progress;
+    rng_.shuffle(order);
+    for (std::size_t start = 0; start < n; start += cfg.batch_size) {
+      const std::size_t end = std::min(start + cfg.batch_size, n);
+      batch.resize(end - start, x.cols());
+      for (std::size_t r = start; r < end; ++r) {
+        std::copy_n(x.row(order[r]), x.cols(), batch.row(r - start));
+      }
+      hidden_->train_batch(batch, noise);
+    }
+    EpochInfo info;
+    info.epoch = epoch;
+    info.noise_std = noise;
+    info.plasticity_swaps = hidden_->plasticity_step();
+    report.total_plasticity_swaps += info.plasticity_swaps;
+    if (epoch_callback_) epoch_callback_(info, *hidden_);
+  }
+  report.unsupervised_seconds = unsup_watch.seconds();
+  return report;
+}
+
+FitReport Network::fit(const tensor::MatrixF& x,
+                       const std::vector<int>& labels) {
+  if (x.rows() != labels.size()) {
+    throw std::invalid_argument("Network::fit: rows != labels");
+  }
+  // Phase 1: unsupervised hidden layer; phase 2: supervised head on the
+  // frozen representation.
+  FitReport report = fit_unsupervised(x);
+  util::Stopwatch head_watch;
+  fit_head(x, labels);
+  report.head_seconds = head_watch.seconds();
+  return report;
+}
+
+double Network::fit_head(const tensor::MatrixF& x,
+                         const std::vector<int>& labels) {
+  const auto& cfg = config_.bcpnn;
+  const tensor::MatrixF hidden_repr = transform(x);
+  const tensor::MatrixF targets =
+      data::one_hot_labels(labels, config_.classes);
+  double last_loss = 0.0;
+  if (config_.head == HeadType::kSgd) {
+    for (std::size_t epoch = 0; epoch < cfg.head_epochs; ++epoch) {
+      last_loss = sgd_head_->train_epoch(hidden_repr, targets);
+    }
+    return last_loss;
+  }
+  // BCPNN head: batched trace updates over the epochs.
+  const std::size_t n = hidden_repr.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  tensor::MatrixF batch_h;
+  tensor::MatrixF batch_t;
+  for (std::size_t epoch = 0; epoch < cfg.head_epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t start = 0; start < n; start += cfg.batch_size) {
+      const std::size_t end = std::min(start + cfg.batch_size, n);
+      batch_h.resize(end - start, hidden_repr.cols());
+      batch_t.resize(end - start, config_.classes);
+      for (std::size_t r = start; r < end; ++r) {
+        std::copy_n(hidden_repr.row(order[r]), hidden_repr.cols(),
+                    batch_h.row(r - start));
+        std::copy_n(targets.row(order[r]), config_.classes,
+                    batch_t.row(r - start));
+      }
+      bcpnn_head_->train_batch(batch_h, batch_t);
+    }
+  }
+  return 0.0;
+}
+
+tensor::MatrixF Network::transform(const tensor::MatrixF& x) {
+  tensor::MatrixF activations;
+  hidden_->forward(x, activations);
+  return activations;
+}
+
+std::vector<int> Network::predict(const tensor::MatrixF& x) {
+  const tensor::MatrixF hidden_repr = transform(x);
+  return config_.head == HeadType::kBcpnn
+             ? bcpnn_head_->predict_labels(hidden_repr)
+             : sgd_head_->predict_labels(hidden_repr);
+}
+
+std::vector<double> Network::predict_scores(const tensor::MatrixF& x) {
+  const tensor::MatrixF hidden_repr = transform(x);
+  return config_.head == HeadType::kBcpnn
+             ? bcpnn_head_->predict_scores(hidden_repr)
+             : sgd_head_->predict_scores(hidden_repr);
+}
+
+}  // namespace streambrain::core

@@ -1,0 +1,48 @@
+#pragma once
+// End-to-end Higgs experiment driver — the exact protocol of Section V:
+// extract a balanced subset, compute 10-quantiles, one-hot encode, train
+// the three-layer network, evaluate accuracy and AUC on the held-out
+// test set. Every figure bench and two of the examples run through this
+// single entry point so the protocol cannot drift between experiments.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "data/dataset.hpp"
+#include "viz/catalyst.hpp"
+
+namespace streambrain::core {
+
+struct HiggsExperimentConfig {
+  /// Real UCI csv path; empty or missing file falls back to the synthetic
+  /// generator (see data/higgs.hpp for the substitution rationale).
+  std::string csv_path;
+  std::size_t train_events = 6000;
+  std::size_t test_events = 2000;
+  std::size_t bins = 10;  ///< quantile groups (paper: 10)
+  NetworkConfig network;
+  std::uint64_t seed = 42;
+  /// Optional in-situ visualization sink (nullptr = off).
+  viz::CatalystAdaptor* catalyst = nullptr;
+};
+
+struct ExperimentResult {
+  double test_accuracy = 0.0;
+  double test_auc = 0.0;
+  double train_accuracy = 0.0;
+  double train_seconds = 0.0;
+  FitReport fit;
+  std::vector<std::vector<bool>> final_masks;  ///< per hidden HCU
+};
+
+/// Run one full experiment. Deterministic given the config.
+ExperimentResult run_higgs_experiment(const HiggsExperimentConfig& config);
+
+/// Run the experiment `repeats` times with seeds seed, seed+1, ... and
+/// return all results (the paper averages 10 runs per configuration).
+std::vector<ExperimentResult> run_higgs_experiment_repeated(
+    HiggsExperimentConfig config, std::size_t repeats);
+
+}  // namespace streambrain::core

@@ -1,0 +1,88 @@
+#pragma once
+// Structural plasticity — the paper's signature feature. Each hidden HCU
+// holds a fixed-cardinality boolean mask over the *input hypercolumns*
+// (not individual units): the receptive field. Once per epoch the rule
+// "tries to exchange active (used) connections with low-entropy for silent
+// (inactive) high-entropy connections" (Section III-B). Our information
+// score is the mutual information between each input hypercolumn's unit
+// distribution and the HCU's minicolumn distribution, estimated directly
+// from the p_ij traces (which are maintained for silent connections too —
+// that is what makes the silent candidates scoreable).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/traces.hpp"
+#include "util/rng.hpp"
+
+namespace streambrain::core {
+
+/// Receptive-field masks for all hidden HCUs.
+class ReceptiveFieldMasks {
+ public:
+  /// `cardinality` active input hypercolumns per HCU, sampled uniformly
+  /// without replacement (the paper: "each HCU is initiated with a sparse
+  /// and random receptive field").
+  ReceptiveFieldMasks(std::size_t hcus, std::size_t input_hypercolumns,
+                      std::size_t cardinality, util::Rng& rng);
+
+  [[nodiscard]] std::size_t hcus() const noexcept { return masks_.size(); }
+  [[nodiscard]] std::size_t input_hypercolumns() const noexcept {
+    return input_hypercolumns_;
+  }
+  [[nodiscard]] std::size_t cardinality() const noexcept {
+    return cardinality_;
+  }
+
+  [[nodiscard]] bool active(std::size_t hcu, std::size_t input_hc) const {
+    return masks_[hcu][input_hc];
+  }
+  [[nodiscard]] const std::vector<bool>& mask(std::size_t hcu) const {
+    return masks_[hcu];
+  }
+  [[nodiscard]] const std::vector<std::vector<bool>>& all() const noexcept {
+    return masks_;
+  }
+
+  void set(std::size_t hcu, std::size_t input_hc, bool value) {
+    masks_[hcu][input_hc] = value;
+  }
+
+  /// Number of active entries for an HCU (invariant: == cardinality()).
+  [[nodiscard]] std::size_t active_count(std::size_t hcu) const;
+
+ private:
+  std::size_t input_hypercolumns_;
+  std::size_t cardinality_;
+  std::vector<std::vector<bool>> masks_;
+};
+
+struct PlasticityConfig {
+  std::size_t swaps_per_hcu = 2;
+  double hysteresis = 0.05;  ///< silent MI must exceed active MI by this factor
+};
+
+/// Mutual information between input hypercolumn `input_hc` and the MCU
+/// distribution of `hcu`, from the traces. Non-negative.
+double mutual_information(const ProbabilityTraces& traces,
+                          std::size_t input_hc, std::size_t input_hc_size,
+                          std::size_t hcu, std::size_t mcus_per_hcu,
+                          float eps);
+
+/// MI scores for every (hcu, input_hc) pair; [hcus][input_hypercolumns].
+std::vector<std::vector<float>> mutual_information_map(
+    const ProbabilityTraces& traces, std::size_t input_hc_size,
+    std::size_t hcus, std::size_t mcus_per_hcu, float eps);
+
+/// One plasticity step: for each HCU, swap up to `swaps_per_hcu` of the
+/// lowest-MI active connections for the highest-MI silent ones, provided
+/// the silent candidate's MI exceeds the active one by the hysteresis
+/// factor. Mask cardinality is preserved exactly. Returns the number of
+/// swaps performed.
+std::size_t structural_plasticity_step(ReceptiveFieldMasks& masks,
+                                       const ProbabilityTraces& traces,
+                                       std::size_t input_hc_size,
+                                       std::size_t mcus_per_hcu, float eps,
+                                       const PlasticityConfig& config);
+
+}  // namespace streambrain::core

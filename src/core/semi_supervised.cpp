@@ -1,0 +1,46 @@
+#include "core/semi_supervised.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace streambrain::core {
+
+SemiSupervisedReport fit_semi_supervised(Network& network,
+                                         const tensor::MatrixF& x,
+                                         const std::vector<int>& labels) {
+  if (x.rows() != labels.size()) {
+    throw std::invalid_argument("fit_semi_supervised: rows != labels");
+  }
+  std::vector<std::size_t> labeled_rows;
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    if (labels[r] != kUnlabeled) labeled_rows.push_back(r);
+  }
+  if (labeled_rows.empty()) {
+    throw std::invalid_argument(
+        "fit_semi_supervised: need at least one labeled example");
+  }
+
+  SemiSupervisedReport report;
+  report.labeled_examples = labeled_rows.size();
+  report.unlabeled_examples = labels.size() - labeled_rows.size();
+
+  // Phase 1 — the hidden layer learns from EVERY example; local learning
+  // never touches a label.
+  report.fit = network.fit_unsupervised(x);
+
+  // Phase 2 — the classification layer sees only the labeled subset.
+  util::Stopwatch head_watch;
+  tensor::MatrixF x_labeled(labeled_rows.size(), x.cols());
+  std::vector<int> y_labeled(labeled_rows.size());
+  for (std::size_t i = 0; i < labeled_rows.size(); ++i) {
+    std::copy_n(x.row(labeled_rows[i]), x.cols(), x_labeled.row(i));
+    y_labeled[i] = labels[labeled_rows[i]];
+  }
+  network.fit_head(x_labeled, y_labeled);
+  report.fit.head_seconds = head_watch.seconds();
+  return report;
+}
+
+}  // namespace streambrain::core

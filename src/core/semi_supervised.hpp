@@ -1,0 +1,37 @@
+#pragma once
+// Semi-supervised training — the third training mode the paper attributes
+// to BCPNN ("BCPNN supports supervised, semi-supervised, and — perhaps
+// most importantly — unsupervised forms of training", Section I).
+//
+// Protocol: the hidden layer trains unsupervised on ALL examples
+// (labeled + unlabeled — local learning does not need labels), then the
+// classification layer trains only on the labeled subset. The benchmark
+// question is how accuracy degrades as the labeled fraction shrinks;
+// because the representation is learned from everything, BCPNN should
+// hold up far better than a purely supervised model given the same few
+// labels.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/network.hpp"
+#include "tensor/matrix.hpp"
+
+namespace streambrain::core {
+
+inline constexpr int kUnlabeled = -1;
+
+struct SemiSupervisedReport {
+  std::size_t labeled_examples = 0;
+  std::size_t unlabeled_examples = 0;
+  FitReport fit;
+};
+
+/// Train `network` on encoded inputs `x` where labels[i] == kUnlabeled
+/// marks an unlabeled example. The hidden layer consumes every row; the
+/// head trains on the labeled subset only. Throws if no labels at all.
+SemiSupervisedReport fit_semi_supervised(Network& network,
+                                         const tensor::MatrixF& x,
+                                         const std::vector<int>& labels);
+
+}  // namespace streambrain::core

@@ -1,0 +1,197 @@
+#include "core/serialization.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace streambrain::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'B', 'R', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+enum class Section : std::uint32_t {
+  kLayer = 1,
+  kClassifier = 2,
+  kSgdHead = 3,
+};
+
+// --- Primitive IO ---------------------------------------------------------
+
+void write_u32(std::ostream& out, std::uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("checkpoint: truncated u32");
+  return value;
+}
+
+void write_floats(std::ostream& out, const float* data, std::size_t count) {
+  write_u32(out, static_cast<std::uint32_t>(count));
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(float)));
+}
+
+void read_floats(std::istream& in, float* data, std::size_t expected) {
+  const std::uint32_t count = read_u32(in);
+  if (count != expected) {
+    throw std::runtime_error("checkpoint: float array size mismatch");
+  }
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(expected * sizeof(float)));
+  if (!in) throw std::runtime_error("checkpoint: truncated float array");
+}
+
+void write_header(std::ostream& out) {
+  out.write(kMagic, 4);
+  write_u32(out, kVersion);
+}
+
+void read_header(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+}
+
+void expect_section(std::istream& in, Section expected) {
+  const std::uint32_t tag = read_u32(in);
+  if (tag != static_cast<std::uint32_t>(expected)) {
+    throw std::runtime_error("checkpoint: unexpected section tag " +
+                             std::to_string(tag));
+  }
+}
+
+// --- Sections --------------------------------------------------------------
+
+void write_traces(std::ostream& out, const ProbabilityTraces& traces) {
+  write_floats(out, traces.pi().data(), traces.pi().size());
+  write_floats(out, traces.pj().data(), traces.pj().size());
+  write_floats(out, traces.pij().data(), traces.pij().size());
+}
+
+void read_traces(std::istream& in, ProbabilityTraces& traces) {
+  read_floats(in, traces.mutable_pi().data(), traces.pi().size());
+  read_floats(in, traces.mutable_pj().data(), traces.pj().size());
+  read_floats(in, traces.mutable_pij().data(), traces.pij().size());
+}
+
+void write_layer_section(std::ostream& out, const BcpnnLayer& layer) {
+  write_u32(out, static_cast<std::uint32_t>(Section::kLayer));
+  const auto& config = layer.config();
+  write_u32(out, static_cast<std::uint32_t>(config.input_hypercolumns));
+  write_u32(out, static_cast<std::uint32_t>(config.input_bins));
+  write_u32(out, static_cast<std::uint32_t>(config.hcus));
+  write_u32(out, static_cast<std::uint32_t>(config.mcus));
+  write_traces(out, layer.traces());
+  for (std::size_t h = 0; h < config.hcus; ++h) {
+    const auto& mask = layer.masks().mask(h);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      out.put(mask[i] ? 1 : 0);
+    }
+  }
+}
+
+void read_layer_section(std::istream& in, BcpnnLayer& layer) {
+  expect_section(in, Section::kLayer);
+  const auto& config = layer.config();
+  if (read_u32(in) != config.input_hypercolumns ||
+      read_u32(in) != config.input_bins || read_u32(in) != config.hcus ||
+      read_u32(in) != config.mcus) {
+    throw std::runtime_error("checkpoint: layer geometry mismatch");
+  }
+  ProbabilityTraces traces(config.input_units(), config.input_bins,
+                           config.hidden_units(), config.mcus);
+  read_traces(in, traces);
+  // Masks: rebuild from the stored bits (cardinality must match config).
+  util::Rng scratch_rng(0);
+  ReceptiveFieldMasks masks(config.hcus, config.input_hypercolumns,
+                            config.mask_cardinality(), scratch_rng);
+  for (std::size_t h = 0; h < config.hcus; ++h) {
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < config.input_hypercolumns; ++i) {
+      const int bit = in.get();
+      if (bit == std::char_traits<char>::eof()) {
+        throw std::runtime_error("checkpoint: truncated masks");
+      }
+      masks.set(h, i, bit != 0);
+      active += bit != 0 ? 1 : 0;
+    }
+    if (active != config.mask_cardinality()) {
+      throw std::runtime_error("checkpoint: mask cardinality mismatch");
+    }
+  }
+  layer.set_state(traces, masks);
+}
+
+}  // namespace
+
+void save_layer(const std::string& path, const BcpnnLayer& layer) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("save_layer: cannot open " + path);
+  write_header(file);
+  write_layer_section(file, layer);
+  if (!file) throw std::runtime_error("save_layer: write failed");
+}
+
+void load_layer(const std::string& path, BcpnnLayer& layer) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("load_layer: cannot open " + path);
+  read_header(file);
+  read_layer_section(file, layer);
+}
+
+void save_network(const std::string& path, const Network& network) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("save_network: cannot open " + path);
+  write_header(file);
+  write_layer_section(file, network.hidden());
+  if (const BcpnnClassifier* head = network.bcpnn_head()) {
+    write_u32(file, static_cast<std::uint32_t>(Section::kClassifier));
+    write_u32(file, static_cast<std::uint32_t>(head->classes()));
+    write_traces(file, head->traces());
+  } else if (const SgdHead* head = network.sgd_head()) {
+    write_u32(file, static_cast<std::uint32_t>(Section::kSgdHead));
+    write_u32(file, static_cast<std::uint32_t>(head->classes()));
+    write_floats(file, head->weights().data(), head->weights().size());
+    write_floats(file, head->bias().data(), head->bias().size());
+  }
+  if (!file) throw std::runtime_error("save_network: write failed");
+}
+
+void load_network(const std::string& path, Network& network) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("load_network: cannot open " + path);
+  read_header(file);
+  read_layer_section(file, network.mutable_hidden());
+  if (BcpnnClassifier* head = network.bcpnn_head()) {
+    expect_section(file, Section::kClassifier);
+    if (read_u32(file) != head->classes()) {
+      throw std::runtime_error("load_network: class count mismatch");
+    }
+    read_traces(file, head->mutable_traces());
+    head->recompute_weights();
+  } else if (SgdHead* head = network.sgd_head()) {
+    expect_section(file, Section::kSgdHead);
+    if (read_u32(file) != head->classes()) {
+      throw std::runtime_error("load_network: class count mismatch");
+    }
+    tensor::MatrixF weights(head->weights().rows(), head->weights().cols());
+    std::vector<float> bias(head->bias().size());
+    read_floats(file, weights.data(), weights.size());
+    read_floats(file, bias.data(), bias.size());
+    head->set_state(weights, bias);
+  }
+}
+
+}  // namespace streambrain::core

@@ -1,0 +1,33 @@
+#pragma once
+// Model checkpointing: versioned binary serialization of trained BCPNN
+// state. Because BCPNN's only learned state is the probability traces
+// plus the receptive-field masks (weights are a pure function of them),
+// checkpoints are small and exact — loading reproduces the saved model's
+// predictions bit-for-bit on the same engine.
+//
+// Format (little-endian, version 1):
+//   magic "SBRN" | u32 version | u32 section tag | section payload ...
+// Sections: layer (geometry, traces, masks), classifier (traces),
+// sgd_head (weights, bias). Network files chain hidden + head sections.
+
+#include <string>
+
+#include "core/classifier.hpp"
+#include "core/layer.hpp"
+#include "core/network.hpp"
+
+namespace streambrain::core {
+
+/// Save / load a hidden layer's learned state. Loading requires a layer
+/// constructed with the identical geometry (input units, bins, hcus,
+/// mcus); throws std::runtime_error on mismatch or corrupt files.
+void save_layer(const std::string& path, const BcpnnLayer& layer);
+void load_layer(const std::string& path, BcpnnLayer& layer);
+
+/// Save / load a full three-layer network (hidden layer + head).
+/// The network passed to load must have been constructed with the same
+/// NetworkConfig (geometry and head type are validated).
+void save_network(const std::string& path, const Network& network);
+void load_network(const std::string& path, Network& network);
+
+}  // namespace streambrain::core

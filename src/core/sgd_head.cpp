@@ -1,0 +1,149 @@
+#include "core/sgd_head.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/gemm.hpp"
+#include "tensor/kernels.hpp"
+
+namespace streambrain::core {
+
+SgdHead::SgdHead(std::size_t inputs, std::size_t classes, SgdHeadConfig config)
+    : classes_(classes),
+      config_(config),
+      current_lr_(config.learning_rate),
+      weights_(inputs, classes, 0.0f),
+      bias_(classes, 0.0f),
+      velocity_(inputs, classes, 0.0f),
+      bias_velocity_(classes, 0.0f),
+      rng_(config.seed) {
+  if (classes < 2) {
+    throw std::invalid_argument("SgdHead: need at least 2 classes");
+  }
+  // Small symmetric init so momentum has gradients to work with.
+  for (float& w : weights_) {
+    w = static_cast<float>(rng_.normal(0.0, 0.01));
+  }
+}
+
+void SgdHead::forward(const tensor::MatrixF& features,
+                      tensor::MatrixF& probs) const {
+  probs.resize(features.rows(), classes_);
+  tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f, features,
+               weights_, 0.0f, probs);
+  tensor::add_row_bias(probs, bias_.data());
+  tensor::softmax_blocks(probs, classes_);
+}
+
+double SgdHead::train_epoch(const tensor::MatrixF& features,
+                            const tensor::MatrixF& targets) {
+  if (features.rows() != targets.rows() || targets.cols() != classes_) {
+    throw std::invalid_argument("SgdHead::train_epoch: shape mismatch");
+  }
+  const std::size_t n = features.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng_.shuffle(order);
+
+  tensor::MatrixF batch_x;
+  tensor::MatrixF batch_t;
+  tensor::MatrixF probs;
+  tensor::MatrixF grad(weights_.rows(), classes_);
+  double total_loss = 0.0;
+  std::size_t batches = 0;
+
+  for (std::size_t start = 0; start < n; start += config_.batch_size) {
+    const std::size_t end = std::min(start + config_.batch_size, n);
+    const std::size_t b = end - start;
+    batch_x.resize(b, features.cols());
+    batch_t.resize(b, classes_);
+    for (std::size_t r = 0; r < b; ++r) {
+      std::copy_n(features.row(order[start + r]), features.cols(),
+                  batch_x.row(r));
+      std::copy_n(targets.row(order[start + r]), classes_, batch_t.row(r));
+    }
+
+    forward(batch_x, probs);
+
+    // Cross-entropy loss + softmax gradient (probs - targets).
+    for (std::size_t r = 0; r < b; ++r) {
+      for (std::size_t c = 0; c < classes_; ++c) {
+        if (batch_t(r, c) > 0.5f) {
+          total_loss -= std::log(std::max(probs(r, c), 1e-12f));
+        }
+        probs(r, c) -= batch_t(r, c);
+      }
+    }
+    ++batches;
+
+    // grad = X^T (probs - targets) / b  (+ L2)
+    tensor::gemm(tensor::Transpose::kYes, tensor::Transpose::kNo,
+                 1.0f / static_cast<float>(b), batch_x, probs, 0.0f, grad);
+
+    const float lr = current_lr_;
+    const float l2 = config_.l2;
+    const float mu = config_.momentum;
+    float* w = weights_.data();
+    float* v = velocity_.data();
+    const float* g = grad.data();
+#pragma omp simd
+    for (std::size_t k = 0; k < weights_.size(); ++k) {
+      v[k] = mu * v[k] - lr * (g[k] + l2 * w[k]);
+      w[k] += v[k];
+    }
+    // Bias gradient: column means of (probs - targets).
+    for (std::size_t c = 0; c < classes_; ++c) {
+      float gb = 0.0f;
+      for (std::size_t r = 0; r < b; ++r) gb += probs(r, c);
+      gb /= static_cast<float>(b);
+      bias_velocity_[c] = mu * bias_velocity_[c] - lr * gb;
+      bias_[c] += bias_velocity_[c];
+    }
+  }
+  current_lr_ *= config_.learning_rate_decay;
+  return batches > 0 ? total_loss / static_cast<double>(n) : 0.0;
+}
+
+void SgdHead::set_state(const tensor::MatrixF& weights,
+                        const std::vector<float>& bias) {
+  if (weights.rows() != weights_.rows() || weights.cols() != weights_.cols() ||
+      bias.size() != bias_.size()) {
+    throw std::invalid_argument("SgdHead::set_state: shape mismatch");
+  }
+  weights_ = weights;
+  bias_ = bias;
+  velocity_.fill(0.0f);
+  std::fill(bias_velocity_.begin(), bias_velocity_.end(), 0.0f);
+}
+
+void SgdHead::predict(const tensor::MatrixF& features,
+                      tensor::MatrixF& probs) const {
+  forward(features, probs);
+}
+
+std::vector<int> SgdHead::predict_labels(const tensor::MatrixF& features) const {
+  tensor::MatrixF probs;
+  forward(features, probs);
+  std::vector<int> labels(probs.rows());
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    const float* row = probs.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes_; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    labels[r] = static_cast<int>(best);
+  }
+  return labels;
+}
+
+std::vector<double> SgdHead::predict_scores(
+    const tensor::MatrixF& features) const {
+  tensor::MatrixF probs;
+  forward(features, probs);
+  std::vector<double> scores(probs.rows());
+  for (std::size_t r = 0; r < probs.rows(); ++r) scores[r] = probs(r, 1);
+  return scores;
+}
+
+}  // namespace streambrain::core

@@ -1,0 +1,82 @@
+#include "data/cifar_loader.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace streambrain::data {
+
+Dataset load_cifar(const std::string& path, CifarOptions options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("load_cifar: cannot open " + path);
+  const std::size_t payload = kCifarChannels * kCifarPixels;
+  const std::size_t label_bytes = options.cifar100 ? 2 : 1;
+  const std::size_t record = label_bytes + payload;
+
+  const auto file_size = std::filesystem::file_size(path);
+  if (file_size % record != 0) {
+    throw std::runtime_error("load_cifar: file size is not a whole number "
+                             "of records");
+  }
+  std::size_t n = file_size / record;
+  if (options.max_rows != 0) n = std::min(n, options.max_rows);
+
+  const std::size_t out_dim =
+      options.grayscale ? kCifarPixels : payload;
+  Dataset dataset;
+  dataset.features = tensor::MatrixF(n, out_dim);
+  dataset.labels.resize(n);
+
+  std::vector<std::uint8_t> buffer(record);
+  for (std::size_t r = 0; r < n; ++r) {
+    file.read(reinterpret_cast<char*>(buffer.data()),
+              static_cast<std::streamsize>(record));
+    if (static_cast<std::size_t>(file.gcount()) != record) {
+      throw std::runtime_error("load_cifar: truncated record");
+    }
+    dataset.labels[r] = options.cifar100
+                            ? static_cast<int>(
+                                  buffer[options.use_fine_labels ? 1 : 0])
+                            : static_cast<int>(buffer[0]);
+    const std::uint8_t* pixels = buffer.data() + label_bytes;
+    float* row = dataset.features.row(r);
+    if (options.grayscale) {
+      for (std::size_t p = 0; p < kCifarPixels; ++p) {
+        // ITU-R BT.601 luminance.
+        const float lum = 0.299f * pixels[p] +
+                          0.587f * pixels[kCifarPixels + p] +
+                          0.114f * pixels[2 * kCifarPixels + p];
+        row[p] = lum / 255.0f;
+      }
+    } else {
+      for (std::size_t p = 0; p < payload; ++p) {
+        row[p] = static_cast<float>(pixels[p]) / 255.0f;
+      }
+    }
+  }
+  return dataset;
+}
+
+void save_cifar10(const Dataset& dataset, const std::string& path) {
+  const std::size_t payload = kCifarChannels * kCifarPixels;
+  if (dataset.dim() != payload) {
+    throw std::invalid_argument("save_cifar10: need 3072 features per row");
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("save_cifar10: cannot open " + path);
+  std::vector<std::uint8_t> buffer(1 + payload);
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    buffer[0] = static_cast<std::uint8_t>(dataset.labels[r]);
+    const float* row = dataset.features.row(r);
+    for (std::size_t p = 0; p < payload; ++p) {
+      buffer[1 + p] = static_cast<std::uint8_t>(
+          std::clamp(row[p], 0.0f, 1.0f) * 255.0f + 0.5f);
+    }
+    file.write(reinterpret_cast<const char*>(buffer.data()),
+               static_cast<std::streamsize>(buffer.size()));
+  }
+  if (!file) throw std::runtime_error("save_cifar10: write failed");
+}
+
+}  // namespace streambrain::data

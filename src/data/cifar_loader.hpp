@@ -1,0 +1,35 @@
+#pragma once
+// CIFAR-10/100 binary-format loader — the remaining StreamBrain
+// data-loader (Section III-A). CIFAR binary rows are
+//   [label:u8] [red:1024] [green:1024] [blue:1024]      (CIFAR-10)
+//   [coarse:u8] [fine:u8] [red...] [green...] [blue...] (CIFAR-100)
+// Features are scaled to [0,1]; `grayscale` collapses channels to
+// luminance (what a single-hypercolumn-per-pixel BCPNN consumes).
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace streambrain::data {
+
+inline constexpr std::size_t kCifarSide = 32;
+inline constexpr std::size_t kCifarPixels = kCifarSide * kCifarSide;
+inline constexpr std::size_t kCifarChannels = 3;
+
+struct CifarOptions {
+  bool cifar100 = false;     ///< two label bytes per row
+  bool use_fine_labels = true;  ///< CIFAR-100: fine (true) or coarse
+  bool grayscale = false;    ///< collapse RGB to luminance
+  std::size_t max_rows = 0;  ///< 0 = all
+};
+
+/// Load one CIFAR binary batch file. Throws std::runtime_error on IO
+/// failure or a size that is not a whole number of records.
+Dataset load_cifar(const std::string& path, CifarOptions options = {});
+
+/// Write a dataset (features in [0,1], dim == 3072 or 1024) as a
+/// CIFAR-10-format binary batch — used by tests to round-trip.
+void save_cifar10(const Dataset& dataset, const std::string& path);
+
+}  // namespace streambrain::data

@@ -1,0 +1,93 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace streambrain::data {
+
+std::size_t Dataset::num_classes() const noexcept {
+  int max_label = -1;
+  for (int label : labels) max_label = std::max(max_label, label);
+  return static_cast<std::size_t>(max_label + 1);
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes(), 0);
+  for (int label : labels) ++counts[static_cast<std::size_t>(label)];
+  return counts;
+}
+
+Dataset Dataset::select(const std::vector<std::size_t>& rows) const {
+  Dataset out;
+  out.features = tensor::MatrixF(rows.size(), dim());
+  out.labels.resize(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= size()) {
+      throw std::out_of_range("Dataset::select: row out of range");
+    }
+    std::copy_n(features.row(rows[i]), dim(), out.features.row(i));
+    out.labels[i] = labels[rows[i]];
+  }
+  return out;
+}
+
+void shuffle(Dataset& dataset, util::Rng& rng) {
+  const std::size_t n = dataset.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Dataset shuffled = dataset.select(order);
+  dataset = std::move(shuffled);
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& dataset,
+                                  double train_fraction) {
+  if (train_fraction < 0.0 || train_fraction > 1.0) {
+    throw std::invalid_argument("split: fraction must be in [0,1]");
+  }
+  const std::size_t n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(dataset.size()));
+  std::vector<std::size_t> train_rows(n_train);
+  std::iota(train_rows.begin(), train_rows.end(), 0);
+  std::vector<std::size_t> test_rows(dataset.size() - n_train);
+  std::iota(test_rows.begin(), test_rows.end(), n_train);
+  return {dataset.select(train_rows), dataset.select(test_rows)};
+}
+
+Dataset balanced_subset(const Dataset& dataset, std::size_t per_class,
+                        util::Rng& rng) {
+  const std::size_t classes = dataset.num_classes();
+  std::vector<std::vector<std::size_t>> by_class(classes);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[static_cast<std::size_t>(dataset.labels[i])].push_back(i);
+  }
+  std::vector<std::size_t> chosen;
+  chosen.reserve(classes * per_class);
+  for (std::size_t c = 0; c < classes; ++c) {
+    if (by_class[c].size() < per_class) {
+      throw std::invalid_argument(
+          "balanced_subset: class has fewer examples than requested");
+    }
+    rng.shuffle(by_class[c]);
+    chosen.insert(chosen.end(), by_class[c].begin(),
+                  by_class[c].begin() + static_cast<std::ptrdiff_t>(per_class));
+  }
+  rng.shuffle(chosen);
+  return dataset.select(chosen);
+}
+
+tensor::MatrixF one_hot_labels(const std::vector<int>& labels,
+                               std::size_t num_classes) {
+  tensor::MatrixF out(labels.size(), num_classes, 0.0f);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int label = labels[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) {
+      throw std::out_of_range("one_hot_labels: label out of range");
+    }
+    out(i, static_cast<std::size_t>(label)) = 1.0f;
+  }
+  return out;
+}
+
+}  // namespace streambrain::data

@@ -1,0 +1,50 @@
+#pragma once
+// Dataset container and split/subset operations. The paper's protocol:
+// "We extract a balanced subset of the training set" — implemented by
+// balanced_subset(); train/test splitting and deterministic shuffling
+// support the repeated-runs averaging of the experiments.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace streambrain::data {
+
+struct Dataset {
+  tensor::MatrixF features;  // [examples x feature_dim], raw (unencoded)
+  std::vector<int> labels;   // class ids, one per row
+
+  [[nodiscard]] std::size_t size() const noexcept { return features.rows(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return features.cols(); }
+
+  /// Number of distinct classes (max label + 1); 0 when empty.
+  [[nodiscard]] std::size_t num_classes() const noexcept;
+
+  /// Per-class example counts.
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+  /// New dataset containing the given rows in order.
+  [[nodiscard]] Dataset select(const std::vector<std::size_t>& rows) const;
+};
+
+/// In-place deterministic shuffle of rows (features and labels together).
+void shuffle(Dataset& dataset, util::Rng& rng);
+
+/// Split into (train, test) with `train_fraction` of rows going to train.
+/// Rows are taken in order; shuffle first for a random split.
+std::pair<Dataset, Dataset> split(const Dataset& dataset,
+                                  double train_fraction);
+
+/// Extract a class-balanced subset with `per_class` examples of each class,
+/// sampled without replacement. Throws if any class has too few examples.
+Dataset balanced_subset(const Dataset& dataset, std::size_t per_class,
+                        util::Rng& rng);
+
+/// Dense one-hot label matrix [n x num_classes] for supervised layers.
+tensor::MatrixF one_hot_labels(const std::vector<int>& labels,
+                               std::size_t num_classes);
+
+}  // namespace streambrain::data

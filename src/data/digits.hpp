@@ -1,0 +1,41 @@
+#pragma once
+// Synthetic handwritten-digit-like bitmaps. The paper's Fig. 1 uses MNIST
+// to illustrate structural plasticity: HCUs learn to "look at" the
+// informative center of the image. The real MNIST files are not shipped
+// offline, so this generator draws 16x16 stroke-based digit glyphs with
+// random translation, per-pixel flip noise and intensity jitter — enough
+// structure for BCPNN receptive fields to migrate toward the glyph region,
+// which is the behaviour Fig. 1 demonstrates.
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace streambrain::data {
+
+inline constexpr std::size_t kDigitSide = 16;
+inline constexpr std::size_t kDigitPixels = kDigitSide * kDigitSide;
+
+struct DigitGeneratorOptions {
+  double flip_noise = 0.02;   ///< probability of flipping any pixel
+  int max_translation = 2;    ///< uniform shift in each axis, in pixels
+  std::uint64_t seed = 7;
+};
+
+class SyntheticDigitGenerator {
+ public:
+  explicit SyntheticDigitGenerator(DigitGeneratorOptions options = {});
+
+  /// `count` examples, labels 0..9, features are kDigitPixels values in
+  /// [0, 1] (mostly binary with jitter).
+  [[nodiscard]] Dataset generate(std::size_t count);
+
+ private:
+  void render_digit(int digit, int dx, int dy, float* pixels);
+
+  DigitGeneratorOptions options_;
+  util::Rng rng_;
+};
+
+}  // namespace streambrain::data

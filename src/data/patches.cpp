@@ -1,0 +1,101 @@
+#include "data/patches.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace streambrain::data {
+
+namespace {
+
+std::size_t image_side(const Dataset& images) {
+  const auto side = static_cast<std::size_t>(
+      std::lround(std::sqrt(static_cast<double>(images.dim()))));
+  if (side * side != images.dim()) {
+    throw std::invalid_argument(
+        "patches: image features must form a square");
+  }
+  return side;
+}
+
+void copy_patch(const float* image, std::size_t side, std::size_t x0,
+                std::size_t y0, std::size_t patch_side, bool normalize,
+                float* out) {
+  const std::size_t n = patch_side * patch_side;
+  for (std::size_t y = 0; y < patch_side; ++y) {
+    for (std::size_t x = 0; x < patch_side; ++x) {
+      out[y * patch_side + x] = image[(y0 + y) * side + (x0 + x)];
+    }
+  }
+  if (!normalize) return;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += out[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = out[i] - mean;
+    var += d * d;
+  }
+  const double stddev = std::sqrt(var / static_cast<double>(n));
+  const float inv = 1.0f / static_cast<float>(std::max(stddev, 1e-3));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (out[i] - static_cast<float>(mean)) * inv;
+  }
+}
+
+}  // namespace
+
+Dataset extract_patches(const Dataset& images, PatchOptions options) {
+  const std::size_t side = image_side(images);
+  if (options.patch_side == 0 || options.patch_side > side) {
+    throw std::invalid_argument("extract_patches: bad patch size");
+  }
+  util::Rng rng(options.seed);
+  const std::size_t span = side - options.patch_side + 1;
+  Dataset patches;
+  patches.features = tensor::MatrixF(
+      images.size() * options.patches_per_image,
+      options.patch_side * options.patch_side);
+  patches.labels.resize(patches.features.rows());
+  std::size_t row = 0;
+  for (std::size_t img = 0; img < images.size(); ++img) {
+    for (std::size_t p = 0; p < options.patches_per_image; ++p) {
+      const std::size_t x0 = rng.uniform_index(span);
+      const std::size_t y0 = rng.uniform_index(span);
+      copy_patch(images.features.row(img), side, x0, y0, options.patch_side,
+                 options.normalize, patches.features.row(row));
+      patches.labels[row] = images.labels[img];
+      ++row;
+    }
+  }
+  return patches;
+}
+
+Dataset tile_patches(const Dataset& images, std::size_t patch_side,
+                     bool normalize) {
+  const std::size_t side = image_side(images);
+  if (patch_side == 0 || side % patch_side != 0) {
+    throw std::invalid_argument(
+        "tile_patches: patch side must divide the image side");
+  }
+  const std::size_t tiles_per_axis = side / patch_side;
+  const std::size_t tiles_per_image = tiles_per_axis * tiles_per_axis;
+  Dataset patches;
+  patches.features = tensor::MatrixF(images.size() * tiles_per_image,
+                                     patch_side * patch_side);
+  patches.labels.resize(patches.features.rows());
+  std::size_t row = 0;
+  for (std::size_t img = 0; img < images.size(); ++img) {
+    for (std::size_t ty = 0; ty < tiles_per_axis; ++ty) {
+      for (std::size_t tx = 0; tx < tiles_per_axis; ++tx) {
+        copy_patch(images.features.row(img), side, tx * patch_side,
+                   ty * patch_side, patch_side, normalize,
+                   patches.features.row(row));
+        patches.labels[row] = images.labels[img];
+        ++row;
+      }
+    }
+  }
+  return patches;
+}
+
+}  // namespace streambrain::data

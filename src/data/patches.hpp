@@ -1,0 +1,36 @@
+#pragma once
+// Image-patch extraction — the front end of StreamBrain's STL-10 workload
+// (the paper's reference [6] trains BCPNN on random image patches; §I/§VI
+// cite those results). Patches are sampled uniformly from image datasets,
+// optionally contrast-normalized, and become ordinary Dataset rows that
+// the quantile encoder and BCPNN layer consume unchanged.
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace streambrain::data {
+
+struct PatchOptions {
+  std::size_t patch_side = 6;       ///< square patch edge, pixels
+  std::size_t patches_per_image = 4;
+  /// Per-patch contrast normalization: subtract the patch mean and divide
+  /// by its standard deviation (floored), the STL-10 preprocessing step.
+  bool normalize = true;
+  std::uint64_t seed = 31;
+};
+
+/// Extract random patches from a dataset of square single-channel images
+/// (feature count must be a perfect square). Labels are inherited from
+/// the source image. Throws std::invalid_argument on non-square features
+/// or patches larger than the image.
+Dataset extract_patches(const Dataset& images, PatchOptions options = {});
+
+/// Deterministic dense tiling: every non-overlapping patch_side x
+/// patch_side tile of every image, row-major. Useful for whole-image
+/// feature pooling at inference time.
+Dataset tile_patches(const Dataset& images, std::size_t patch_side,
+                     bool normalize = true);
+
+}  // namespace streambrain::data

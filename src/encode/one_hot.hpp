@@ -1,0 +1,64 @@
+#pragma once
+// One-hot encoding of quantile-binned features — the paper's input
+// representation: "The features are then encoded as a one-hot vector of
+// size ten, with the component being hot indicating which quantile the
+// feature belongs to."
+//
+// Each original feature becomes one *input hypercolumn* of `bins` units,
+// exactly one of which is active; this matches BCPNN's modular input
+// assumption (each hypercolumn is a discrete random variable). A
+// thermometer variant is provided as an ablation (preserves ordering
+// information at the cost of the simplex property).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "encode/quantile.hpp"
+#include "tensor/matrix.hpp"
+
+namespace streambrain::encode {
+
+enum class CodeStyle {
+  kOneHot,       // exactly one unit active per hypercolumn
+  kThermometer,  // units 0..bin are active
+};
+
+class OneHotEncoder {
+ public:
+  explicit OneHotEncoder(std::size_t bins = 10,
+                         CodeStyle style = CodeStyle::kOneHot);
+
+  /// Fit the underlying quantile binner.
+  void fit(const tensor::MatrixF& data);
+
+  /// Encode to a dense [rows x (features*bins)] 0/1 matrix.
+  [[nodiscard]] tensor::MatrixF transform(const tensor::MatrixF& data) const;
+
+  /// fit + transform in one step.
+  [[nodiscard]] tensor::MatrixF fit_transform(const tensor::MatrixF& data);
+
+  [[nodiscard]] bool fitted() const noexcept { return binner_.fitted(); }
+  [[nodiscard]] std::size_t bins() const noexcept { return binner_.bins(); }
+  [[nodiscard]] std::size_t input_features() const noexcept {
+    return binner_.features();
+  }
+  [[nodiscard]] std::size_t encoded_width() const noexcept {
+    return binner_.features() * binner_.bins();
+  }
+  [[nodiscard]] CodeStyle style() const noexcept { return style_; }
+  [[nodiscard]] const QuantileBinner& binner() const noexcept {
+    return binner_;
+  }
+
+  /// Map an encoded column index back to (feature, bin) — used by the
+  /// visualization module to label receptive-field masks.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> decode_column(
+      std::size_t column) const;
+
+ private:
+  QuantileBinner binner_;
+  CodeStyle style_;
+};
+
+}  // namespace streambrain::encode

@@ -1,0 +1,43 @@
+#pragma once
+// Per-feature quantile binning. The paper: "we compute the 10-quantiles
+// and split the distribution into ten groups with approximately even
+// sizes". QuantileBinner fits the cut points on training data and maps
+// raw feature values to bin indices; it is the first half of the one-hot
+// input encoding BCPNN consumes.
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace streambrain::encode {
+
+class QuantileBinner {
+ public:
+  /// `bins` groups per feature (paper uses 10).
+  explicit QuantileBinner(std::size_t bins = 10);
+
+  /// Learn per-feature cut points from the rows of `data`.
+  void fit(const tensor::MatrixF& data);
+
+  [[nodiscard]] bool fitted() const noexcept { return !cuts_.empty(); }
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_; }
+  [[nodiscard]] std::size_t features() const noexcept { return cuts_.size(); }
+
+  /// Bin index in [0, bins) for one value of one feature. Values below the
+  /// first cut map to 0; values at or above the last cut map to bins-1.
+  [[nodiscard]] std::size_t bin_of(std::size_t feature, float value) const;
+
+  /// Bin all entries; result is [rows x features] of bin indices.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> transform(
+      const tensor::MatrixF& data) const;
+
+  /// The fitted cut points of one feature (bins-1 ascending values).
+  [[nodiscard]] const std::vector<float>& cuts(std::size_t feature) const;
+
+ private:
+  std::size_t bins_;
+  std::vector<std::vector<float>> cuts_;  // per feature, ascending
+};
+
+}  // namespace streambrain::encode

@@ -1,0 +1,123 @@
+#include "hpo/search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace streambrain::hpo {
+
+namespace {
+
+void record(SearchResult& result, std::size_t id, const util::Config& params,
+            double objective) {
+  Trial trial{id, params, objective};
+  if (result.history.empty() || objective > result.best.objective) {
+    result.best = trial;
+  }
+  result.history.push_back(std::move(trial));
+}
+
+}  // namespace
+
+RandomSearch::RandomSearch(ParameterSpace space, std::uint64_t seed)
+    : space_(std::move(space)), rng_(seed) {}
+
+SearchResult RandomSearch::optimize(const Objective& objective,
+                                    std::size_t budget) {
+  if (budget == 0) throw std::invalid_argument("RandomSearch: zero budget");
+  SearchResult result;
+  for (std::size_t i = 0; i < budget; ++i) {
+    const util::Config params = space_.sample(rng_);
+    record(result, i, params, objective(params));
+  }
+  return result;
+}
+
+LatinHypercubeSearch::LatinHypercubeSearch(ParameterSpace space,
+                                           std::uint64_t seed)
+    : space_(std::move(space)), rng_(seed) {}
+
+SearchResult LatinHypercubeSearch::optimize(const Objective& objective,
+                                            std::size_t budget) {
+  if (budget == 0) {
+    throw std::invalid_argument("LatinHypercubeSearch: zero budget");
+  }
+  SearchResult result;
+  const auto batch = space_.latin_hypercube(budget, rng_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    record(result, i, batch[i], objective(batch[i]));
+  }
+  return result;
+}
+
+EvolutionStrategy::EvolutionStrategy(ParameterSpace space,
+                                     EvolutionStrategyConfig config)
+    : space_(std::move(space)), config_(config), rng_(config.seed) {}
+
+SearchResult EvolutionStrategy::optimize(const Objective& objective,
+                                         std::size_t budget) {
+  if (budget == 0) {
+    throw std::invalid_argument("EvolutionStrategy: zero budget");
+  }
+  SearchResult result;
+  std::size_t evaluations = 0;
+
+  util::Config parent = space_.sample(rng_);
+  double parent_score = objective(parent);
+  record(result, evaluations++, parent, parent_score);
+
+  double sigma = config_.sigma_init;
+  while (evaluations < budget) {
+    util::Config best_child;
+    double best_child_score = -1e300;
+    const std::size_t offspring =
+        std::min(config_.lambda, budget - evaluations);
+    for (std::size_t k = 0; k < offspring; ++k) {
+      const util::Config child = space_.mutate(parent, sigma, rng_);
+      const double score = objective(child);
+      record(result, evaluations++, child, score);
+      if (score > best_child_score) {
+        best_child_score = score;
+        best_child = child;
+      }
+    }
+    if (best_child_score >= parent_score) {  // (1+lambda): keep the elite
+      parent = best_child;
+      parent_score = best_child_score;
+    }
+    sigma *= config_.sigma_decay;
+  }
+  return result;
+}
+
+SuccessiveHalving::SuccessiveHalving(ParameterSpace space,
+                                     SuccessiveHalvingConfig config)
+    : space_(std::move(space)), config_(config), rng_(config.seed) {}
+
+SearchResult SuccessiveHalving::optimize(const FidelityObjective& objective) {
+  if (config_.initial_population == 0 || config_.eta < 2) {
+    throw std::invalid_argument("SuccessiveHalving: bad config");
+  }
+  SearchResult result;
+  std::size_t next_id = 0;
+
+  std::vector<Trial> rung;
+  for (std::size_t i = 0; i < config_.initial_population; ++i) {
+    rung.push_back({next_id++, space_.sample(rng_), 0.0});
+  }
+  std::size_t fidelity = config_.min_fidelity;
+  while (!rung.empty()) {
+    for (auto& trial : rung) {
+      trial.objective = objective(trial.params, fidelity);
+      record(result, trial.id, trial.params, trial.objective);
+    }
+    if (rung.size() == 1 || fidelity >= config_.max_fidelity) break;
+    std::sort(rung.begin(), rung.end(), [](const Trial& a, const Trial& b) {
+      return a.objective > b.objective;
+    });
+    rung.resize(std::max<std::size_t>(1, rung.size() / config_.eta));
+    fidelity = std::min(fidelity * config_.eta, config_.max_fidelity);
+  }
+  return result;
+}
+
+}  // namespace streambrain::hpo

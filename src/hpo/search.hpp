@@ -1,0 +1,92 @@
+#pragma once
+// Derivative-free optimizers over a ParameterSpace (maximization).
+// RandomSearch and LatinHypercubeSearch are the Ax-style quasi-random
+// explorers; EvolutionStrategy is a (1+lambda) ES, the default algorithm
+// family of Nevergrad which the paper pairs with Ax; SuccessiveHalving
+// allocates budget across rungs for expensive objectives.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "hpo/space.hpp"
+
+namespace streambrain::hpo {
+
+/// Objective to MAXIMIZE (e.g. validation accuracy).
+using Objective = std::function<double(const util::Config&)>;
+
+struct Trial {
+  std::size_t id = 0;
+  util::Config params;
+  double objective = 0.0;
+};
+
+struct SearchResult {
+  Trial best;
+  std::vector<Trial> history;
+};
+
+class RandomSearch {
+ public:
+  RandomSearch(ParameterSpace space, std::uint64_t seed = 17);
+  SearchResult optimize(const Objective& objective, std::size_t budget);
+
+ private:
+  ParameterSpace space_;
+  util::Rng rng_;
+};
+
+class LatinHypercubeSearch {
+ public:
+  LatinHypercubeSearch(ParameterSpace space, std::uint64_t seed = 19);
+  SearchResult optimize(const Objective& objective, std::size_t budget);
+
+ private:
+  ParameterSpace space_;
+  util::Rng rng_;
+};
+
+struct EvolutionStrategyConfig {
+  std::size_t lambda = 4;       ///< offspring per generation
+  double sigma_init = 0.25;     ///< initial mutation scale
+  double sigma_decay = 0.9;     ///< per-generation multiplicative decay
+  std::uint64_t seed = 23;
+};
+
+/// (1 + lambda) evolution strategy with decaying mutation width.
+class EvolutionStrategy {
+ public:
+  EvolutionStrategy(ParameterSpace space, EvolutionStrategyConfig config = {});
+  SearchResult optimize(const Objective& objective, std::size_t budget);
+
+ private:
+  ParameterSpace space_;
+  EvolutionStrategyConfig config_;
+  util::Rng rng_;
+};
+
+/// Objective that also receives a fidelity/budget level (e.g. epochs).
+using FidelityObjective =
+    std::function<double(const util::Config&, std::size_t fidelity)>;
+
+struct SuccessiveHalvingConfig {
+  std::size_t initial_population = 16;
+  std::size_t min_fidelity = 1;
+  std::size_t max_fidelity = 8;
+  std::size_t eta = 2;          ///< keep top 1/eta per rung
+  std::uint64_t seed = 29;
+};
+
+class SuccessiveHalving {
+ public:
+  SuccessiveHalving(ParameterSpace space, SuccessiveHalvingConfig config = {});
+  SearchResult optimize(const FidelityObjective& objective);
+
+ private:
+  ParameterSpace space_;
+  SuccessiveHalvingConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace streambrain::hpo

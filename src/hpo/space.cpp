@@ -1,0 +1,166 @@
+#include "hpo/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace streambrain::hpo {
+
+ParameterSpace& ParameterSpace::add_continuous(const std::string& name,
+                                               double lo, double hi,
+                                               bool log_scale) {
+  if (lo >= hi) throw std::invalid_argument("add_continuous: lo >= hi");
+  if (log_scale && lo <= 0.0) {
+    throw std::invalid_argument("add_continuous: log scale needs lo > 0");
+  }
+  domains_.push_back(
+      {name, ParamDomain::Kind::kContinuous, lo, hi, log_scale, {}});
+  return *this;
+}
+
+ParameterSpace& ParameterSpace::add_integer(const std::string& name,
+                                            long long lo, long long hi,
+                                            bool log_scale) {
+  if (lo > hi) throw std::invalid_argument("add_integer: lo > hi");
+  if (log_scale && lo <= 0) {
+    throw std::invalid_argument("add_integer: log scale needs lo > 0");
+  }
+  domains_.push_back({name, ParamDomain::Kind::kInteger,
+                      static_cast<double>(lo), static_cast<double>(hi),
+                      log_scale,
+                      {}});
+  return *this;
+}
+
+ParameterSpace& ParameterSpace::add_categorical(
+    const std::string& name, std::vector<std::string> categories) {
+  if (categories.empty()) {
+    throw std::invalid_argument("add_categorical: empty category list");
+  }
+  ParamDomain domain;
+  domain.name = name;
+  domain.kind = ParamDomain::Kind::kCategorical;
+  domain.categories = std::move(categories);
+  domains_.push_back(std::move(domain));
+  return *this;
+}
+
+double ParameterSpace::sample_position(const ParamDomain& domain,
+                                       double unit) const {
+  if (domain.log_scale) {
+    const double log_lo = std::log(domain.lo);
+    const double log_hi = std::log(domain.hi);
+    return std::exp(log_lo + unit * (log_hi - log_lo));
+  }
+  return domain.lo + unit * (domain.hi - domain.lo);
+}
+
+util::Config ParameterSpace::sample(util::Rng& rng) const {
+  util::Config config;
+  for (const auto& domain : domains_) {
+    switch (domain.kind) {
+      case ParamDomain::Kind::kContinuous:
+        config.set_double(domain.name,
+                          sample_position(domain, rng.uniform()));
+        break;
+      case ParamDomain::Kind::kInteger: {
+        const double value = sample_position(domain, rng.uniform());
+        config.set_int(domain.name, std::llround(std::clamp(
+                                        value, domain.lo, domain.hi)));
+        break;
+      }
+      case ParamDomain::Kind::kCategorical:
+        config.set_string(domain.name,
+                          domain.categories[rng.uniform_index(
+                              domain.categories.size())]);
+        break;
+    }
+  }
+  return config;
+}
+
+std::vector<util::Config> ParameterSpace::latin_hypercube(
+    std::size_t count, util::Rng& rng) const {
+  // One stratified permutation of [0,count) per dimension.
+  std::vector<std::vector<std::size_t>> strata(domains_.size());
+  for (auto& perm : strata) {
+    perm.resize(count);
+    for (std::size_t i = 0; i < count; ++i) perm[i] = i;
+    rng.shuffle(perm);
+  }
+  std::vector<util::Config> batch(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    util::Config config;
+    for (std::size_t d = 0; d < domains_.size(); ++d) {
+      const auto& domain = domains_[d];
+      const double unit =
+          (static_cast<double>(strata[d][s]) + rng.uniform()) /
+          static_cast<double>(count);
+      switch (domain.kind) {
+        case ParamDomain::Kind::kContinuous:
+          config.set_double(domain.name, sample_position(domain, unit));
+          break;
+        case ParamDomain::Kind::kInteger:
+          config.set_int(domain.name,
+                         std::llround(std::clamp(sample_position(domain, unit),
+                                                 domain.lo, domain.hi)));
+          break;
+        case ParamDomain::Kind::kCategorical:
+          config.set_string(
+              domain.name,
+              domain.categories[static_cast<std::size_t>(
+                  unit * static_cast<double>(domain.categories.size())) %
+                                domain.categories.size()]);
+          break;
+      }
+    }
+    batch[s] = std::move(config);
+  }
+  return batch;
+}
+
+util::Config ParameterSpace::mutate(const util::Config& base, double sigma,
+                                    util::Rng& rng) const {
+  util::Config mutated = base;
+  for (const auto& domain : domains_) {
+    switch (domain.kind) {
+      case ParamDomain::Kind::kContinuous: {
+        double value = base.get_double(domain.name, domain.lo);
+        if (domain.log_scale) {
+          value = std::exp(std::log(std::max(value, domain.lo)) +
+                           rng.normal(0.0, sigma) *
+                               (std::log(domain.hi) - std::log(domain.lo)));
+        } else {
+          value += rng.normal(0.0, sigma) * (domain.hi - domain.lo);
+        }
+        mutated.set_double(domain.name,
+                           std::clamp(value, domain.lo, domain.hi));
+        break;
+      }
+      case ParamDomain::Kind::kInteger: {
+        double value = static_cast<double>(
+            base.get_int(domain.name, static_cast<long long>(domain.lo)));
+        if (domain.log_scale) {
+          value = std::exp(std::log(std::max(value, domain.lo)) +
+                           rng.normal(0.0, sigma) *
+                               (std::log(domain.hi) - std::log(domain.lo)));
+        } else {
+          value += rng.normal(0.0, sigma) * (domain.hi - domain.lo);
+        }
+        mutated.set_int(domain.name, std::llround(std::clamp(
+                                         value, domain.lo, domain.hi)));
+        break;
+      }
+      case ParamDomain::Kind::kCategorical:
+        if (rng.bernoulli(sigma)) {
+          mutated.set_string(domain.name,
+                             domain.categories[rng.uniform_index(
+                                 domain.categories.size())]);
+        }
+        break;
+    }
+  }
+  return mutated;
+}
+
+}  // namespace streambrain::hpo

@@ -1,0 +1,62 @@
+#pragma once
+// Hyper-parameter search space DSL. The paper uses the Adaptive
+// Exploration Platform (Ax) with Nevergrad to tune BCPNN's many
+// hyper-parameters (Section IV); this module provides the same
+// capability: declare a space, sample/mutate assignments as util::Config
+// objects, and hand them to BcpnnConfig::apply().
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/config.hpp"
+#include "util/rng.hpp"
+
+namespace streambrain::hpo {
+
+struct ParamDomain {
+  enum class Kind { kContinuous, kInteger, kCategorical };
+
+  std::string name;
+  Kind kind = Kind::kContinuous;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+  std::vector<std::string> categories;
+};
+
+class ParameterSpace {
+ public:
+  ParameterSpace& add_continuous(const std::string& name, double lo,
+                                 double hi, bool log_scale = false);
+  ParameterSpace& add_integer(const std::string& name, long long lo,
+                              long long hi, bool log_scale = false);
+  ParameterSpace& add_categorical(const std::string& name,
+                                  std::vector<std::string> categories);
+
+  [[nodiscard]] std::size_t size() const noexcept { return domains_.size(); }
+  [[nodiscard]] const ParamDomain& domain(std::size_t i) const {
+    return domains_.at(i);
+  }
+
+  /// Uniform (log-uniform where requested) sample of a full assignment.
+  [[nodiscard]] util::Config sample(util::Rng& rng) const;
+
+  /// Stratified Latin-hypercube batch of `count` assignments.
+  [[nodiscard]] std::vector<util::Config> latin_hypercube(
+      std::size_t count, util::Rng& rng) const;
+
+  /// Gaussian mutation of one assignment: each parameter moves by
+  /// N(0, sigma * range) in (log-)space; categoricals resample with
+  /// probability sigma. Values are clipped into the domain.
+  [[nodiscard]] util::Config mutate(const util::Config& base, double sigma,
+                                    util::Rng& rng) const;
+
+ private:
+  [[nodiscard]] double sample_position(const ParamDomain& domain,
+                                       double unit) const;
+
+  std::vector<ParamDomain> domains_;
+};
+
+}  // namespace streambrain::hpo

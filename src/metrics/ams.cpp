@@ -1,0 +1,54 @@
+#include "metrics/ams.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace streambrain::metrics {
+
+double ams(double s, double b, double b_reg) {
+  if (s < 0.0 || b < 0.0) {
+    throw std::invalid_argument("ams: counts must be non-negative");
+  }
+  const double denom = b + b_reg;
+  if (denom <= 0.0) return 0.0;
+  const double radicand = 2.0 * ((s + denom) * std::log1p(s / denom) - s);
+  return radicand > 0.0 ? std::sqrt(radicand) : 0.0;
+}
+
+AmsScan best_ams(const std::vector<double>& scores,
+                 const std::vector<int>& labels, double b_reg) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("best_ams: size mismatch");
+  }
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b2) {
+    return scores[a] > scores[b2];
+  });
+  // Walk thresholds from the highest score down, accumulating the selected
+  // region; track the best AMS seen.
+  AmsScan scan;
+  double s = 0.0;
+  double b = 0.0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    if (labels[i] == 1) {
+      s += 1.0;
+    } else {
+      b += 1.0;
+    }
+    const bool boundary =
+        k + 1 == order.size() || scores[order[k + 1]] != scores[i];
+    if (!boundary) continue;
+    const double value = ams(s, b, b_reg);
+    if (value > scan.best_ams) {
+      scan.best_ams = value;
+      scan.best_threshold = scores[i];
+    }
+  }
+  return scan;
+}
+
+}  // namespace streambrain::metrics

@@ -1,0 +1,28 @@
+#pragma once
+// Approximate Median Significance — the metric of the HiggsML Kaggle
+// challenge the paper's related-work section discusses. AMS scores a
+// selection region rather than a ranking:
+//
+//   AMS = sqrt( 2 * ( (s + b + b_reg) * ln(1 + s/(b + b_reg)) - s ) )
+//
+// where s / b are the weighted signal / background counts passing the
+// selection and b_reg is a regularization term (10 in the challenge).
+
+#include <cstddef>
+#include <vector>
+
+namespace streambrain::metrics {
+
+/// AMS for given selected signal weight `s` and background weight `b`.
+double ams(double s, double b, double b_reg = 10.0);
+
+/// Sweep thresholds over `scores` and return the best AMS achievable,
+/// with unit event weights. Labels in {0,1} (1 = signal).
+struct AmsScan {
+  double best_ams = 0.0;
+  double best_threshold = 0.0;
+};
+AmsScan best_ams(const std::vector<double>& scores,
+                 const std::vector<int>& labels, double b_reg = 10.0);
+
+}  // namespace streambrain::metrics

@@ -1,0 +1,149 @@
+#include "metrics/classification.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace streambrain::metrics {
+
+double accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (predictions.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predictions.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: need at least one class");
+  }
+}
+
+void ConfusionMatrix::add(int true_label, int predicted_label) {
+  if (true_label < 0 || predicted_label < 0 ||
+      static_cast<std::size_t>(true_label) >= classes_ ||
+      static_cast<std::size_t>(predicted_label) >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: label out of range");
+  }
+  ++counts_[static_cast<std::size_t>(true_label) * classes_ +
+            static_cast<std::size_t>(predicted_label)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_all(const std::vector<int>& predictions,
+                              const std::vector<int>& labels) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("ConfusionMatrix::add_all: size mismatch");
+  }
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    add(labels[i], predictions[i]);
+  }
+}
+
+std::size_t ConfusionMatrix::count(int true_label, int predicted_label) const {
+  if (true_label < 0 || predicted_label < 0 ||
+      static_cast<std::size_t>(true_label) >= classes_ ||
+      static_cast<std::size_t>(predicted_label) >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::count: label out of range");
+  }
+  return counts_[static_cast<std::size_t>(true_label) * classes_ +
+                 static_cast<std::size_t>(predicted_label)];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t diagonal = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    diagonal += counts_[c * classes_ + c];
+  }
+  return static_cast<double>(diagonal) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < classes_; ++t) predicted += counts_[t * classes_ + c];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(counts_[c * classes_ + c]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < classes_; ++p) actual += counts_[c * classes_ + p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(counts_[c * classes_ + c]) /
+         static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  out << "confusion (rows=true, cols=pred):\n";
+  for (std::size_t t = 0; t < classes_; ++t) {
+    for (std::size_t p = 0; p < classes_; ++p) {
+      out << counts_[t * classes_ + p];
+      out << (p + 1 == classes_ ? '\n' : '\t');
+    }
+  }
+  return out.str();
+}
+
+double log_loss(const std::vector<double>& scores,
+                const std::vector<int>& labels, double eps) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("log_loss: size mismatch");
+  }
+  if (scores.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double p = std::clamp(scores[i], eps, 1.0 - eps);
+    total += labels[i] == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(scores.size());
+}
+
+double expected_calibration_error(const std::vector<double>& scores,
+                                  const std::vector<int>& labels,
+                                  std::size_t bins) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("calibration: size mismatch");
+  }
+  if (scores.empty() || bins == 0) return 0.0;
+  std::vector<double> bin_score(bins, 0.0);
+  std::vector<double> bin_positive(bins, 0.0);
+  std::vector<std::size_t> bin_count(bins, 0);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    std::size_t b = static_cast<std::size_t>(
+        std::clamp(scores[i], 0.0, 1.0) * static_cast<double>(bins));
+    if (b == bins) b = bins - 1;
+    bin_score[b] += scores[i];
+    bin_positive[b] += labels[i] == 1 ? 1.0 : 0.0;
+    ++bin_count[b];
+  }
+  double ece = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (bin_count[b] == 0) continue;
+    const double n = static_cast<double>(bin_count[b]);
+    ece += (n / static_cast<double>(scores.size())) *
+           std::abs(bin_score[b] / n - bin_positive[b] / n);
+  }
+  return ece;
+}
+
+}  // namespace streambrain::metrics

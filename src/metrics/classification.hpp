@@ -1,0 +1,54 @@
+#pragma once
+// Classification quality metrics: accuracy, confusion matrix, precision /
+// recall / F1, and log-loss. Labels are integer class ids.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace streambrain::metrics {
+
+/// Fraction of predictions equal to labels. Throws on size mismatch.
+double accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels);
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(int true_label, int predicted_label);
+  void add_all(const std::vector<int>& predictions,
+               const std::vector<int>& labels);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return classes_; }
+  [[nodiscard]] std::size_t count(int true_label,
+                                  int predicted_label) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  [[nodiscard]] double accuracy() const noexcept;
+  /// One-vs-rest precision / recall / F1 for a class; 0 when undefined.
+  [[nodiscard]] double precision(int cls) const;
+  [[nodiscard]] double recall(int cls) const;
+  [[nodiscard]] double f1(int cls) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t classes_;
+  std::vector<std::size_t> counts_;  // row-major classes_ x classes_
+  std::size_t total_ = 0;
+};
+
+/// Binary cross-entropy: labels in {0,1}, scores are P(class=1).
+/// Scores are clamped to [eps, 1-eps].
+double log_loss(const std::vector<double>& scores,
+                const std::vector<int>& labels, double eps = 1e-12);
+
+/// Expected calibration error with `bins` equal-width probability bins.
+double expected_calibration_error(const std::vector<double>& scores,
+                                  const std::vector<int>& labels,
+                                  std::size_t bins = 10);
+
+}  // namespace streambrain::metrics

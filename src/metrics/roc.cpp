@@ -1,0 +1,84 @@
+#include "metrics/roc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace streambrain::metrics {
+
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("roc_curve: size mismatch");
+  }
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::size_t positives = 0;
+  for (int label : labels) positives += label == 1 ? 1 : 0;
+  const std::size_t negatives = labels.size() - positives;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    if (labels[i] == 1) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    // Emit a point only at threshold boundaries (handles ties correctly).
+    const bool last = k + 1 == order.size();
+    if (last || scores[order[k + 1]] != scores[i]) {
+      curve.push_back(
+          {negatives ? static_cast<double>(fp) / negatives : 0.0,
+           positives ? static_cast<double>(tp) / positives : 0.0,
+           scores[i]});
+    }
+  }
+  return curve;
+}
+
+double auc(const std::vector<double>& scores, const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("auc: size mismatch");
+  }
+  std::size_t positives = 0;
+  for (int label : labels) positives += label == 1 ? 1 : 0;
+  const std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Rank-sum (Mann-Whitney) with midranks for ties.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  double positive_rank_sum = 0.0;
+  std::size_t k = 0;
+  while (k < order.size()) {
+    std::size_t j = k;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[k]]) {
+      ++j;
+    }
+    // Midrank for the tie group [k, j] (1-based ranks).
+    const double midrank = 0.5 * (static_cast<double>(k + 1) +
+                                  static_cast<double>(j + 1));
+    for (std::size_t t = k; t <= j; ++t) {
+      if (labels[order[t]] == 1) positive_rank_sum += midrank;
+    }
+    k = j + 1;
+  }
+  const double np = static_cast<double>(positives);
+  const double nn = static_cast<double>(negatives);
+  return (positive_rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+}  // namespace streambrain::metrics

@@ -1,0 +1,26 @@
+#pragma once
+// ROC curve and Area Under the Curve. The paper reports AUC as its second
+// headline metric (76.4% for BCPNN+SGD); this implementation is tie-aware
+// (equivalent to the Mann-Whitney U statistic).
+
+#include <cstddef>
+#include <vector>
+
+namespace streambrain::metrics {
+
+struct RocPoint {
+  double false_positive_rate;
+  double true_positive_rate;
+  double threshold;
+};
+
+/// Full ROC curve, thresholds descending. Labels in {0,1}; higher score
+/// means "more likely class 1".
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels);
+
+/// Tie-aware AUC via the rank-sum formulation. Returns 0.5 when either
+/// class is absent (undefined, but benign for sweeps).
+double auc(const std::vector<double>& scores, const std::vector<int>& labels);
+
+}  // namespace streambrain::metrics

@@ -1,0 +1,20 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace streambrain::parallel {
+
+void parallel_for_pool(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  std::vector<std::future<void>> futures;
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(lo + grain, end);
+    futures.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  for (auto& f : futures) f.get();  // propagate exceptions
+}
+
+}  // namespace streambrain::parallel

@@ -1,0 +1,115 @@
+#include "tensor/gemm.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace streambrain::tensor {
+
+namespace {
+
+struct Dims {
+  std::size_t m, n, k;
+};
+
+Dims check_dims(Transpose trans_a, Transpose trans_b, const MatrixF& a,
+                const MatrixF& b, const MatrixF& c) {
+  const std::size_t m = trans_a == Transpose::kNo ? a.rows() : a.cols();
+  const std::size_t k = trans_a == Transpose::kNo ? a.cols() : a.rows();
+  const std::size_t kb = trans_b == Transpose::kNo ? b.rows() : b.cols();
+  const std::size_t n = trans_b == Transpose::kNo ? b.cols() : b.rows();
+  if (k != kb || c.rows() != m || c.cols() != n) {
+    throw std::invalid_argument("gemm: dimension mismatch");
+  }
+  return {m, n, k};
+}
+
+inline float load(const MatrixF& x, Transpose t, std::size_t i,
+                  std::size_t j) noexcept {
+  return t == Transpose::kNo ? x(i, j) : x(j, i);
+}
+
+}  // namespace
+
+void gemm_naive(Transpose trans_a, Transpose trans_b, float alpha,
+                const MatrixF& a, const MatrixF& b, float beta, MatrixF& c) {
+  const auto [m, n, k] = check_dims(trans_a, trans_b, a, b, c);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += load(a, trans_a, i, p) * load(b, trans_b, p, j);
+      }
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+void gemm_blocked(Transpose trans_a, Transpose trans_b, float alpha,
+                  const MatrixF& a, const MatrixF& b, float beta, MatrixF& c) {
+  const auto [m, n, k] = check_dims(trans_a, trans_b, a, b, c);
+
+  // Pack operands into contiguous row-major (A: m x k) and (B: k x n)
+  // buffers so the inner kernel is a pure streaming ikj loop regardless of
+  // the requested transposes. Packing costs O(mk + kn) against an O(mnk)
+  // kernel, which is the standard GotoBLAS trade-off.
+  std::vector<float> a_packed;
+  const float* a_ptr = nullptr;
+  if (trans_a == Transpose::kNo) {
+    a_ptr = a.data();
+  } else {
+    a_packed.resize(m * k);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t p = 0; p < k; ++p) a_packed[i * k + p] = a(p, i);
+    }
+    a_ptr = a_packed.data();
+  }
+  std::vector<float> b_packed;
+  const float* b_ptr = nullptr;
+  if (trans_b == Transpose::kNo) {
+    b_ptr = b.data();
+  } else {
+    b_packed.resize(k * n);
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t j = 0; j < n; ++j) b_packed[p * n + j] = b(j, p);
+    }
+    b_ptr = b_packed.data();
+  }
+
+  constexpr std::size_t kBlockK = 256;
+
+  // Scale C by beta first so the kernel can accumulate unconditionally.
+  if (beta == 0.0f) {
+    c.fill(0.0f);
+  } else if (beta != 1.0f) {
+    for (float& v : c) v *= beta;
+  }
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* c_row = c.row(i);
+    const float* a_row = a_ptr + i * k;
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(p0 + kBlockK, k);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const float a_ip = alpha * a_row[p];
+        const float* b_row = b_ptr + p * n;
+        // Vectorizable saxpy over the C row.
+#pragma omp simd
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+void gemm(Transpose trans_a, Transpose trans_b, float alpha, const MatrixF& a,
+          const MatrixF& b, float beta, MatrixF& c) {
+  gemm_blocked(trans_a, trans_b, alpha, a, b, beta, c);
+}
+
+MatrixF matmul(const MatrixF& a, const MatrixF& b) {
+  MatrixF c(a.rows(), b.cols());
+  gemm(Transpose::kNo, Transpose::kNo, 1.0f, a, b, 0.0f, c);
+  return c;
+}
+
+}  // namespace streambrain::tensor

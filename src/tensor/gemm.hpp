@@ -1,0 +1,36 @@
+#pragma once
+// General matrix multiply kernels: C = alpha * op(A) * op(B) + beta * C.
+//
+// Three implementations with identical semantics:
+//   gemm_naive     - triple loop, the correctness reference
+//   gemm_blocked   - cache-blocked ikj loop order, OpenMP over row blocks
+//   gemm           - dispatches to the best available implementation
+//
+// StreamBrain expresses both BCPNN activation (batch x weights) and the
+// batched trace outer-product update as GEMM, so these kernels dominate
+// training time exactly as the paper's Section II-B describes.
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace streambrain::tensor {
+
+enum class Transpose { kNo, kYes };
+
+/// Reference implementation; always correct, never fast.
+void gemm_naive(Transpose trans_a, Transpose trans_b, float alpha,
+                const MatrixF& a, const MatrixF& b, float beta, MatrixF& c);
+
+/// Cache-blocked + OpenMP implementation.
+void gemm_blocked(Transpose trans_a, Transpose trans_b, float alpha,
+                  const MatrixF& a, const MatrixF& b, float beta, MatrixF& c);
+
+/// Production entry point (blocked).
+void gemm(Transpose trans_a, Transpose trans_b, float alpha, const MatrixF& a,
+          const MatrixF& b, float beta, MatrixF& c);
+
+/// Convenience: C = A * B with fresh output.
+MatrixF matmul(const MatrixF& a, const MatrixF& b);
+
+}  // namespace streambrain::tensor

@@ -1,0 +1,112 @@
+#include "tensor/kernels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/vecmath.hpp"
+
+namespace streambrain::tensor {
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, float* x, std::size_t n) noexcept {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+float dot(const float* x, const float* y, std::size_t n) noexcept {
+  float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+float sum(const float* x, std::size_t n) noexcept {
+  float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+void add_row_bias(MatrixF& m, const float* bias) noexcept {
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+#pragma omp simd
+    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+void ema_update(float* p, const float* x, float rate, std::size_t n) noexcept {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) p[i] += rate * (x[i] - p[i]);
+}
+
+namespace {
+
+inline void softmax_block_inplace(float* values, std::size_t n,
+                                  float inv_temp) noexcept {
+  float max_v = values[0];
+  for (std::size_t i = 1; i < n; ++i) max_v = std::max(max_v, values[i]);
+  float total = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float e = fast_exp(inv_temp * (values[i] - max_v));
+    values[i] = e;
+    total += e;
+  }
+  const float inv_total = 1.0f / total;
+  for (std::size_t i = 0; i < n; ++i) values[i] *= inv_total;
+}
+
+}  // namespace
+
+void softmax_blocks(MatrixF& m, std::size_t block) {
+  softmax_blocks_temperature(m, block, 1.0f);
+}
+
+void softmax_blocks_temperature(MatrixF& m, std::size_t block,
+                                float inverse_temperature) {
+  if (block == 0 || m.cols() % block != 0) {
+    throw std::invalid_argument(
+        "softmax_blocks: row width must be a multiple of the block size");
+  }
+  const std::size_t blocks_per_row = m.cols() / block;
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+    for (std::size_t b = 0; b < blocks_per_row; ++b) {
+      softmax_block_inplace(row + b * block, block, inverse_temperature);
+    }
+  }
+}
+
+void wta_blocks(MatrixF& m, std::size_t block) noexcept {
+  const std::size_t blocks_per_row = m.cols() / block;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+    for (std::size_t b = 0; b < blocks_per_row; ++b) {
+      float* v = row + b * block;
+      std::size_t winner = 0;
+      for (std::size_t i = 1; i < block; ++i) {
+        if (v[i] > v[winner]) winner = i;
+      }
+      for (std::size_t i = 0; i < block; ++i) v[i] = (i == winner) ? 1.0f : 0.0f;
+    }
+  }
+}
+
+void argmax_rows(const MatrixF& m, std::size_t* out) noexcept {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < m.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = best;
+  }
+}
+
+}  // namespace streambrain::tensor

@@ -1,0 +1,48 @@
+#pragma once
+// Vector kernels shared by the BCPNN layers and the baselines. All loops
+// are written to auto-vectorize under -O2/-march=native; `softmax_blocks`
+// is the per-hypercolumn soft-WTA primitive at the heart of BCPNN.
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace streambrain::tensor {
+
+/// y += alpha * x (saxpy).
+void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept;
+
+/// x *= alpha.
+void scale(float alpha, float* x, std::size_t n) noexcept;
+
+/// dot product.
+float dot(const float* x, const float* y, std::size_t n) noexcept;
+
+/// Sum of elements.
+float sum(const float* x, std::size_t n) noexcept;
+
+/// Adds `bias` (length cols) to each row of `m`.
+void add_row_bias(MatrixF& m, const float* bias) noexcept;
+
+/// In-place exponential moving-average update: p += rate * (x - p).
+void ema_update(float* p, const float* x, float rate, std::size_t n) noexcept;
+
+/// Numerically-stable softmax over each contiguous block of `block` values
+/// in every row of `m` (rows must be a multiple of `block` wide). This is
+/// the hypercolumn normalization: each HCU's MCUs form one block and the
+/// activations within a block sum to exactly 1.
+void softmax_blocks(MatrixF& m, std::size_t block);
+
+/// Same as softmax_blocks but with an inverse-temperature factor applied
+/// to the supports before normalization.
+void softmax_blocks_temperature(MatrixF& m, std::size_t block,
+                                float inverse_temperature);
+
+/// Hard winner-take-all within each block: winner gets 1, rest 0.
+/// Ties resolve to the lowest index (deterministic).
+void wta_blocks(MatrixF& m, std::size_t block) noexcept;
+
+/// Row-wise argmax (returns column index per row).
+void argmax_rows(const MatrixF& m, std::size_t* out) noexcept;
+
+}  // namespace streambrain::tensor

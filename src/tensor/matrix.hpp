@@ -1,0 +1,158 @@
+#pragma once
+// Dense row-major matrix with 64-byte aligned storage (AVX-512 friendly).
+// This is the single data container used by the BCPNN kernels, the data
+// pipeline and the baselines; views give zero-copy row access.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <initializer_list>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace streambrain::tensor {
+
+inline constexpr std::size_t kAlignment = 64;
+
+/// Aligned allocator helpers (no exceptions on the hot path).
+template <typename T>
+T* aligned_alloc_array(std::size_t count) {
+  if (count == 0) return nullptr;
+  const std::size_t bytes =
+      ((count * sizeof(T) + kAlignment - 1) / kAlignment) * kAlignment;
+  void* ptr = std::aligned_alloc(kAlignment, bytes);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return static_cast<T*>(ptr);
+}
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(aligned_alloc_array<T>(rows * cols)) {
+    std::fill_n(data_, size(), fill);
+  }
+
+  Matrix(std::size_t rows, std::size_t cols,
+         std::initializer_list<T> values)
+      : Matrix(rows, cols) {
+    if (values.size() != size()) {
+      throw std::invalid_argument("Matrix initializer size mismatch");
+    }
+    std::copy(values.begin(), values.end(), data_);
+  }
+
+  Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_) {
+    std::copy_n(other.data_, size(), data_);
+  }
+
+  Matrix(Matrix&& other) noexcept
+      : rows_(std::exchange(other.rows_, 0)),
+        cols_(std::exchange(other.cols_, 0)),
+        data_(std::exchange(other.data_, nullptr)) {}
+
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      Matrix copy(other);
+      swap(copy);
+    }
+    return *this;
+  }
+
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this != &other) {
+      release();
+      rows_ = std::exchange(other.rows_, 0);
+      cols_ = std::exchange(other.cols_, 0);
+      data_ = std::exchange(other.data_, nullptr);
+    }
+    return *this;
+  }
+
+  ~Matrix() { release(); }
+
+  void swap(Matrix& other) noexcept {
+    std::swap(rows_, other.rows_);
+    std::swap(cols_, other.cols_);
+    std::swap(data_, other.data_);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  [[nodiscard]] T* row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return data_ + r * cols_;
+  }
+  [[nodiscard]] const T* row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return data_ + r * cols_;
+  }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r,
+                                    std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] T& at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+  }
+
+  void fill(T value) noexcept { std::fill_n(data_, size(), value); }
+
+  /// Resize, discarding the contents (no reallocation if shape matches).
+  void resize(std::size_t rows, std::size_t cols, T fill = T{}) {
+    if (rows * cols != size()) {
+      Matrix fresh(rows, cols, fill);
+      swap(fresh);
+    } else {
+      rows_ = rows;
+      cols_ = cols;
+      this->fill(fill);
+    }
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size(); }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size(); }
+
+  [[nodiscard]] bool operator==(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  T* data_ = nullptr;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+
+}  // namespace streambrain::tensor

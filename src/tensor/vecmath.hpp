@@ -1,0 +1,34 @@
+#pragma once
+// Fast transcendental approximations for the BCPNN hot loops.
+//
+// BCPNN spends its non-GEMM time in exp (softmax) and log (weight
+// recomputation from probability traces). `fast_exp`/`fast_log` are
+// polynomial approximations accurate to ~2e-7 relative error over the
+// ranges BCPNN uses, and they auto-vectorize cleanly. The `v*` array
+// variants process whole buffers.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace streambrain::tensor {
+
+/// exp(x) via exponent extraction + degree-5 polynomial on the reduced
+/// argument. Clamps to avoid overflow; max relative error ~ 2e-7.
+float fast_exp(float x) noexcept;
+
+/// log(x) via mantissa/exponent split + degree-7 polynomial (atanh form).
+/// Defined for x > 0; returns a large negative value for x <= 0 (callers
+/// floor probabilities at eps, so this path only guards against bugs).
+float fast_log(float x) noexcept;
+
+/// out[i] = exp(x[i]).
+void vexp(const float* x, float* out, std::size_t n) noexcept;
+
+/// out[i] = log(x[i]).
+void vlog(const float* x, float* out, std::size_t n) noexcept;
+
+/// out[i] = log(max(x[i], floor)) — the trace-to-weight transform.
+void vlog_floored(const float* x, float* out, float floor,
+                  std::size_t n) noexcept;
+
+}  // namespace streambrain::tensor

@@ -1,0 +1,78 @@
+#include "util/cli.hpp"
+
+#include "util/string_util.hpp"
+
+namespace streambrain::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!starts_with(token, "--")) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself an option.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[body] = argv[i + 1];
+      ++i;
+    } else {
+      options_[body] = "";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::raw(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  const auto value = raw(name);
+  return value && !value->empty() ? *value : fallback;
+}
+
+long long ArgParser::get_int(const std::string& name,
+                             long long fallback) const {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  const auto parsed = parse_int(*value);
+  return parsed ? *parsed : fallback;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  const auto parsed = parse_double(*value);
+  return parsed ? *parsed : fallback;
+}
+
+bool ArgParser::get_bool(const std::string& name, bool fallback) const {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  if (value->empty()) return true;  // bare flag means "on"
+  const std::string lowered = to_lower(*value);
+  if (lowered == "1" || lowered == "true" || lowered == "yes" ||
+      lowered == "on") {
+    return true;
+  }
+  if (lowered == "0" || lowered == "false" || lowered == "no" ||
+      lowered == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace streambrain::util

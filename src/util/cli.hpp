@@ -1,0 +1,42 @@
+#pragma once
+// Minimal declarative command-line parser for examples and bench drivers.
+// Supports --flag, --key value, and --key=value forms.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace streambrain::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True when --name was given (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& name,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --key) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program_name() const { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace streambrain::util

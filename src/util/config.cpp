@@ -1,0 +1,96 @@
+#include "util/config.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace streambrain::util {
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (const auto* v = std::get_if<long long>(&it->second)) return *v;
+  if (const auto* v = std::get_if<double>(&it->second)) {
+    return static_cast<long long>(*v);
+  }
+  return fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (const auto* v = std::get_if<double>(&it->second)) return *v;
+  if (const auto* v = std::get_if<long long>(&it->second)) {
+    return static_cast<double>(*v);
+  }
+  return fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (const auto* v = std::get_if<bool>(&it->second)) return *v;
+  return fallback;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (const auto* v = std::get_if<std::string>(&it->second)) return *v;
+  return fallback;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) out << ' ';
+    first = false;
+    out << key << '=';
+    std::visit(
+        [&out](const auto& v) {
+          if constexpr (std::is_same_v<std::decay_t<decltype(v)>, bool>) {
+            out << (v ? "true" : "false");
+          } else {
+            out << v;
+          }
+        },
+        value);
+  }
+  return out.str();
+}
+
+Config Config::parse(const std::string& text) {
+  Config config;
+  for (const auto& piece : split(text, ',')) {
+    const std::string_view trimmed = trim(piece);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("Config::parse: malformed pair '" +
+                                  std::string(trimmed) + "'");
+    }
+    const std::string key(trim(trimmed.substr(0, eq)));
+    const std::string value(trim(trimmed.substr(eq + 1)));
+    if (const auto as_int = parse_int(value)) {
+      config.set_int(key, *as_int);
+    } else if (const auto as_double = parse_double(value)) {
+      config.set_double(key, *as_double);
+    } else if (value == "true" || value == "false") {
+      config.set_bool(key, value == "true");
+    } else {
+      config.set_string(key, value);
+    }
+  }
+  return config;
+}
+
+}  // namespace streambrain::util

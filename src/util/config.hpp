@@ -1,0 +1,52 @@
+#pragma once
+// Typed key-value configuration store. Used to thread hyper-parameter
+// assignments from the HPO module into trainer construction without a
+// compile-time dependency between them.
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace streambrain::util {
+
+class Config {
+ public:
+  using Value = std::variant<long long, double, bool, std::string>;
+
+  void set_int(const std::string& key, long long value) { values_[key] = value; }
+  void set_double(const std::string& key, double value) { values_[key] = value; }
+  void set_bool(const std::string& key, bool value) { values_[key] = value; }
+  void set_string(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+
+  /// Keys in sorted order (deterministic iteration for logging).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// "key=value key=value ..." representation for logs.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse "k=v,k2=v2" style strings (values inferred: int, double, bool,
+  /// else string). Throws std::invalid_argument on malformed pairs.
+  static Config parse(const std::string& text);
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace streambrain::util

@@ -1,0 +1,57 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace streambrain::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c > 0 ? "," : "") << escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c > 0 ? "," : "") << escape(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path());
+  }
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("CsvWriter: cannot open " + path);
+  file << to_string();
+  if (!file) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace streambrain::util

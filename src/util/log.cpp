@@ -1,0 +1,46 @@
+#include "util/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace streambrain::util {
+
+LogLevel Log::level_ = LogLevel::kInfo;
+
+namespace {
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept { level_ = level; }
+
+LogLevel Log::level() noexcept { return level_; }
+
+const char* Log::level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      now.time_since_epoch())
+                      .count();
+  const double seconds = static_cast<double>(us) * 1e-6;
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[%14.6f] [%s] %s\n", seconds, level_name(level),
+               message.c_str());
+}
+
+}  // namespace streambrain::util

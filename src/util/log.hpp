@@ -1,0 +1,62 @@
+#pragma once
+// Lightweight leveled logger. Thread-safe line-at-a-time output; no global
+// locks on the hot path when the level is filtered out.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace streambrain::util {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration. Defaults to kInfo on stderr.
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Emit one formatted line (already composed). Thread-safe.
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level) noexcept;
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+
+/// Stream-style accumulator that flushes a single log line on destruction.
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { Log::write(level_, stream_.str()); }
+
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace streambrain::util
+
+#define SB_LOG(sb_log_level)                                                 \
+  if (::streambrain::util::Log::level() <= (sb_log_level))                   \
+  ::streambrain::util::detail::LineLogger(sb_log_level)
+
+#define SB_LOG_TRACE() SB_LOG(::streambrain::util::LogLevel::kTrace)
+#define SB_LOG_DEBUG() SB_LOG(::streambrain::util::LogLevel::kDebug)
+#define SB_LOG_INFO() SB_LOG(::streambrain::util::LogLevel::kInfo)
+#define SB_LOG_WARN() SB_LOG(::streambrain::util::LogLevel::kWarn)
+#define SB_LOG_ERROR() SB_LOG(::streambrain::util::LogLevel::kError)

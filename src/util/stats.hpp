@@ -1,0 +1,57 @@
+#pragma once
+// Numerically stable descriptive statistics (Welford online moments,
+// order statistics) used by the benchmark harness and tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace streambrain::util {
+
+/// Online mean/variance accumulator (Welford). O(1) space, stable.
+class RunningStat {
+ public:
+  void add(double value) noexcept {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    if (count_ == 1 || value < min_) min_ = value;
+    if (count_ == 1 || value > max_) max_ = value;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a vector; 0 for empty input.
+double mean(const std::vector<double>& values) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(const std::vector<double>& values) noexcept;
+
+/// Median (copies and partially sorts the input).
+double median(std::vector<double> values) noexcept;
+
+/// Linear-interpolated quantile, q in [0,1] (type-7, same as NumPy default).
+double quantile(std::vector<double> values, double q) noexcept;
+
+/// All k-quantile cut points for `groups` equal-mass groups (e.g. groups=10
+/// returns the 9 deciles). Matches the paper's "compute the 10-quantiles".
+std::vector<double> quantile_cuts(std::vector<double> values,
+                                  std::size_t groups) noexcept;
+
+}  // namespace streambrain::util

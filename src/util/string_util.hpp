@@ -1,0 +1,36 @@
+#pragma once
+// Small string helpers shared by the CSV loader, CLI parser and table
+// printers. No locale dependence; ASCII-only semantics.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streambrain::util {
+
+/// Split on a single character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Case-sensitive prefix/suffix checks.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Lower-case an ASCII string.
+std::string to_lower(std::string_view text);
+
+/// Strict numeric parses; nullopt on any trailing garbage.
+std::optional<double> parse_double(std::string_view text) noexcept;
+std::optional<long long> parse_int(std::string_view text) noexcept;
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+}  // namespace streambrain::util

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace streambrain::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row arity mismatch: expected " +
+                                std::to_string(headers_.size()) + ", got " +
+                                std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  return format("%.*f", precision, value);
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return format("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&](char left, char mid, char right) {
+    std::string line(1, left);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      line.append(widths[c] + 2, '-');
+      line += (c + 1 == widths.size()) ? right : mid;
+    }
+    return line + "\n";
+  };
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 1, ' ');
+      line += '|';
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream out;
+  out << rule('+', '+', '+');
+  out << render_row(headers_);
+  out << rule('+', '+', '+');
+  for (const auto& row : rows_) out << render_row(row);
+  out << rule('+', '+', '+');
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace streambrain::util

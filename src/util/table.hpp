@@ -1,0 +1,34 @@
+#pragma once
+// ASCII table printer used by the benchmark harness to render the paper's
+// figures as aligned text tables (paper reference vs measured).
+
+#include <string>
+#include <vector>
+
+namespace streambrain::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);
+
+  /// Render with box-drawing rules, column-aligned.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render directly to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streambrain::util

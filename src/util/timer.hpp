@@ -1,0 +1,77 @@
+#pragma once
+// Wall-clock timing utilities used throughout the benchmark harness.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace streambrain::util {
+
+/// Monotonic stopwatch with pause/resume semantics.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart from zero and begin running.
+  void reset() {
+    accumulated_ = Clock::duration::zero();
+    start_ = Clock::now();
+    running_ = true;
+  }
+
+  void pause() {
+    if (running_) {
+      accumulated_ += Clock::now() - start_;
+      running_ = false;
+    }
+  }
+
+  void resume() {
+    if (!running_) {
+      start_ = Clock::now();
+      running_ = true;
+    }
+  }
+
+  [[nodiscard]] double seconds() const {
+    auto total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+  [[nodiscard]] double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  Clock::time_point start_;
+  Clock::duration accumulated_ = Clock::duration::zero();
+  bool running_ = true;
+};
+
+/// Logs the elapsed wall time of a scope at destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string label, LogLevel level = LogLevel::kDebug)
+      : label_(std::move(label)), level_(level) {}
+
+  ~ScopedTimer() {
+    SB_LOG(level_) << label_ << " took " << watch_.milliseconds() << " ms";
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  [[nodiscard]] double seconds() const { return watch_.seconds(); }
+
+ private:
+  std::string label_;
+  LogLevel level_;
+  Stopwatch watch_;
+};
+
+}  // namespace streambrain::util

@@ -1,0 +1,122 @@
+#include "viz/catalyst.hpp"
+
+#include <cmath>
+#include <filesystem>
+
+#include "util/string_util.hpp"
+#include "viz/pgm_writer.hpp"
+#include "viz/ppm_writer.hpp"
+
+namespace streambrain::viz {
+
+CatalystAdaptor::CatalystAdaptor(CatalystOptions options)
+    : options_(std::move(options)) {
+  if (!options_.output_dir.empty()) {
+    std::filesystem::create_directories(options_.output_dir);
+  }
+}
+
+void CatalystAdaptor::co_process(
+    std::size_t epoch, const std::vector<std::vector<bool>>& masks,
+    const std::vector<std::vector<float>>& mi_scores) {
+  if (options_.every_n_epochs > 1 && epoch % options_.every_n_epochs != 0) {
+    return;
+  }
+  FieldSnapshot snapshot;
+  snapshot.epoch = epoch;
+  snapshot.masks = masks;
+  snapshot.mi_scores = mi_scores;
+  if (!options_.output_dir.empty()) write_files(snapshot);
+  history_.push_back(std::move(snapshot));
+}
+
+void CatalystAdaptor::write_files(const FieldSnapshot& snapshot) const {
+  for (std::size_t h = 0; h < snapshot.masks.size(); ++h) {
+    const auto& mask = snapshot.masks[h];
+    std::size_t width = options_.grid_width;
+    if (width == 0) {
+      width = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(mask.size()))));
+    }
+    const std::size_t height = (mask.size() + width - 1) / width;
+    std::vector<float> grid(width * height, 0.0f);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      grid[i] = mask[i] ? 1.0f : 0.0f;
+    }
+    ScalarField2D field;
+    field.name = "receptive_field";
+    field.width = width;
+    field.height = height;
+    field.values = grid;
+
+    std::vector<ScalarField2D> fields = {field};
+    if (h < snapshot.mi_scores.size() && !snapshot.mi_scores[h].empty()) {
+      ScalarField2D mi;
+      mi.name = "mutual_information";
+      mi.width = width;
+      mi.height = height;
+      mi.values.assign(width * height, 0.0f);
+      for (std::size_t i = 0; i < snapshot.mi_scores[h].size(); ++i) {
+        mi.values[i] = snapshot.mi_scores[h][i];
+      }
+      fields.push_back(std::move(mi));
+    }
+
+    const std::string stem =
+        options_.output_dir + "/" +
+        util::format("fields_epoch%04zu_hcu%02zu", snapshot.epoch, h);
+    if (options_.write_vti) write_vti(stem + ".vti", fields);
+    if (options_.write_pgm) {
+      write_pgm(stem + ".pgm", width, height, grid);
+    }
+    if (options_.write_ppm) {
+      const std::vector<float> intensity =
+          h < snapshot.mi_scores.size() ? snapshot.mi_scores[h]
+                                        : std::vector<float>{};
+      write_ppm_mask(stem + ".ppm", mask, width, height, intensity);
+    }
+  }
+}
+
+std::vector<double> CatalystAdaptor::mask_drift() const {
+  std::vector<double> drift;
+  if (history_.size() < 2) return drift;
+  const auto& first = history_.front().masks;
+  const auto& last = history_.back().masks;
+  drift.resize(first.size(), 0.0);
+  for (std::size_t h = 0; h < first.size() && h < last.size(); ++h) {
+    std::size_t changed = 0;
+    const std::size_t n = first[h].size();
+    for (std::size_t i = 0; i < n; ++i) {
+      changed += first[h][i] != last[h][i] ? 1 : 0;
+    }
+    drift[h] = n > 0 ? static_cast<double>(changed) / static_cast<double>(n)
+                     : 0.0;
+  }
+  return drift;
+}
+
+double CatalystAdaptor::latest_overlap() const {
+  if (history_.empty()) return 0.0;
+  const auto& masks = history_.back().masks;
+  if (masks.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < masks.size(); ++a) {
+    for (std::size_t b = a + 1; b < masks.size(); ++b) {
+      std::size_t inter = 0;
+      std::size_t uni = 0;
+      const std::size_t n = std::min(masks[a].size(), masks[b].size());
+      for (std::size_t i = 0; i < n; ++i) {
+        inter += (masks[a][i] && masks[b][i]) ? 1 : 0;
+        uni += (masks[a][i] || masks[b][i]) ? 1 : 0;
+      }
+      total += uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni)
+                       : 0.0;
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace streambrain::viz

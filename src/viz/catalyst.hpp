@@ -1,0 +1,75 @@
+#pragma once
+// In-situ co-processing adaptor, modelled on the ParaView Catalyst
+// integration the paper introduces (Section III-B): "The adaptor triggers
+// co-processing at end of each epoch and the Catalyst pipeline writes the
+// receptive fields as VTI files."
+//
+// CatalystAdaptor is the trainer-side hook: the trainer calls
+// `co_process(epoch, masks, mi_scores)` once per epoch; the adaptor
+// snapshots receptive fields as VTI (ParaView-readable) and/or PGM files
+// under an output directory, and keeps an in-memory evolution record so
+// tests and benches can assert on field development without touching disk.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "viz/vti_writer.hpp"
+
+namespace streambrain::viz {
+
+struct CatalystOptions {
+  std::string output_dir;        ///< empty = in-memory only
+  bool write_vti = true;
+  bool write_pgm = false;
+  /// Color snapshots in the paper's Fig. 2 convention (red = active,
+  /// blue = silent), MI-modulated when MI maps are provided.
+  bool write_ppm = false;
+  std::size_t every_n_epochs = 1;
+  /// Grid shape used to lay the mask out as an image. For image datasets
+  /// this is the image shape; for tabular data (Higgs) a near-square grid
+  /// over the feature hypercolumns.
+  std::size_t grid_width = 0;   ///< 0 = choose near-square automatically
+};
+
+/// One epoch's snapshot of every HCU's receptive field.
+struct FieldSnapshot {
+  std::size_t epoch = 0;
+  std::vector<std::vector<bool>> masks;        // [hcu][input hypercolumn]
+  std::vector<std::vector<float>> mi_scores;   // same shape, may be empty
+};
+
+class CatalystAdaptor {
+ public:
+  explicit CatalystAdaptor(CatalystOptions options = {});
+
+  /// Trainer hook; call once per epoch.
+  void co_process(std::size_t epoch,
+                  const std::vector<std::vector<bool>>& masks,
+                  const std::vector<std::vector<float>>& mi_scores = {});
+
+  [[nodiscard]] const std::vector<FieldSnapshot>& history() const noexcept {
+    return history_;
+  }
+
+  /// Per-HCU fraction of inputs whose mask bit changed between the first
+  /// and last snapshot — a scalar measure of field development.
+  [[nodiscard]] std::vector<double> mask_drift() const;
+
+  /// Mean pairwise Jaccard overlap of the HCU masks in the latest
+  /// snapshot. The paper's Fig. 1 observes that fields become
+  /// complementary (low overlap).
+  [[nodiscard]] double latest_overlap() const;
+
+  [[nodiscard]] const CatalystOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  void write_files(const FieldSnapshot& snapshot) const;
+
+  CatalystOptions options_;
+  std::vector<FieldSnapshot> history_;
+};
+
+}  // namespace streambrain::viz

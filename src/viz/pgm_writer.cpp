@@ -1,0 +1,38 @@
+#include "viz/pgm_writer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace streambrain::viz {
+
+void write_pgm(const std::string& path, std::size_t width, std::size_t height,
+               const std::vector<float>& values) {
+  if (values.size() != width * height) {
+    throw std::invalid_argument("write_pgm: value count mismatch");
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("write_pgm: cannot open " + path);
+  }
+  file << "P5\n" << width << " " << height << "\n255\n";
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  const float lo = values.empty() ? 0.0f : *min_it;
+  const float hi = values.empty() ? 1.0f : *max_it;
+  const float range = hi - lo;
+  std::vector<unsigned char> bytes(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    bytes[i] = range > 0.0f
+                   ? static_cast<unsigned char>(
+                         255.0f * (values[i] - lo) / range)
+                   : static_cast<unsigned char>(128);
+  }
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!file) {
+    throw std::runtime_error("write_pgm: write failed for " + path);
+  }
+}
+
+}  // namespace streambrain::viz

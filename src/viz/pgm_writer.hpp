@@ -1,0 +1,16 @@
+#pragma once
+// Binary PGM (P5) image writer for quick receptive-field snapshots that
+// any image viewer opens. Values are normalized to 0..255.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace streambrain::viz {
+
+/// Write a grayscale image; `values` is row-major height*width, arbitrary
+/// range (min..max normalized to black..white; constant images are mid-gray).
+void write_pgm(const std::string& path, std::size_t width, std::size_t height,
+               const std::vector<float>& values);
+
+}  // namespace streambrain::viz

@@ -1,0 +1,62 @@
+#include "viz/ppm_writer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace streambrain::viz {
+
+void write_ppm(const std::string& path, std::size_t width, std::size_t height,
+               const std::vector<Rgb>& pixels) {
+  if (pixels.size() != width * height) {
+    throw std::invalid_argument("write_ppm: pixel count mismatch");
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("write_ppm: cannot open " + path);
+  }
+  file << "P6\n" << width << " " << height << "\n255\n";
+  static_assert(sizeof(Rgb) == 3, "Rgb must be packed");
+  file.write(reinterpret_cast<const char*>(pixels.data()),
+             static_cast<std::streamsize>(pixels.size() * 3));
+  if (!file) {
+    throw std::runtime_error("write_ppm: write failed for " + path);
+  }
+}
+
+void write_ppm_mask(const std::string& path, const std::vector<bool>& mask,
+                    std::size_t width, std::size_t height,
+                    const std::vector<float>& intensity, Rgb active,
+                    Rgb silent) {
+  if (mask.size() > width * height) {
+    throw std::invalid_argument("write_ppm_mask: grid too small for mask");
+  }
+  if (!intensity.empty() && intensity.size() != mask.size()) {
+    throw std::invalid_argument("write_ppm_mask: intensity size mismatch");
+  }
+  float lo = 0.0f;
+  float hi = 1.0f;
+  if (!intensity.empty()) {
+    const auto [min_it, max_it] =
+        std::minmax_element(intensity.begin(), intensity.end());
+    lo = *min_it;
+    hi = *max_it;
+  }
+  const float range = hi - lo;
+
+  std::vector<Rgb> pixels(width * height, Rgb{0, 0, 0});
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    const Rgb base = mask[i] ? active : silent;
+    float scale = 1.0f;
+    if (!intensity.empty() && range > 0.0f) {
+      // Keep a 0.3 floor so silent/uninformative cells stay visible.
+      scale = 0.3f + 0.7f * (intensity[i] - lo) / range;
+    }
+    pixels[i] = Rgb{static_cast<unsigned char>(base.r * scale),
+                    static_cast<unsigned char>(base.g * scale),
+                    static_cast<unsigned char>(base.b * scale)};
+  }
+  write_ppm(path, width, height, pixels);
+}
+
+}  // namespace streambrain::viz

@@ -1,0 +1,36 @@
+#pragma once
+// Binary PPM (P6) color image writer. Reproduces the paper's Fig. 2
+// color convention directly: "red = active connection, blue = silent
+// connection", with an optional scalar overlay (e.g. mutual information)
+// modulating intensity.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace streambrain::viz {
+
+struct Rgb {
+  unsigned char r = 0;
+  unsigned char g = 0;
+  unsigned char b = 0;
+};
+
+inline constexpr Rgb kPaperActiveRed{220, 50, 47};
+inline constexpr Rgb kPaperSilentBlue{38, 80, 210};
+
+/// Write a raw RGB image; `pixels` is row-major height*width.
+void write_ppm(const std::string& path, std::size_t width, std::size_t height,
+               const std::vector<Rgb>& pixels);
+
+/// Render a receptive-field mask in the paper's red/blue convention.
+/// When `intensity` is non-empty (same length as mask, arbitrary scale)
+/// it modulates the brightness of each cell — bright red = active and
+/// informative, dim blue = silent and uninformative.
+void write_ppm_mask(const std::string& path, const std::vector<bool>& mask,
+                    std::size_t width, std::size_t height,
+                    const std::vector<float>& intensity = {},
+                    Rgb active = kPaperActiveRed,
+                    Rgb silent = kPaperSilentBlue);
+
+}  // namespace streambrain::viz

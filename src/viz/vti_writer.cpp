@@ -1,0 +1,63 @@
+#include "viz/vti_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace streambrain::viz {
+
+std::string vti_to_string(const std::vector<ScalarField2D>& fields) {
+  if (fields.empty()) {
+    throw std::invalid_argument("vti_to_string: no fields");
+  }
+  const std::size_t width = fields.front().width;
+  const std::size_t height = fields.front().height;
+  for (const auto& field : fields) {
+    if (field.width != width || field.height != height) {
+      throw std::invalid_argument("vti_to_string: inconsistent extents");
+    }
+    if (field.values.size() != width * height) {
+      throw std::invalid_argument("vti_to_string: value count mismatch");
+    }
+  }
+
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\"?>\n";
+  out << "<VTKFile type=\"ImageData\" version=\"1.0\" "
+         "byte_order=\"LittleEndian\">\n";
+  // Point extents are inclusive: a WxH pixel field has W,H points with
+  // 0..W-1 / 0..H-1 extent and z collapsed to a plane.
+  out << "  <ImageData WholeExtent=\"0 " << (width - 1) << " 0 "
+      << (height - 1) << " 0 0\" Origin=\"0 0 0\" Spacing=\"1 1 1\">\n";
+  out << "    <Piece Extent=\"0 " << (width - 1) << " 0 " << (height - 1)
+      << " 0 0\">\n";
+  out << "      <PointData Scalars=\"" << fields.front().name << "\">\n";
+  for (const auto& field : fields) {
+    out << "        <DataArray type=\"Float32\" Name=\"" << field.name
+        << "\" format=\"ascii\">\n          ";
+    for (std::size_t i = 0; i < field.values.size(); ++i) {
+      out << field.values[i];
+      out << ((i + 1) % 16 == 0 ? "\n          " : " ");
+    }
+    out << "\n        </DataArray>\n";
+  }
+  out << "      </PointData>\n";
+  out << "    </Piece>\n";
+  out << "  </ImageData>\n";
+  out << "</VTKFile>\n";
+  return out.str();
+}
+
+void write_vti(const std::string& path,
+               const std::vector<ScalarField2D>& fields) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("write_vti: cannot open " + path);
+  }
+  file << vti_to_string(fields);
+  if (!file) {
+    throw std::runtime_error("write_vti: write failed for " + path);
+  }
+}
+
+}  // namespace streambrain::viz

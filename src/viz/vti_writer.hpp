@@ -1,0 +1,30 @@
+#pragma once
+// VTK ImageData (.vti) XML writer. The paper's in-situ pipeline writes
+// "the receptive fields as VTI files" through ParaView Catalyst; this
+// writer emits spec-conformant ascii-encoded VTI that the real ParaView
+// client opens directly, so the substitution is byte-level compatible
+// with the paper's artifact format.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace streambrain::viz {
+
+/// A named scalar field on a 2-D uniform grid.
+struct ScalarField2D {
+  std::string name;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<float> values;  // row-major, height*width entries
+};
+
+/// Write one or more point-data scalar fields (all same extent) to `path`.
+/// Throws std::runtime_error on IO failure or inconsistent extents.
+void write_vti(const std::string& path,
+               const std::vector<ScalarField2D>& fields);
+
+/// Render the VTI XML to a string (exposed for tests).
+std::string vti_to_string(const std::vector<ScalarField2D>& fields);
+
+}  // namespace streambrain::viz

@@ -1,0 +1,269 @@
+// Tests for the comm substrate: MPI-semantics collectives over
+// threads-as-ranks, determinism, byte accounting, point-to-point.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "comm/communicator.hpp"
+#include "util/rng.hpp"
+
+namespace sc = streambrain::comm;
+namespace su = streambrain::util;
+
+TEST(Comm, RunInvokesEveryRank) {
+  std::vector<std::atomic<int>> visited(4);
+  sc::run(4, [&](sc::Communicator& comm) {
+    ++visited[static_cast<std::size_t>(comm.rank())];
+    EXPECT_EQ(comm.size(), 4);
+  });
+  for (const auto& v : visited) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Comm, RunRejectsNonPositiveSize) {
+  EXPECT_THROW(sc::run(0, [](sc::Communicator&) {}), std::invalid_argument);
+}
+
+TEST(Comm, RunPropagatesRankExceptions) {
+  // NOTE: like real MPI, a rank that dies inside a collective would
+  // deadlock its peers — so the failing rank here throws while the other
+  // ranks do only local work.
+  EXPECT_THROW(sc::run(3,
+                       [](sc::Communicator& comm) {
+                         if (comm.rank() == 1) {
+                           throw std::runtime_error("rank 1 failed");
+                         }
+                       }),
+               std::runtime_error);
+}
+
+TEST(Comm, AllreduceSumFloat) {
+  sc::run(4, [](sc::Communicator& comm) {
+    std::vector<float> data = {static_cast<float>(comm.rank() + 1), 10.0f};
+    comm.allreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(data[0], 10.0f);  // 1+2+3+4
+    EXPECT_FLOAT_EQ(data[1], 40.0f);
+  });
+}
+
+TEST(Comm, AllreduceMinMax) {
+  sc::run(3, [](sc::Communicator& comm) {
+    std::vector<double> lo = {static_cast<double>(comm.rank())};
+    std::vector<double> hi = {static_cast<double>(comm.rank())};
+    comm.allreduce(lo.data(), 1, sc::ReduceOp::kMin);
+    comm.allreduce(hi.data(), 1, sc::ReduceOp::kMax);
+    EXPECT_DOUBLE_EQ(lo[0], 0.0);
+    EXPECT_DOUBLE_EQ(hi[0], 2.0);
+  });
+}
+
+TEST(Comm, AllreduceMeanAveragesContributions) {
+  sc::run(5, [](sc::Communicator& comm) {
+    std::vector<float> data = {static_cast<float>(10 * comm.rank())};
+    comm.allreduce_mean(data.data(), 1);
+    EXPECT_FLOAT_EQ(data[0], 20.0f);  // mean of 0,10,20,30,40
+  });
+}
+
+TEST(Comm, AllreduceIsDeterministicAcrossRepeats) {
+  // Sum of irrational-ish floats in fixed rank order must be bitwise
+  // repeatable run-to-run (this is what makes distributed BCPNN training
+  // deterministic).
+  std::vector<float> first;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    std::vector<float> result(8);
+    sc::run(4, [&](sc::Communicator& comm) {
+      su::Rng rng(1000 + comm.rank());
+      std::vector<float> data(8);
+      for (auto& v : data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      comm.allreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+      if (comm.rank() == 0) result = data;
+    });
+    if (repeat == 0) {
+      first = result;
+    } else {
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        EXPECT_EQ(result[i], first[i]);  // bitwise
+      }
+    }
+  }
+}
+
+TEST(Comm, AllRanksGetIdenticalAllreduceResult) {
+  std::vector<std::vector<float>> per_rank(4);
+  sc::run(4, [&](sc::Communicator& comm) {
+    su::Rng rng(7 + comm.rank());
+    std::vector<float> data(16);
+    for (auto& v : data) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    comm.allreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+    per_rank[static_cast<std::size_t>(comm.rank())] = data;
+  });
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(per_rank[0], per_rank[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Comm, BroadcastFromEveryRoot) {
+  for (int root = 0; root < 3; ++root) {
+    sc::run(3, [root](sc::Communicator& comm) {
+      std::vector<float> data(4, comm.rank() == root ? 42.0f : -1.0f);
+      comm.broadcast(data.data(), data.size(), root);
+      for (float v : data) EXPECT_FLOAT_EQ(v, 42.0f);
+    });
+  }
+}
+
+TEST(Comm, AllgatherConcatenatesInRankOrder) {
+  sc::run(4, [](sc::Communicator& comm) {
+    const float mine[2] = {static_cast<float>(comm.rank()),
+                           static_cast<float>(comm.rank() * 10)};
+    std::vector<float> all(8);
+    comm.allgather(mine, 2, all.data());
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+      EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 10);
+    }
+  });
+}
+
+TEST(Comm, GatherCollectsOnRootOnly) {
+  for (int root = 0; root < 3; ++root) {
+    sc::run(3, [root](sc::Communicator& comm) {
+      const float mine = static_cast<float>(100 + comm.rank());
+      std::vector<float> out(3, -1.0f);
+      comm.gather(&mine, 1, out.data(), root);
+      if (comm.rank() == root) {
+        EXPECT_FLOAT_EQ(out[0], 100.0f);
+        EXPECT_FLOAT_EQ(out[1], 101.0f);
+        EXPECT_FLOAT_EQ(out[2], 102.0f);
+      } else {
+        EXPECT_FLOAT_EQ(out[0], -1.0f);  // untouched off-root
+      }
+    });
+  }
+}
+
+TEST(Comm, ScatterDistributesBlocks) {
+  sc::run(4, [](sc::Communicator& comm) {
+    std::vector<float> source;
+    if (comm.rank() == 2) {
+      for (int i = 0; i < 8; ++i) source.push_back(static_cast<float>(i));
+    } else {
+      source.assign(8, -1.0f);  // non-root buffers are ignored
+    }
+    float mine[2] = {};
+    comm.scatter(source.data(), 2, mine, /*root=*/2);
+    EXPECT_FLOAT_EQ(mine[0], static_cast<float>(2 * comm.rank()));
+    EXPECT_FLOAT_EQ(mine[1], static_cast<float>(2 * comm.rank() + 1));
+  });
+}
+
+TEST(Comm, ReduceScatterSumsAndSplits) {
+  sc::run(3, [](sc::Communicator& comm) {
+    // Every rank contributes [rank, rank, ..., rank] of length 6.
+    std::vector<float> contribution(6, static_cast<float>(comm.rank() + 1));
+    float mine[2] = {};
+    comm.reduce_scatter(contribution.data(), 2, mine);
+    // Sum across ranks = 1+2+3 = 6 in every slot; each rank gets 2 slots.
+    EXPECT_FLOAT_EQ(mine[0], 6.0f);
+    EXPECT_FLOAT_EQ(mine[1], 6.0f);
+  });
+}
+
+TEST(Comm, ReduceScatterMatchesAllreducePlusSlice) {
+  sc::run(4, [](sc::Communicator& comm) {
+    su::Rng rng(500 + comm.rank());
+    std::vector<float> data(12);
+    for (auto& v : data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    std::vector<float> reference = data;
+    comm.allreduce(reference.data(), reference.size(), sc::ReduceOp::kSum);
+    float mine[3] = {};
+    comm.reduce_scatter(data.data(), 3, mine);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_FLOAT_EQ(mine[i],
+                      reference[static_cast<std::size_t>(comm.rank()) * 3 + i]);
+    }
+  });
+}
+
+TEST(Comm, SendRecvPointToPoint) {
+  sc::run(2, [](sc::Communicator& comm) {
+    if (comm.rank() == 0) {
+      const float payload[3] = {1.0f, 2.0f, 3.0f};
+      comm.send(payload, 3, 1, 7);
+    } else {
+      float received[3] = {};
+      comm.recv(received, 3, 0, 7);
+      EXPECT_FLOAT_EQ(received[0], 1.0f);
+      EXPECT_FLOAT_EQ(received[2], 3.0f);
+    }
+  });
+}
+
+TEST(Comm, SendRecvTagsAreIndependentChannels) {
+  sc::run(2, [](sc::Communicator& comm) {
+    if (comm.rank() == 0) {
+      const float a = 1.0f;
+      const float b = 2.0f;
+      comm.send(&a, 1, 1, /*tag=*/100);
+      comm.send(&b, 1, 1, /*tag=*/200);
+    } else {
+      float b = 0.0f;
+      float a = 0.0f;
+      comm.recv(&b, 1, 0, 200);  // out of send order, matched by tag
+      comm.recv(&a, 1, 0, 100);
+      EXPECT_FLOAT_EQ(a, 1.0f);
+      EXPECT_FLOAT_EQ(b, 2.0f);
+    }
+  });
+}
+
+TEST(Comm, RecvSizeMismatchThrows) {
+  EXPECT_THROW(sc::run(2,
+                       [](sc::Communicator& comm) {
+                         if (comm.rank() == 0) {
+                           const float v = 1.0f;
+                           comm.send(&v, 1, 1, 0);
+                         } else {
+                           float two[2];
+                           comm.recv(two, 2, 0, 0);
+                         }
+                       }),
+               std::runtime_error);
+}
+
+TEST(Comm, ByteAccountingGrowsWithTraffic) {
+  std::uint64_t bytes_small = 0;
+  std::uint64_t bytes_large = 0;
+  sc::run(4, [&](sc::Communicator& comm) {
+    std::vector<float> small(10, 1.0f);
+    comm.allreduce(small.data(), small.size(), sc::ReduceOp::kSum);
+    if (comm.rank() == 0) bytes_small = comm.bytes_sent();
+  });
+  sc::run(4, [&](sc::Communicator& comm) {
+    std::vector<float> large(1000, 1.0f);
+    comm.allreduce(large.data(), large.size(), sc::ReduceOp::kSum);
+    if (comm.rank() == 0) bytes_large = comm.bytes_sent();
+  });
+  EXPECT_GT(bytes_large, bytes_small * 50);
+}
+
+TEST(Comm, SingleRankCollectivesAreLocal) {
+  sc::run(1, [](sc::Communicator& comm) {
+    std::vector<float> data = {3.0f};
+    comm.allreduce_mean(data.data(), 1);
+    EXPECT_FLOAT_EQ(data[0], 3.0f);
+    comm.broadcast(data.data(), 1, 0);
+    EXPECT_FLOAT_EQ(data[0], 3.0f);
+    comm.barrier();
+  });
+}
+
+TEST(Comm, ManyBarriersDoNotDeadlock) {
+  sc::run(6, [](sc::Communicator& comm) {
+    for (int i = 0; i < 200; ++i) comm.barrier();
+  });
+  SUCCEED();
+}

@@ -1,0 +1,54 @@
+// Tests for the CSV result writer used by the benchmark harness.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace su = streambrain::util;
+namespace fs = std::filesystem;
+
+TEST(Csv, BasicSerialization) {
+  su::CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  su::CsvWriter csv({"name", "value"});
+  csv.add_row({"with,comma", "with\"quote"});
+  csv.add_row({"with\nnewline", "plain"});
+  const std::string out = csv.to_string();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\nnewline\""), std::string::npos);
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  su::CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Csv, WritesFileAndCreatesDirectories) {
+  const std::string dir = "/tmp/streambrain_csv_test/nested";
+  const std::string path = dir + "/out.csv";
+  fs::remove_all("/tmp/streambrain_csv_test");
+  su::CsvWriter csv({"x"});
+  csv.add_row({"42"});
+  csv.write(path);
+  std::ifstream in(path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "x\n42\n");
+  fs::remove_all("/tmp/streambrain_csv_test");
+}
+
+TEST(Csv, EmptyTableIsJustHeader) {
+  su::CsvWriter csv({"only", "headers"});
+  EXPECT_EQ(csv.to_string(), "only,headers\n");
+}

@@ -1,0 +1,115 @@
+// Tests for the stacked (multi-hidden-layer) BCPNN extension.
+
+#include <gtest/gtest.h>
+
+#include "core/deep.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/classification.hpp"
+#include "metrics/roc.hpp"
+
+namespace sc = streambrain::core;
+namespace sd = streambrain::data;
+namespace sm = streambrain::metrics;
+namespace st = streambrain::tensor;
+
+namespace {
+
+struct Data {
+  st::MatrixF x_train;
+  st::MatrixF x_test;
+  std::vector<int> y_train;
+  std::vector<int> y_test;
+};
+
+Data make_data(std::size_t train, std::size_t test) {
+  sd::SyntheticHiggsGenerator generator;
+  const auto train_set = generator.generate(train);
+  sd::HiggsGeneratorOptions test_options;
+  test_options.seed = 777;
+  sd::SyntheticHiggsGenerator test_generator(test_options);
+  const auto test_set = test_generator.generate(test);
+  streambrain::encode::OneHotEncoder encoder(10);
+  Data data;
+  data.x_train = encoder.fit_transform(train_set.features);
+  data.x_test = encoder.transform(test_set.features);
+  data.y_train = train_set.labels;
+  data.y_test = test_set.labels;
+  return data;
+}
+
+sc::DeepBcpnnConfig small_deep() {
+  sc::DeepBcpnnConfig config;
+  config.input_hypercolumns = sd::kHiggsFeatures;
+  config.input_bins = 10;
+  config.layers = {{2, 40, 0.4}, {1, 40, 1.0}};
+  config.epochs_per_layer = 8;
+  config.head_epochs = 16;
+  config.seed = 5;
+  return config;
+}
+
+}  // namespace
+
+TEST(DeepBcpnn, RejectsEmptyStack) {
+  auto config = small_deep();
+  config.layers.clear();
+  EXPECT_THROW(sc::DeepBcpnn network(config), std::invalid_argument);
+}
+
+TEST(DeepBcpnn, GeometryChainsAcrossLayers) {
+  sc::DeepBcpnn network(small_deep());
+  EXPECT_EQ(network.depth(), 2u);
+  // Layer 0 consumes the encoded input.
+  EXPECT_EQ(network.layer(0).input_units(), 280u);
+  EXPECT_EQ(network.layer(0).hidden_units(), 80u);  // 2 x 40
+  // Layer 1 consumes layer 0's hypercolumn geometry (2 HCs of 40 units).
+  EXPECT_EQ(network.layer(1).input_units(), 80u);
+  EXPECT_EQ(network.layer(1).hidden_units(), 40u);
+}
+
+TEST(DeepBcpnn, TransformOutputsTopLayerSimplex) {
+  const auto data = make_data(300, 50);
+  sc::DeepBcpnn network(small_deep());
+  network.fit(data.x_train, data.y_train);
+  const auto top = network.transform(data.x_test);
+  ASSERT_EQ(top.rows(), 50u);
+  ASSERT_EQ(top.cols(), 40u);
+  for (std::size_t r = 0; r < top.rows(); ++r) {
+    float mass = 0.0f;
+    for (std::size_t c = 0; c < top.cols(); ++c) {
+      EXPECT_GE(top(r, c), 0.0f);
+      mass += top(r, c);
+    }
+    EXPECT_NEAR(mass, 1.0f, 1e-4f);
+  }
+}
+
+TEST(DeepBcpnn, LearnsAboveChance) {
+  const auto data = make_data(2000, 400);
+  sc::DeepBcpnn network(small_deep());
+  network.fit(data.x_train, data.y_train);
+  const double accuracy =
+      sm::accuracy(network.predict(data.x_test), data.y_test);
+  const double auc =
+      sm::auc(network.predict_scores(data.x_test), data.y_test);
+  EXPECT_GT(accuracy, 0.55);
+  EXPECT_GT(auc, 0.58);
+}
+
+TEST(DeepBcpnn, FitRejectsShapeMismatch) {
+  const auto data = make_data(50, 10);
+  sc::DeepBcpnn network(small_deep());
+  std::vector<int> short_labels(10, 0);
+  EXPECT_THROW(network.fit(data.x_train, short_labels),
+               std::invalid_argument);
+}
+
+TEST(DeepBcpnn, SingleLayerStackStillWorks) {
+  auto config = small_deep();
+  config.layers = {{1, 30, 0.4}};
+  const auto data = make_data(800, 300);
+  sc::DeepBcpnn network(config);
+  network.fit(data.x_train, data.y_train);
+  EXPECT_GT(sm::accuracy(network.predict(data.x_test), data.y_test), 0.55);
+}

@@ -1,0 +1,68 @@
+// Tests for the logging facility: level filtering and level names.
+
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace su = streambrain::util;
+
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+struct LevelGuard {
+  su::LogLevel saved = su::Log::level();
+  ~LevelGuard() { su::Log::set_level(saved); }
+};
+
+}  // namespace
+
+TEST(Log, LevelRoundTrip) {
+  LevelGuard guard;
+  su::Log::set_level(su::LogLevel::kWarn);
+  EXPECT_EQ(su::Log::level(), su::LogLevel::kWarn);
+  su::Log::set_level(su::LogLevel::kTrace);
+  EXPECT_EQ(su::Log::level(), su::LogLevel::kTrace);
+}
+
+TEST(Log, LevelOrdering) {
+  EXPECT_LT(su::LogLevel::kTrace, su::LogLevel::kDebug);
+  EXPECT_LT(su::LogLevel::kDebug, su::LogLevel::kInfo);
+  EXPECT_LT(su::LogLevel::kInfo, su::LogLevel::kWarn);
+  EXPECT_LT(su::LogLevel::kWarn, su::LogLevel::kError);
+  EXPECT_LT(su::LogLevel::kError, su::LogLevel::kOff);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(su::Log::level_name(su::LogLevel::kError), "ERROR");
+  EXPECT_STREQ(su::Log::level_name(su::LogLevel::kTrace), "TRACE");
+}
+
+TEST(Log, FilteredMacroDoesNotEvaluateArguments) {
+  LevelGuard guard;
+  su::Log::set_level(su::LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  SB_LOG_DEBUG() << expensive();
+  EXPECT_EQ(evaluations, 0);  // short-circuited by the level check
+  su::Log::set_level(su::LogLevel::kTrace);
+  SB_LOG_ERROR() << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, WriteDoesNotThrow) {
+  EXPECT_NO_THROW(su::Log::write(su::LogLevel::kInfo, "test message"));
+}
+
+TEST(ScopedTimer, ReportsWithoutCrashing) {
+  LevelGuard guard;
+  su::Log::set_level(su::LogLevel::kOff);
+  {
+    su::ScopedTimer timer("unit-test scope");
+    EXPECT_GE(timer.seconds(), 0.0);
+  }
+  SUCCEED();
+}

@@ -1,0 +1,264 @@
+// Tests for src/metrics: accuracy/confusion, ROC/AUC properties
+// (bounds, antisymmetry, tie handling), AMS, log-loss, calibration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/ams.hpp"
+#include "metrics/classification.hpp"
+#include "metrics/roc.hpp"
+#include "util/rng.hpp"
+
+namespace sm = streambrain::metrics;
+namespace su = streambrain::util;
+
+// ------------------------------------------------------------ accuracy ----
+
+TEST(Accuracy, BasicCounts) {
+  EXPECT_DOUBLE_EQ(sm::accuracy({1, 0, 1, 1}, {1, 0, 0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(sm::accuracy({}, {}), 0.0);
+  EXPECT_THROW(sm::accuracy({1}, {1, 0}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, CountsAndDerivedMetrics) {
+  sm::ConfusionMatrix cm(2);
+  // 3 TP(1), 1 FN, 2 TN, 1 FP.
+  cm.add_all({1, 1, 1, 0, 0, 0, 1}, {1, 1, 1, 1, 0, 0, 0});
+  EXPECT_EQ(cm.total(), 7u);
+  EXPECT_EQ(cm.count(1, 1), 3u);
+  EXPECT_EQ(cm.count(1, 0), 1u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_NEAR(cm.accuracy(), 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(cm.f1(1), 0.75, 1e-12);
+}
+
+TEST(ConfusionMatrix, MulticlassSupport) {
+  sm::ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 2);
+  cm.add(2, 2);
+  EXPECT_NEAR(cm.accuracy(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(cm.count(1, 2), 1u);
+  EXPECT_THROW(cm.add(3, 0), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, UndefinedPrecisionRecallAreZero) {
+  sm::ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);  // never predicted 1
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);     // class 1 absent
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+}
+
+// ----------------------------------------------------------------- AUC ----
+
+TEST(Auc, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(sm::auc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(Auc, InvertedSeparationIsZero) {
+  EXPECT_DOUBLE_EQ(sm::auc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(Auc, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(sm::auc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(Auc, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(sm::auc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(sm::auc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(Auc, KnownHandComputedValue) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6)+(0.8>0.2)+(0.4<0.6 ->0)+(0.4>0.2) = 3 of 4.
+  EXPECT_DOUBLE_EQ(sm::auc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(Auc, TieBetweenClassesCountsHalf) {
+  // pos {0.5}, neg {0.5, 0.1}: pairs = 0.5 (tie) + 1 = 1.5 of 2.
+  EXPECT_DOUBLE_EQ(sm::auc({0.5, 0.5, 0.1}, {1, 0, 0}), 0.75);
+}
+
+TEST(Auc, ComplementAntisymmetry) {
+  // auc(s, y) + auc(s, 1-y) == 1 for tie-free scores.
+  su::Rng rng(3);
+  std::vector<double> scores(200);
+  std::vector<int> labels(200);
+  std::vector<int> flipped(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(0.4) ? 1 : 0;
+    flipped[i] = 1 - labels[i];
+  }
+  EXPECT_NEAR(sm::auc(scores, labels) + sm::auc(scores, flipped), 1.0, 1e-12);
+}
+
+TEST(Auc, InvariantToMonotoneTransform) {
+  su::Rng rng(5);
+  std::vector<double> scores(300);
+  std::vector<double> transformed(300);
+  std::vector<int> labels(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    scores[i] = rng.uniform(0.01, 0.99);
+    transformed[i] = std::log(scores[i] / (1.0 - scores[i]));  // logit
+    labels[i] = rng.bernoulli(scores[i]) ? 1 : 0;
+  }
+  EXPECT_NEAR(sm::auc(scores, labels), sm::auc(transformed, labels), 1e-12);
+}
+
+TEST(Auc, MatchesBruteForcePairCount) {
+  su::Rng rng(7);
+  std::vector<double> scores(120);
+  std::vector<int> labels(120);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = std::round(rng.uniform() * 10.0) / 10.0;  // force ties
+    labels[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  double wins = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < scores.size(); ++a) {
+    for (std::size_t b = 0; b < scores.size(); ++b) {
+      if (labels[a] == 1 && labels[b] == 0) {
+        ++pairs;
+        if (scores[a] > scores[b]) {
+          wins += 1.0;
+        } else if (scores[a] == scores[b]) {
+          wins += 0.5;
+        }
+      }
+    }
+  }
+  ASSERT_GT(pairs, 0u);
+  EXPECT_NEAR(sm::auc(scores, labels), wins / static_cast<double>(pairs),
+              1e-12);
+}
+
+// ----------------------------------------------------------------- ROC ----
+
+TEST(RocCurve, StartsAtOriginEndsAtOne) {
+  const auto curve = sm::roc_curve({0.9, 0.7, 0.3, 0.1}, {1, 0, 1, 0});
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+}
+
+TEST(RocCurve, MonotoneNonDecreasing) {
+  su::Rng rng(11);
+  std::vector<double> scores(150);
+  std::vector<int> labels(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  const auto curve = sm::roc_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+  }
+}
+
+TEST(RocCurve, TrapezoidalAreaMatchesAuc) {
+  su::Rng rng(13);
+  std::vector<double> scores(400);
+  std::vector<int> labels(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(scores[i]) ? 1 : 0;
+  }
+  const auto curve = sm::roc_curve(scores, labels);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += 0.5 *
+            (curve[i].true_positive_rate + curve[i - 1].true_positive_rate) *
+            (curve[i].false_positive_rate - curve[i - 1].false_positive_rate);
+  }
+  EXPECT_NEAR(area, sm::auc(scores, labels), 1e-9);
+}
+
+// ----------------------------------------------------------------- AMS ----
+
+TEST(Ams, ZeroSignalIsZero) { EXPECT_DOUBLE_EQ(sm::ams(0.0, 100.0), 0.0); }
+
+TEST(Ams, MonotoneInSignal) {
+  EXPECT_LT(sm::ams(10.0, 100.0), sm::ams(20.0, 100.0));
+  EXPECT_GT(sm::ams(10.0, 50.0), sm::ams(10.0, 100.0));
+}
+
+TEST(Ams, MatchesClosedFormSmallS) {
+  // For s << b, AMS ~ s / sqrt(b + b_reg).
+  const double s = 1.0;
+  const double b = 10000.0;
+  EXPECT_NEAR(sm::ams(s, b), s / std::sqrt(b + 10.0), 1e-4);
+}
+
+TEST(Ams, RejectsNegativeCounts) {
+  EXPECT_THROW(sm::ams(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(sm::ams(1.0, -10.0), std::invalid_argument);
+}
+
+TEST(Ams, BestAmsScanFindsSeparatingThreshold) {
+  // Perfectly separated scores: the best selection takes all signal, no
+  // background.
+  const std::vector<double> scores = {0.9, 0.8, 0.85, 0.1, 0.2, 0.15};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  const auto scan = sm::best_ams(scores, labels);
+  EXPECT_NEAR(scan.best_ams, sm::ams(3.0, 0.0), 1e-12);
+  EXPECT_GE(scan.best_threshold, 0.8);
+}
+
+TEST(Ams, ScanOnRandomScoresIsFinite) {
+  su::Rng rng(17);
+  std::vector<double> scores(500);
+  std::vector<int> labels(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  const auto scan = sm::best_ams(scores, labels);
+  EXPECT_GT(scan.best_ams, 0.0);
+  EXPECT_TRUE(std::isfinite(scan.best_ams));
+}
+
+// ------------------------------------------------------------- log loss ----
+
+TEST(LogLoss, PerfectPredictionsNearZero) {
+  EXPECT_NEAR(sm::log_loss({1.0, 0.0}, {1, 0}), 0.0, 1e-9);
+}
+
+TEST(LogLoss, UninformativeIsLn2) {
+  EXPECT_NEAR(sm::log_loss({0.5, 0.5}, {1, 0}), std::log(2.0), 1e-12);
+}
+
+TEST(LogLoss, ClampsExtremeScores) {
+  const double loss = sm::log_loss({0.0}, {1});  // would be inf unclamped
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 20.0);
+}
+
+// ---------------------------------------------------------- calibration ----
+
+TEST(Calibration, PerfectlyCalibratedNearZero) {
+  su::Rng rng(19);
+  std::vector<double> scores(20000);
+  std::vector<int> labels(20000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(scores[i]) ? 1 : 0;
+  }
+  EXPECT_LT(sm::expected_calibration_error(scores, labels, 10), 0.03);
+}
+
+TEST(Calibration, OverconfidentWrongIsLarge) {
+  // Always predicting 0.99 for a 50/50 stream: ECE ~ 0.49.
+  std::vector<double> scores(1000, 0.99);
+  std::vector<int> labels(1000);
+  for (std::size_t i = 0; i < 1000; ++i) labels[i] = i % 2 == 0 ? 1 : 0;
+  EXPECT_NEAR(sm::expected_calibration_error(scores, labels, 10), 0.49, 0.02);
+}

@@ -1,0 +1,131 @@
+// Tests for the Keras-style Model facade (StreamBrain's API design).
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/roc.hpp"
+
+namespace sc = streambrain::core;
+namespace sd = streambrain::data;
+namespace st = streambrain::tensor;
+
+namespace {
+
+struct Encoded {
+  st::MatrixF x_train;
+  st::MatrixF x_test;
+  std::vector<int> y_train;
+  std::vector<int> y_test;
+};
+
+Encoded higgs_data(std::size_t train, std::size_t test) {
+  sd::SyntheticHiggsGenerator generator;
+  const auto train_set = generator.generate(train);
+  sd::HiggsGeneratorOptions opts;
+  opts.seed = 4242;
+  sd::SyntheticHiggsGenerator test_generator(opts);
+  const auto test_set = test_generator.generate(test);
+  streambrain::encode::OneHotEncoder encoder(10);
+  return {encoder.fit_transform(train_set.features),
+          encoder.transform(test_set.features), train_set.labels,
+          test_set.labels};
+}
+
+}  // namespace
+
+TEST(Model, BuilderLifecycleGuards) {
+  sc::Model model;
+  st::MatrixF x(1, 10);
+  EXPECT_THROW(model.fit(x, {0}), std::logic_error);       // before compile
+  EXPECT_THROW(model.predict(x), std::logic_error);
+  EXPECT_THROW(model.compile(), std::logic_error);          // no input()
+  model.input(28, 10);
+  EXPECT_THROW(model.compile(), std::logic_error);          // no hidden()
+  model.hidden(1, 20, 0.4).classifier(2);
+  model.compile();
+  EXPECT_TRUE(model.compiled());
+  EXPECT_THROW(model.compile(), std::logic_error);          // double compile
+  EXPECT_THROW(model.hidden(1, 5, 0.5), std::logic_error);  // mutate after
+}
+
+TEST(Model, ThreeLayerPaperTopologyTrains) {
+  const auto data = higgs_data(1200, 400);
+  sc::Model model;
+  model.input(28, 10)
+      .hidden(1, 50, 0.40)
+      .classifier(2, sc::Model::Head::kBcpnn)
+      .set_option("epochs", 5)
+      .compile("simd", 42);
+  model.fit(data.x_train, data.y_train);
+  EXPECT_GT(model.evaluate(data.x_test, data.y_test), 0.57);
+}
+
+TEST(Model, HybridSgdHead) {
+  const auto data = higgs_data(1200, 400);
+  sc::Model model;
+  model.input(28, 10)
+      .hidden(1, 50, 0.40)
+      .classifier(2, sc::Model::Head::kSgd)
+      .set_option("epochs", 5)
+      .compile("simd", 42);
+  model.fit(data.x_train, data.y_train);
+  const double auc =
+      streambrain::metrics::auc(model.predict_scores(data.x_test),
+                                data.y_test);
+  EXPECT_GT(auc, 0.60);
+}
+
+TEST(Model, DeepStackViaRepeatedHidden) {
+  const auto data = higgs_data(1500, 300);
+  sc::Model model;
+  model.input(28, 10)
+      .hidden(2, 40, 0.40)
+      .hidden(1, 40, 1.0)
+      .classifier(2)
+      .set_option("epochs", 8)
+      .compile("simd", 5);
+  model.fit(data.x_train, data.y_train);
+  EXPECT_GT(model.evaluate(data.x_test, data.y_test), 0.53);
+}
+
+TEST(Model, DeepStackRejectsSgdHead) {
+  sc::Model model;
+  model.input(28, 10).hidden(2, 20, 0.4).hidden(1, 20, 1.0).classifier(
+      2, sc::Model::Head::kSgd);
+  EXPECT_THROW(model.compile(), std::invalid_argument);
+}
+
+TEST(Model, SummaryDescribesTopology) {
+  sc::Model model;
+  model.input(28, 10).hidden(2, 300, 0.30).classifier(2);
+  const std::string summary = model.summary();
+  EXPECT_NE(summary.find("28 hypercolumns x 10 units"), std::string::npos);
+  EXPECT_NE(summary.find("2 HCUs x 300 MCUs"), std::string::npos);
+  EXPECT_NE(summary.find("receptive field 30%"), std::string::npos);
+  EXPECT_NE(summary.find("BCPNN head"), std::string::npos);
+}
+
+TEST(Model, OptionsReachTheNetworkConfig) {
+  sc::Model model;
+  model.input(28, 10)
+      .hidden(1, 30, 0.4)
+      .classifier(2)
+      .set_option("epochs", 3)
+      .set_option("batch_size", 32)
+      .compile("naive", 7);
+  const auto& config = model.network().config().bcpnn;
+  EXPECT_EQ(config.epochs, 3u);
+  EXPECT_EQ(config.batch_size, 32u);
+  EXPECT_EQ(config.engine, "naive");
+  EXPECT_EQ(config.seed, 7u);
+}
+
+TEST(Model, NetworkAccessorGuards) {
+  sc::Model model;
+  EXPECT_THROW((void)model.network(), std::logic_error);
+  model.input(28, 10).hidden(2, 10, 0.4).hidden(1, 10, 1.0).classifier(2);
+  model.compile();
+  EXPECT_THROW((void)model.network(), std::logic_error);  // deep model
+}

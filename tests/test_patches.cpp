@@ -1,0 +1,112 @@
+// Tests for the image-patch extraction substrate (STL-10-style front end).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/digits.hpp"
+#include "data/patches.hpp"
+
+namespace sd = streambrain::data;
+
+namespace {
+
+sd::Dataset digit_images(std::size_t count) {
+  sd::SyntheticDigitGenerator generator;
+  return generator.generate(count);
+}
+
+}  // namespace
+
+TEST(Patches, ExtractShapeAndLabelInheritance) {
+  const auto images = digit_images(10);
+  sd::PatchOptions options;
+  options.patch_side = 6;
+  options.patches_per_image = 3;
+  const auto patches = sd::extract_patches(images, options);
+  EXPECT_EQ(patches.size(), 30u);
+  EXPECT_EQ(patches.dim(), 36u);
+  for (std::size_t p = 0; p < patches.size(); ++p) {
+    EXPECT_EQ(patches.labels[p], images.labels[p / 3]);
+  }
+}
+
+TEST(Patches, NormalizationGivesZeroMeanUnitVariance) {
+  const auto images = digit_images(20);
+  sd::PatchOptions options;
+  options.patch_side = 8;
+  options.normalize = true;
+  const auto patches = sd::extract_patches(images, options);
+  for (std::size_t p = 0; p < patches.size(); ++p) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < patches.dim(); ++i) {
+      mean += patches.features(p, i);
+    }
+    mean /= static_cast<double>(patches.dim());
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    double var = 0.0;
+    for (std::size_t i = 0; i < patches.dim(); ++i) {
+      const double d = patches.features(p, i) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(patches.dim());
+    // Either unit variance or a flat patch clamped by the stddev floor.
+    EXPECT_TRUE(std::abs(var - 1.0) < 0.05 || var < 0.05) << "patch " << p;
+  }
+}
+
+TEST(Patches, UnnormalizedValuesComeFromTheImage) {
+  const auto images = digit_images(5);
+  sd::PatchOptions options;
+  options.patch_side = sd::kDigitSide;  // whole image as one "patch"
+  options.patches_per_image = 1;
+  options.normalize = false;
+  const auto patches = sd::extract_patches(images, options);
+  for (std::size_t i = 0; i < images.dim(); ++i) {
+    EXPECT_FLOAT_EQ(patches.features(0, i), images.features(0, i));
+  }
+}
+
+TEST(Patches, DeterministicForSeed) {
+  const auto images = digit_images(8);
+  sd::PatchOptions options;
+  options.seed = 77;
+  const auto a = sd::extract_patches(images, options);
+  const auto b = sd::extract_patches(images, options);
+  EXPECT_TRUE(a.features == b.features);
+}
+
+TEST(Patches, RejectsBadGeometry) {
+  const auto images = digit_images(2);
+  sd::PatchOptions options;
+  options.patch_side = sd::kDigitSide + 1;  // larger than the image
+  EXPECT_THROW(sd::extract_patches(images, options), std::invalid_argument);
+
+  sd::Dataset not_square;
+  not_square.features = streambrain::tensor::MatrixF(2, 15);
+  not_square.labels = {0, 1};
+  EXPECT_THROW(sd::extract_patches(not_square, {}), std::invalid_argument);
+}
+
+TEST(Patches, TilingCoversImageExactlyOnce) {
+  const auto images = digit_images(3);
+  const auto tiles = sd::tile_patches(images, 4, /*normalize=*/false);
+  // 16x16 image -> 4x4 grid of 4x4 tiles.
+  EXPECT_EQ(tiles.size(), 3u * 16u);
+  EXPECT_EQ(tiles.dim(), 16u);
+  // Total pixel mass is preserved by the partition.
+  double image_mass = 0.0;
+  for (std::size_t i = 0; i < images.dim(); ++i) {
+    image_mass += images.features(0, i);
+  }
+  double tile_mass = 0.0;
+  for (std::size_t t = 0; t < 16; ++t) {
+    for (std::size_t i = 0; i < 16; ++i) tile_mass += tiles.features(t, i);
+  }
+  EXPECT_NEAR(tile_mass, image_mass, 1e-3);
+}
+
+TEST(Patches, TilingRejectsNonDividingPatchSide) {
+  const auto images = digit_images(1);
+  EXPECT_THROW(sd::tile_patches(images, 5), std::invalid_argument);
+}

@@ -1,0 +1,99 @@
+// Tests for the PPM color writer (Fig. 2's red/blue mask convention) and
+// its Catalyst integration.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "viz/catalyst.hpp"
+#include "viz/ppm_writer.hpp"
+
+namespace sv = streambrain::viz;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t payload_offset(const std::string& content) {
+  return content.find("255\n") + 4;
+}
+
+}  // namespace
+
+TEST(Ppm, HeaderAndPayloadSize) {
+  const std::string path = "/tmp/streambrain_test.ppm";
+  std::vector<sv::Rgb> pixels(6, sv::Rgb{1, 2, 3});
+  sv::write_ppm(path, 3, 2, pixels);
+  const std::string content = slurp(path);
+  EXPECT_EQ(content.substr(0, 3), "P6\n");
+  EXPECT_NE(content.find("3 2\n255\n"), std::string::npos);
+  EXPECT_EQ(content.size() - payload_offset(content), 18u);  // 6 px * 3 B
+  fs::remove(path);
+}
+
+TEST(Ppm, RejectsPixelCountMismatch) {
+  std::vector<sv::Rgb> pixels(5);
+  EXPECT_THROW(sv::write_ppm("/tmp/x.ppm", 3, 2, pixels),
+               std::invalid_argument);
+}
+
+TEST(Ppm, MaskUsesPaperColors) {
+  const std::string path = "/tmp/streambrain_mask.ppm";
+  sv::write_ppm_mask(path, {true, false}, 2, 1);
+  const std::string content = slurp(path);
+  const std::size_t off = payload_offset(content);
+  // Active pixel: paper red (R dominant).
+  EXPECT_EQ(static_cast<unsigned char>(content[off]), sv::kPaperActiveRed.r);
+  EXPECT_EQ(static_cast<unsigned char>(content[off + 2]),
+            sv::kPaperActiveRed.b);
+  // Silent pixel: paper blue (B dominant).
+  EXPECT_EQ(static_cast<unsigned char>(content[off + 3]),
+            sv::kPaperSilentBlue.r);
+  EXPECT_EQ(static_cast<unsigned char>(content[off + 5]),
+            sv::kPaperSilentBlue.b);
+  fs::remove(path);
+}
+
+TEST(Ppm, IntensityModulatesBrightness) {
+  const std::string path = "/tmp/streambrain_mask_mi.ppm";
+  // Two active cells, one with low MI, one with high MI.
+  sv::write_ppm_mask(path, {true, true}, 2, 1, {0.0f, 1.0f});
+  const std::string content = slurp(path);
+  const std::size_t off = payload_offset(content);
+  const unsigned char dim_r = content[off];
+  const unsigned char bright_r = content[off + 3];
+  EXPECT_LT(dim_r, bright_r);
+  EXPECT_GT(dim_r, 0u);  // floor keeps dim cells visible
+  fs::remove(path);
+}
+
+TEST(Ppm, RejectsBadShapes) {
+  EXPECT_THROW(sv::write_ppm_mask("/tmp/x.ppm", {true, true, true}, 1, 2),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sv::write_ppm_mask("/tmp/x.ppm", {true}, 1, 1, {0.1f, 0.2f}),
+      std::invalid_argument);
+}
+
+TEST(Ppm, CatalystWritesColorSnapshots) {
+  sv::CatalystOptions options;
+  options.output_dir = "/tmp/streambrain_catalyst_ppm";
+  options.write_vti = false;
+  options.write_ppm = true;
+  options.grid_width = 2;
+  fs::remove_all(options.output_dir);
+  sv::CatalystAdaptor adaptor(options);
+  adaptor.co_process(3, {{true, false, false, true}},
+                     {{0.5f, 0.1f, 0.2f, 0.9f}});
+  EXPECT_TRUE(fs::exists(options.output_dir + "/fields_epoch0003_hcu00.ppm"));
+  EXPECT_FALSE(fs::exists(options.output_dir + "/fields_epoch0003_hcu00.vti"));
+  fs::remove_all(options.output_dir);
+}
