@@ -7,14 +7,7 @@
 
 #include <cstdio>
 
-#include "core/network.hpp"
-#include "data/dataset.hpp"
-#include "data/higgs.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/classification.hpp"
-#include "metrics/roc.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

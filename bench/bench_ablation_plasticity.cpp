@@ -9,15 +9,7 @@
 
 #include <cstdio>
 
-#include "core/adaptive_plasticity.hpp"
-#include "core/classifier.hpp"
-#include "core/layer.hpp"
-#include "data/dataset.hpp"
-#include "data/higgs.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/classification.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 
@@ -44,7 +36,7 @@ Outcome run(Mode mode, double rf, const tensor::MatrixF& x_train,
   config.batch_size = 64;
   config.seed = 42;
 
-  auto engine = parallel::make_engine(config.engine);
+  auto engine = parallel::EngineRegistry::instance().create(config.engine);
   util::Rng rng(config.seed);
   core::BcpnnLayer layer(config, *engine, rng);
   core::AdaptivePlasticityController controller;
@@ -78,7 +70,7 @@ Outcome run(Mode mode, double rf, const tensor::MatrixF& x_train,
   }
 
   // Supervised read-out probe.
-  auto head_engine = parallel::make_engine(config.engine);
+  auto head_engine = parallel::EngineRegistry::instance().create(config.engine);
   core::BcpnnClassifier head(config.hidden_units(), config.hcus, 2,
                              *head_engine, 0.1f);
   tensor::MatrixF hidden;

@@ -9,9 +9,7 @@
 
 #include <memory>
 
-#include "parallel/engine.hpp"
-#include "tensor/gemm.hpp"
-#include "util/rng.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 
@@ -55,7 +53,7 @@ Workload& workload() {
 }
 
 void BM_Support(benchmark::State& state, const std::string& engine_name) {
-  auto engine = parallel::make_engine(engine_name);
+  auto engine = parallel::EngineRegistry::instance().create(engine_name);
   auto& w = workload();
   tensor::MatrixF s;
   for (auto _ : state) {
@@ -67,7 +65,7 @@ void BM_Support(benchmark::State& state, const std::string& engine_name) {
 }
 
 void BM_SoftmaxHcu(benchmark::State& state, const std::string& engine_name) {
-  auto engine = parallel::make_engine(engine_name);
+  auto engine = parallel::EngineRegistry::instance().create(engine_name);
   auto& w = workload();
   tensor::MatrixF s = w.a;
   for (auto _ : state) {
@@ -77,7 +75,7 @@ void BM_SoftmaxHcu(benchmark::State& state, const std::string& engine_name) {
 }
 
 void BM_TraceUpdate(benchmark::State& state, const std::string& engine_name) {
-  auto engine = parallel::make_engine(engine_name);
+  auto engine = parallel::EngineRegistry::instance().create(engine_name);
   auto& w = workload();
   auto pi = w.pi;
   auto pj = w.pj;
@@ -90,7 +88,7 @@ void BM_TraceUpdate(benchmark::State& state, const std::string& engine_name) {
 
 void BM_WeightRecompute(benchmark::State& state,
                         const std::string& engine_name) {
-  auto engine = parallel::make_engine(engine_name);
+  auto engine = parallel::EngineRegistry::instance().create(engine_name);
   auto& w = workload();
   tensor::MatrixF weights;
   std::vector<float> bias(w.n_out);
@@ -148,7 +146,7 @@ void BM_GemmMcuDimension(benchmark::State& state) {
 // whole-loop throughput, not single kernels): one unsupervised epoch of
 // the Higgs-shaped layer, reported as events/second.
 void BM_FullEpoch(benchmark::State& state, const std::string& engine_name) {
-  auto engine = parallel::make_engine(engine_name);
+  auto engine = parallel::EngineRegistry::instance().create(engine_name);
   auto& w = workload();
   std::vector<float> pi = w.pi;
   std::vector<float> pj = w.pj;

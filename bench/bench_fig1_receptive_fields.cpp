@@ -5,12 +5,7 @@
 
 #include <cstdio>
 
-#include "core/layer.hpp"
-#include "data/digits.hpp"
-#include "encode/one_hot.hpp"
-#include "util/cli.hpp"
-#include "viz/ascii.hpp"
-#include "viz/catalyst.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 
@@ -44,7 +39,7 @@ int main(int argc, char** argv) {
   config.plasticity_hysteresis = 0.01;
   config.seed = 7;
 
-  auto engine = parallel::make_engine(config.engine);
+  auto engine = parallel::EngineRegistry::instance().create(config.engine);
   util::Rng rng(config.seed);
   core::BcpnnLayer layer(config, *engine, rng);
 

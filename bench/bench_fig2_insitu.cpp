@@ -6,10 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/pipeline.hpp"
-#include "util/cli.hpp"
-#include "viz/ascii.hpp"
-#include "viz/catalyst.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

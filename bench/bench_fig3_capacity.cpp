@@ -18,12 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "core/pipeline.hpp"
-#include "util/cli.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
-#include "util/string_util.hpp"
-#include "util/table.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

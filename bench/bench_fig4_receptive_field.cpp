@@ -11,11 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/pipeline.hpp"
-#include "util/cli.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

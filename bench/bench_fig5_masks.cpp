@@ -8,10 +8,7 @@
 #include <map>
 #include <vector>
 
-#include "core/pipeline.hpp"
-#include "data/higgs.hpp"
-#include "util/cli.hpp"
-#include "viz/ascii.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

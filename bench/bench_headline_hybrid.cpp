@@ -6,11 +6,7 @@
 
 #include <cstdio>
 
-#include "core/pipeline.hpp"
-#include "metrics/ams.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

@@ -9,16 +9,7 @@
 
 #include <cstdio>
 
-#include "baselines/mlp.hpp"
-#include "core/classifier.hpp"
-#include "core/layer.hpp"
-#include "core/sgd_head.hpp"
-#include "data/dataset.hpp"
-#include "data/digits.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/classification.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 
@@ -90,10 +81,10 @@ int main(int argc, char** argv) {
   config.batch_size = 64;
   config.plasticity_swaps = 8;
   config.seed = 3;
-  auto engine = parallel::make_engine(config.engine);
+  auto engine = parallel::EngineRegistry::instance().create(config.engine);
   util::Rng rng(config.seed);
   core::BcpnnLayer layer(config, *engine, rng);
-  auto head_engine = parallel::make_engine(config.engine);
+  auto head_engine = parallel::EngineRegistry::instance().create(config.engine);
   // Low head alpha + full-batch head updates = slow trace decay: the
   // incremental-memory knob.
   core::BcpnnClassifier head(config.hidden_units(), config.hcus, 10,

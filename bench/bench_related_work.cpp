@@ -9,18 +9,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "baselines/adaboost.hpp"
-#include "baselines/logistic.hpp"
-#include "baselines/mlp.hpp"
-#include "baselines/naive_bayes.hpp"
-#include "core/pipeline.hpp"
-#include "data/higgs.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/classification.hpp"
-#include "metrics/roc.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

@@ -6,14 +6,7 @@
 
 #include <cstdio>
 
-#include "core/classifier.hpp"
-#include "core/distributed.hpp"
-#include "data/dataset.hpp"
-#include "data/higgs.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/roc.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 
@@ -50,13 +43,13 @@ int main(int argc, char** argv) {
   util::Table table({"ranks", "train time (s)", "allreduces", "MB sent/rank",
                      "probe AUC"});
   for (const int ranks : {1, 2, 4, 8}) {
-    auto engine = parallel::make_engine(config.engine);
+    auto engine = parallel::EngineRegistry::instance().create(config.engine);
     util::Rng rng(config.seed);
     core::BcpnnLayer layer(config, *engine, rng);
     const auto report = core::distributed_unsupervised_fit(layer, x, ranks);
 
     // Probe: supervised head on the synchronized representation.
-    auto head_engine = parallel::make_engine(config.engine);
+    auto head_engine = parallel::EngineRegistry::instance().create(config.engine);
     core::BcpnnClassifier head(config.hidden_units(), config.hcus, 2,
                                *head_engine, 0.1f);
     tensor::MatrixF hidden;

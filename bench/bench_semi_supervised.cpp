@@ -7,16 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "baselines/mlp.hpp"
-#include "core/network.hpp"
-#include "core/semi_supervised.hpp"
-#include "data/dataset.hpp"
-#include "data/higgs.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/classification.hpp"
-#include "util/cli.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

@@ -8,14 +8,7 @@
 
 #include <cstdio>
 
-#include "core/classifier.hpp"
-#include "core/distributed.hpp"
-#include "data/dataset.hpp"
-#include "data/higgs.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/classification.hpp"
-#include "metrics/roc.hpp"
-#include "util/cli.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 
@@ -49,7 +42,7 @@ int main(int argc, char** argv) {
   config.batch_size = 64;
   config.seed = 42;
 
-  auto engine = parallel::make_engine(config.engine);
+  auto engine = parallel::EngineRegistry::instance().create(config.engine);
   util::Rng layer_rng(config.seed);
   core::BcpnnLayer layer(config, *engine, layer_rng);
 
@@ -64,7 +57,7 @@ int main(int argc, char** argv) {
 
   // Supervised head on the synchronized representation.
   std::printf("\ntraining supervised read-out on rank-synchronized traces...\n");
-  auto head_engine = parallel::make_engine(config.engine);
+  auto head_engine = parallel::EngineRegistry::instance().create(config.engine);
   core::BcpnnClassifier head(config.hidden_units(), config.hcus, 2,
                              *head_engine, 0.1f);
   tensor::MatrixF hidden_train;

@@ -10,16 +10,7 @@
 
 #include <cstdio>
 
-#include "core/network.hpp"
-#include "core/pipeline.hpp"
-#include "data/higgs.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/ams.hpp"
-#include "metrics/classification.hpp"
-#include "metrics/roc.hpp"
-#include "util/cli.hpp"
-#include "viz/ascii.hpp"
-#include "viz/catalyst.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

@@ -8,10 +8,7 @@
 
 #include <cstdio>
 
-#include "core/pipeline.hpp"
-#include "hpo/search.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

@@ -14,12 +14,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/model.hpp"
-#include "data/dataset.hpp"
-#include "data/idx_loader.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/classification.hpp"
-#include "util/cli.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 
@@ -53,8 +48,8 @@ int main(int argc, char** argv) {
       .hidden(static_cast<std::size_t>(args.get_int("hcus", 8)),
               static_cast<std::size_t>(args.get_int("mcus", 48)),
               args.get_double("rf", 0.30))
-      .classifier(10, sgd_head ? core::Model::Head::kSgd
-                               : core::Model::Head::kBcpnn)
+      .classifier(10, sgd_head ? core::HeadType::kSgd
+                               : core::HeadType::kBcpnn)
       .set_option("epochs", static_cast<double>(args.get_int("epochs", 10)))
       .set_option("plasticity_swaps", 8)
       .compile(args.get_string("engine", "simd"),

@@ -10,8 +10,7 @@
 
 #include <cstdio>
 
-#include "core/pipeline.hpp"
-#include "util/cli.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 

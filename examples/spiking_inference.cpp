@@ -10,15 +10,7 @@
 
 #include <cstdio>
 
-#include "core/classifier.hpp"
-#include "core/layer.hpp"
-#include "data/dataset.hpp"
-#include "data/higgs.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/classification.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 
@@ -50,7 +42,7 @@ int main(int argc, char** argv) {
   config.batch_size = 64;
   config.seed = 42;
 
-  auto engine = parallel::make_engine(config.engine);
+  auto engine = parallel::EngineRegistry::instance().create(config.engine);
   util::Rng layer_rng(config.seed);
   core::BcpnnLayer layer(config, *engine, layer_rng);
 
@@ -72,7 +64,7 @@ int main(int argc, char** argv) {
     }
     layer.plasticity_step();
   }
-  auto head_engine = parallel::make_engine(config.engine);
+  auto head_engine = parallel::EngineRegistry::instance().create(config.engine);
   core::BcpnnClassifier head(config.hidden_units(), config.hcus, 2,
                              *head_engine, 0.1f);
   tensor::MatrixF hidden;

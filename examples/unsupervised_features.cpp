@@ -9,14 +9,7 @@
 
 #include <cstdio>
 
-#include "core/classifier.hpp"
-#include "core/layer.hpp"
-#include "data/digits.hpp"
-#include "encode/one_hot.hpp"
-#include "metrics/classification.hpp"
-#include "util/cli.hpp"
-#include "viz/ascii.hpp"
-#include "viz/catalyst.hpp"
+#include "streambrain/streambrain.hpp"
 
 using namespace streambrain;
 
@@ -48,7 +41,7 @@ int main(int argc, char** argv) {
   config.plasticity_swaps = 8;
   config.seed = 11;
 
-  auto engine = parallel::make_engine(config.engine);
+  auto engine = parallel::EngineRegistry::instance().create(config.engine);
   util::Rng rng(config.seed);
   core::BcpnnLayer layer(config, *engine, rng);
 
@@ -91,7 +84,7 @@ int main(int argc, char** argv) {
 
   // --- Phase 2: tiny supervised read-out on frozen features ------------
   std::printf("training a read-out on the frozen unsupervised features...\n");
-  auto head_engine = parallel::make_engine(config.engine);
+  auto head_engine = parallel::EngineRegistry::instance().create(config.engine);
   core::BcpnnClassifier head(config.hidden_units(), config.hcus, 10,
                              *head_engine, 0.1f);
   tensor::MatrixF hidden_train;

@@ -1,0 +1,94 @@
+#include "api/estimator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/adaboost.hpp"
+#include "baselines/classifier.hpp"
+#include "baselines/logistic.hpp"
+#include "baselines/mlp.hpp"
+#include "baselines/naive_bayes.hpp"
+#include "metrics/classification.hpp"
+
+namespace streambrain {
+
+double Estimator::evaluate(const tensor::MatrixF& x,
+                           const std::vector<int>& labels) {
+  return metrics::accuracy(predict(x), labels);
+}
+
+void Estimator::save(const std::string& /*path*/) const {
+  throw std::runtime_error("Estimator '" + name() +
+                           "' does not support save()");
+}
+
+void Estimator::load(const std::string& /*path*/) {
+  throw std::runtime_error("Estimator '" + name() +
+                           "' does not support load()");
+}
+
+namespace {
+
+/// Estimator view over a BinaryClassifier: the baselines already share
+/// fit/predict semantics, so the adapter only bridges ownership and the
+/// virtual contract.
+class BaselineEstimator final : public Estimator {
+ public:
+  explicit BaselineEstimator(std::unique_ptr<baselines::BinaryClassifier> inner)
+      : inner_(std::move(inner)) {
+    if (!inner_) {
+      throw std::invalid_argument("BaselineEstimator: null classifier");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  void fit(const tensor::MatrixF& x, const std::vector<int>& labels) override {
+    inner_->fit(x, labels);
+  }
+
+  [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x) override {
+    return inner_->predict(x);
+  }
+
+  [[nodiscard]] std::vector<double> predict_scores(
+      const tensor::MatrixF& x) override {
+    return inner_->predict_scores(x);
+  }
+
+ private:
+  std::unique_ptr<baselines::BinaryClassifier> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<Estimator> wrap_baseline(
+    std::unique_ptr<baselines::BinaryClassifier> inner) {
+  return std::make_unique<BaselineEstimator>(std::move(inner));
+}
+
+std::unique_ptr<Estimator> make_baseline_estimator(const std::string& name) {
+  if (name == "logistic") {
+    return wrap_baseline(std::make_unique<baselines::LogisticRegression>());
+  }
+  if (name == "mlp") {
+    return wrap_baseline(std::make_unique<baselines::Mlp>());
+  }
+  if (name == "naive_bayes") {
+    return wrap_baseline(std::make_unique<baselines::GaussianNaiveBayes>());
+  }
+  if (name == "adaboost") {
+    return wrap_baseline(std::make_unique<baselines::AdaBoost>());
+  }
+  throw std::invalid_argument(
+      "make_baseline_estimator: unknown baseline '" + name +
+      "' (recognized: logistic, mlp, naive_bayes, adaboost)");
+}
+
+const std::vector<std::string>& baseline_estimator_names() {
+  static const std::vector<std::string> names = {"logistic", "mlp",
+                                                 "naive_bayes", "adaboost"};
+  return names;
+}
+
+}  // namespace streambrain

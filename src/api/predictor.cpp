@@ -1,0 +1,187 @@
+#include "api/predictor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace streambrain {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+Predictor::Predictor(std::shared_ptr<Estimator> model,
+                     PredictorOptions options)
+    : model_(std::move(model)), options_(options) {
+  if (!model_) throw std::invalid_argument("Predictor: null model");
+  if (options_.max_batch_rows == 0) {
+    throw std::invalid_argument("Predictor: max_batch_rows must be > 0");
+  }
+}
+
+void Predictor::run_pending_locked() {
+  std::vector<std::shared_ptr<Request>> batch;
+  batch.swap(pending_);
+  pending_rows_ = 0;
+  if (batch.empty()) return;
+
+  // Execute each request kind separately (they produce different result
+  // types), coalescing rows across requests into micro-batches of at most
+  // max_batch_rows. Rows are computed independently by every estimator,
+  // so splitting/merging cannot change any row's result.
+  for (const Kind kind : {Kind::kLabels, Kind::kScores}) {
+    // (request, row) cursor list in arrival order.
+    std::vector<std::pair<Request*, std::size_t>> rows;
+    for (const auto& request : batch) {
+      if (request->kind != kind) continue;
+      for (std::size_t r = 0; r < request->x.rows(); ++r) {
+        rows.emplace_back(request.get(), r);
+      }
+      request->labels.assign(
+          kind == Kind::kLabels ? request->x.rows() : 0, 0);
+      request->scores.assign(
+          kind == Kind::kScores ? request->x.rows() : 0, 0.0);
+    }
+
+    std::size_t cursor = 0;
+    tensor::MatrixF chunk;
+    while (cursor < rows.size()) {
+      const std::size_t cols = rows[cursor].first->x.cols();
+      std::size_t take = 0;
+      while (cursor + take < rows.size() && take < options_.max_batch_rows &&
+             rows[cursor + take].first->x.cols() == cols) {
+        ++take;
+      }
+      chunk.resize(take, cols);
+      for (std::size_t i = 0; i < take; ++i) {
+        const auto& [request, row] = rows[cursor + i];
+        std::copy_n(request->x.row(row), cols, chunk.row(i));
+      }
+
+      const auto started = Clock::now();
+      if (kind == Kind::kLabels) {
+        const std::vector<int> labels = model_->predict(chunk);
+        for (std::size_t i = 0; i < take; ++i) {
+          const auto& [request, row] = rows[cursor + i];
+          request->labels[row] = labels[i];
+        }
+      } else {
+        const std::vector<double> scores = model_->predict_scores(chunk);
+        for (std::size_t i = 0; i < take; ++i) {
+          const auto& [request, row] = rows[cursor + i];
+          request->scores[row] = scores[i];
+        }
+      }
+      stats_.model_seconds += seconds_since(started);
+      stats_.batches += 1;
+      stats_.rows += take;
+      cursor += take;
+    }
+  }
+
+  for (const auto& request : batch) request->done = true;
+  done_cv_.notify_all();
+}
+
+void Predictor::run_direct_locked(const tensor::MatrixF& x, Kind kind,
+                                  std::vector<int>& labels,
+                                  std::vector<double>& scores) {
+  const std::size_t rows = x.rows();
+  tensor::MatrixF chunk;
+  for (std::size_t begin = 0; begin < rows;
+       begin += options_.max_batch_rows) {
+    const std::size_t take = std::min(options_.max_batch_rows, rows - begin);
+    const tensor::MatrixF* input = &x;
+    if (take != rows) {  // only copy when the request must be split
+      chunk.resize(take, x.cols());
+      for (std::size_t i = 0; i < take; ++i) {
+        std::copy_n(x.row(begin + i), x.cols(), chunk.row(i));
+      }
+      input = &chunk;
+    }
+    const auto started = Clock::now();
+    if (kind == Kind::kLabels) {
+      const std::vector<int> part = model_->predict(*input);
+      labels.insert(labels.end(), part.begin(), part.end());
+    } else {
+      const std::vector<double> part = model_->predict_scores(*input);
+      scores.insert(scores.end(), part.begin(), part.end());
+    }
+    stats_.model_seconds += seconds_since(started);
+    stats_.batches += 1;
+    stats_.rows += take;
+  }
+}
+
+std::vector<int> Predictor::predict(const tensor::MatrixF& x) {
+  if (x.rows() == 0) return {};
+  const auto started = Clock::now();
+  std::vector<int> labels;
+  std::vector<double> scores;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (options_.flush_policy == FlushPolicy::kImmediate) {
+    run_direct_locked(x, Kind::kLabels, labels, scores);
+  } else {
+    auto request = std::make_shared<Request>();
+    request->x = x;
+    request->kind = Kind::kLabels;
+    pending_.push_back(request);
+    pending_rows_ += request->x.rows();
+    if (pending_rows_ >= options_.max_batch_rows) run_pending_locked();
+    done_cv_.wait(lock, [&] { return request->done; });
+    labels = std::move(request->labels);
+  }
+
+  const double latency = seconds_since(started);
+  stats_.requests += 1;
+  stats_.total_latency_seconds += latency;
+  stats_.max_latency_seconds = std::max(stats_.max_latency_seconds, latency);
+  return labels;
+}
+
+std::vector<double> Predictor::predict_scores(const tensor::MatrixF& x) {
+  if (x.rows() == 0) return {};
+  const auto started = Clock::now();
+  std::vector<int> labels;
+  std::vector<double> scores;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (options_.flush_policy == FlushPolicy::kImmediate) {
+    run_direct_locked(x, Kind::kScores, labels, scores);
+  } else {
+    auto request = std::make_shared<Request>();
+    request->x = x;
+    request->kind = Kind::kScores;
+    pending_.push_back(request);
+    pending_rows_ += request->x.rows();
+    if (pending_rows_ >= options_.max_batch_rows) run_pending_locked();
+    done_cv_.wait(lock, [&] { return request->done; });
+    scores = std::move(request->scores);
+  }
+
+  const double latency = seconds_since(started);
+  stats_.requests += 1;
+  stats_.total_latency_seconds += latency;
+  stats_.max_latency_seconds = std::max(stats_.max_latency_seconds, latency);
+  return scores;
+}
+
+void Predictor::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  run_pending_locked();
+}
+
+PredictorStats Predictor::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace streambrain

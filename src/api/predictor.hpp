@@ -1,0 +1,126 @@
+#pragma once
+// Serving session over a trained estimator — the first building block of
+// the production inference path. A Predictor owns an immutable snapshot
+// of a compiled/loaded model and serves `predict` / `predict_scores`
+// calls from any number of threads:
+//
+//   auto model = std::make_shared<core::Model>();
+//   model->load("model.sbrn");
+//   Predictor predictor(model, {.max_batch_rows = 256});
+//   // from any thread:
+//   std::vector<int> labels = predictor.predict(rows);
+//
+// Requests are executed in micro-batches of at most `max_batch_rows`
+// rows. Under FlushPolicy::kCoalesce concurrent callers' rows are
+// coalesced into shared batches (amortizing the per-batch GEMM setup)
+// and a caller blocks until a batch containing its rows has run. Because
+// every model in the repo computes rows independently, predictions are
+// bit-identical to the single-threaded path regardless of how requests
+// interleave — the concurrency test asserts exactly this.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/estimator.hpp"
+#include "tensor/matrix.hpp"
+
+namespace streambrain {
+
+enum class FlushPolicy {
+  /// Run every request's rows as soon as it arrives (lowest latency).
+  kImmediate,
+  /// Buffer rows until max_batch_rows accumulate, then run the shared
+  /// batch (highest throughput). Callers block until their rows ran; a
+  /// partial batch waits until more rows arrive or flush() is called.
+  kCoalesce,
+};
+
+struct PredictorOptions {
+  /// Upper bound on rows per executed micro-batch. Larger requests are
+  /// split; under kCoalesce smaller concurrent requests are merged.
+  std::size_t max_batch_rows = 256;
+  FlushPolicy flush_policy = FlushPolicy::kImmediate;
+};
+
+/// Monotonic serving counters; snapshot via Predictor::stats().
+struct PredictorStats {
+  std::uint64_t requests = 0;  ///< predict()/predict_scores() calls
+  std::uint64_t rows = 0;      ///< total rows served
+  std::uint64_t batches = 0;   ///< micro-batches executed on the model
+  double total_latency_seconds = 0.0;  ///< summed per-call wall time
+  double max_latency_seconds = 0.0;    ///< worst single call
+  double model_seconds = 0.0;          ///< time spent inside the model
+
+  [[nodiscard]] double mean_latency_seconds() const noexcept {
+    return requests == 0 ? 0.0
+                         : total_latency_seconds /
+                               static_cast<double>(requests);
+  }
+  /// Rows per second of model compute (excludes queueing).
+  [[nodiscard]] double model_throughput_rows_per_second() const noexcept {
+    return model_seconds <= 0.0 ? 0.0
+                                : static_cast<double>(rows) / model_seconds;
+  }
+};
+
+class Predictor {
+ public:
+  /// The model must be compiled (or loaded) and is treated as frozen:
+  /// the Predictor never mutates learned state, and callers must not
+  /// call fit()/load() on it while the Predictor is alive.
+  explicit Predictor(std::shared_ptr<Estimator> model,
+                     PredictorOptions options = {});
+
+  /// Thread-safe hard-label inference over a batch of rows.
+  [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x);
+
+  /// Thread-safe P(class == 1) inference over a batch of rows.
+  [[nodiscard]] std::vector<double> predict_scores(const tensor::MatrixF& x);
+
+  /// Run any buffered partial batch now (kCoalesce only; a no-op under
+  /// kImmediate). Unblocks callers waiting on a batch that never filled.
+  void flush();
+
+  [[nodiscard]] PredictorStats stats() const;
+
+  [[nodiscard]] const PredictorOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const Estimator& model() const noexcept { return *model_; }
+
+ private:
+  enum class Kind { kLabels, kScores };
+
+  struct Request {
+    tensor::MatrixF x;
+    Kind kind = Kind::kLabels;
+    std::vector<int> labels;
+    std::vector<double> scores;
+    bool done = false;
+  };
+
+  /// Pre: lock held. Executes all pending requests in micro-batches and
+  /// wakes their owners.
+  void run_pending_locked();
+
+  /// Pre: lock held. kImmediate fast path: runs `x` in micro-batches
+  /// straight from the caller's matrix (no queue, no row copies unless a
+  /// split is needed), filling whichever result vector matches `kind`.
+  void run_direct_locked(const tensor::MatrixF& x, Kind kind,
+                         std::vector<int>& labels,
+                         std::vector<double>& scores);
+
+  std::shared_ptr<Estimator> model_;
+  PredictorOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::vector<std::shared_ptr<Request>> pending_;
+  std::size_t pending_rows_ = 0;
+  PredictorStats stats_;
+};
+
+}  // namespace streambrain

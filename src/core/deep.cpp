@@ -4,13 +4,14 @@
 #include <stdexcept>
 
 #include "data/dataset.hpp"
+#include "parallel/engine_registry.hpp"
 #include "tensor/kernels.hpp"
 
 namespace streambrain::core {
 
 DeepBcpnn::DeepBcpnn(DeepBcpnnConfig config)
     : config_(std::move(config)),
-      engine_(parallel::make_engine(config_.engine)),
+      engine_(parallel::EngineRegistry::instance().create(config_.engine)),
       rng_(config_.seed) {
   if (config_.layers.empty()) {
     throw std::invalid_argument("DeepBcpnn: need at least one hidden layer");

@@ -64,6 +64,15 @@ class DeepBcpnn {
   [[nodiscard]] const BcpnnLayer& layer(std::size_t i) const {
     return *layers_.at(i);
   }
+  [[nodiscard]] BcpnnLayer& mutable_layer(std::size_t i) {
+    return *layers_.at(i);
+  }
+  [[nodiscard]] const DeepBcpnnConfig& config() const noexcept {
+    return config_;
+  }
+  /// Supervised head over the top hidden code (for checkpointing).
+  [[nodiscard]] BcpnnClassifier& head() noexcept { return *head_; }
+  [[nodiscard]] const BcpnnClassifier& head() const noexcept { return *head_; }
 
  private:
   void train_layer_unsupervised(std::size_t index, const tensor::MatrixF& x);

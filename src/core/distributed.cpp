@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "parallel/engine_registry.hpp"
 #include "util/timer.hpp"
 
 namespace streambrain::core {
@@ -33,7 +34,7 @@ DistributedReport distributed_unsupervised_fit(BcpnnLayer& layer,
     // Same seed everywhere: identical initial masks and traces. Only the
     // noise RNG is split per rank (different shards explore differently;
     // trace averaging merges them).
-    auto engine = parallel::make_engine(cfg.engine);
+    auto engine = parallel::EngineRegistry::instance().create(cfg.engine);
     util::Rng mask_rng(cfg.seed);
     BcpnnLayer local(cfg, *engine, mask_rng);
     util::Rng noise_rng(cfg.seed ^ (0x9E3779B9ULL * (rank + 1)));

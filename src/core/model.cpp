@@ -1,8 +1,10 @@
 #include "core/model.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/serialization.hpp"
 #include "metrics/classification.hpp"
 
 namespace streambrain::core {
@@ -21,7 +23,7 @@ Model& Model::hidden(std::size_t hcus, std::size_t mcus,
   return *this;
 }
 
-Model& Model::classifier(std::size_t classes, Head head) {
+Model& Model::classifier(std::size_t classes, HeadType head) {
   if (compiled()) {
     throw std::logic_error("Model: classifier() after compile()");
   }
@@ -30,8 +32,25 @@ Model& Model::classifier(std::size_t classes, Head head) {
   return *this;
 }
 
+const std::vector<std::string>& Model::option_keys() {
+  static const std::vector<std::string> keys = {
+      "alpha",       "alpha_supervised", "batch_size",
+      "epochs",      "head_epochs",      "inverse_temperature",
+      "k_beta",      "noise_end",        "noise_start",
+      "plasticity_swaps"};
+  return keys;
+}
+
 Model& Model::set_option(const std::string& key, double value) {
   if (compiled()) throw std::logic_error("Model: set_option() after compile()");
+  const auto& keys = option_keys();
+  if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+    std::ostringstream message;
+    message << "Model::set_option: unknown key '" << key << "' (recognized:";
+    for (const auto& known : keys) message << ' ' << known;
+    message << ')';
+    throw std::invalid_argument(message.str());
+  }
   options_.set_double(key, value);
   return *this;
 }
@@ -44,6 +63,8 @@ Model& Model::compile(const std::string& engine, std::uint64_t seed) {
   if (hidden_.empty()) {
     throw std::logic_error("Model: no hidden layers");
   }
+  engine_name_ = engine;
+  seed_ = seed;
 
   if (hidden_.size() == 1) {
     NetworkConfig config;
@@ -56,9 +77,20 @@ Model& Model::compile(const std::string& engine, std::uint64_t seed) {
     config.bcpnn.seed = seed;
     config.bcpnn.apply(options_);  // schedule overrides
     config.classes = classes_;
-    config.head = head_ == Head::kBcpnn ? HeadType::kBcpnn : HeadType::kSgd;
+    config.head = head_;
     network_ = std::make_unique<Network>(std::move(config));
     return *this;
+  }
+
+  // The deep schedule only consumes a subset of the option keys; reject
+  // the rest instead of silently dropping a validated option.
+  for (const char* key : {"alpha_supervised", "inverse_temperature", "k_beta",
+                          "noise_end", "plasticity_swaps"}) {
+    if (options_.has(key)) {
+      throw std::invalid_argument(
+          std::string("Model: option '") + key +
+          "' is not supported for deep (multi-hidden-layer) models");
+    }
   }
 
   DeepBcpnnConfig config;
@@ -80,7 +112,7 @@ Model& Model::compile(const std::string& engine, std::uint64_t seed) {
       "batch_size", static_cast<double>(config.batch_size)));
   config.noise_start = static_cast<float>(
       options_.get_double("noise_start", config.noise_start));
-  if (head_ == Head::kSgd) {
+  if (head_ == HeadType::kSgd) {
     // The deep variant always uses the BCPNN head; the hybrid read-out is
     // only wired for the paper's three-layer topology.
     throw std::invalid_argument(
@@ -88,6 +120,13 @@ Model& Model::compile(const std::string& engine, std::uint64_t seed) {
   }
   deep_ = std::make_unique<DeepBcpnn>(std::move(config));
   return *this;
+}
+
+std::string Model::name() const {
+  std::ostringstream out;
+  out << "bcpnn(depth=" << hidden_.size() << ",head=" << head_name(head_)
+      << ')';
+  return out.str();
 }
 
 void Model::fit(const tensor::MatrixF& x, const std::vector<int>& labels) {
@@ -114,11 +153,44 @@ double Model::evaluate(const tensor::MatrixF& x,
   return metrics::accuracy(predict(x), labels);
 }
 
+void Model::save(const std::string& path) const {
+  if (!compiled()) throw std::logic_error("Model: save() before compile()");
+  save_model(path, *this);
+}
+
+void Model::load(const std::string& path) {
+  if (compiled()) {
+    throw std::logic_error("Model: load() requires an un-compiled model");
+  }
+  load_model(path, *this);
+}
+
 Network& Model::network() {
   if (!network_) {
     throw std::logic_error("Model::network(): not a compiled 3-layer model");
   }
   return *network_;
+}
+
+const Network& Model::network() const {
+  if (!network_) {
+    throw std::logic_error("Model::network(): not a compiled 3-layer model");
+  }
+  return *network_;
+}
+
+DeepBcpnn& Model::deep() {
+  if (!deep_) {
+    throw std::logic_error("Model::deep(): not a compiled deep model");
+  }
+  return *deep_;
+}
+
+const DeepBcpnn& Model::deep() const {
+  if (!deep_) {
+    throw std::logic_error("Model::deep(): not a compiled deep model");
+  }
+  return *deep_;
 }
 
 std::string Model::summary() const {
@@ -133,7 +205,7 @@ std::string Model::summary() const {
         << static_cast<int>(100.0 * hidden_[l].receptive_field) << "%\n";
   }
   out << "  classifier   : " << classes_ << " classes, "
-      << (head_ == Head::kBcpnn ? "BCPNN" : "SGD") << " head\n";
+      << (head_ == HeadType::kBcpnn ? "BCPNN" : "SGD") << " head\n";
   return out.str();
 }
 

@@ -7,7 +7,7 @@
 //   Model model;
 //   model.input(28, 10)                       // 28 features x 10 quantiles
 //        .hidden(1, 300, 0.40)                // 1 HCU x 300 MCUs, RF 40%
-//        .classifier(2, Model::Head::kSgd)    // BCPNN+SGD hybrid read-out
+//        .classifier(2, core::HeadType::kSgd) // BCPNN+SGD hybrid read-out
 //        .compile("simd", /*seed=*/42);
 //   model.fit(x_train, y_train);
 //   double acc = model.evaluate(x_test, y_test);
@@ -15,20 +15,29 @@
 // One hidden() call builds the paper's three-layer network; several stack
 // a DeepBcpnn. All hyper-parameters have paper defaults and can be
 // overridden through set_option() before compile().
+//
+// Model implements the streambrain::Estimator contract, so it is
+// interchangeable with the baselines in experiment drivers and can be
+// snapshotted into a serving Predictor. save()/load() round-trip the full
+// facade: topology, options, engine choice, and learned state.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "api/estimator.hpp"
 #include "core/deep.hpp"
+#include "core/head.hpp"
 #include "core/network.hpp"
 #include "util/config.hpp"
 
 namespace streambrain::core {
 
-class Model {
+class Model final : public Estimator {
  public:
-  enum class Head { kBcpnn, kSgd };
+  /// Compatibility alias — the head enum is core::HeadType everywhere.
+  using Head = HeadType;
 
   Model() = default;
 
@@ -39,30 +48,58 @@ class Model {
   Model& hidden(std::size_t hcus, std::size_t mcus, double receptive_field);
 
   /// Set the classification layer.
-  Model& classifier(std::size_t classes, Head head = Head::kBcpnn);
+  Model& classifier(std::size_t classes, HeadType head = HeadType::kBcpnn);
 
-  /// Override schedule/learning options before compile(). Recognized
-  /// keys: alpha, epochs, head_epochs, batch_size, noise_start,
-  /// plasticity_swaps, inverse_temperature.
+  /// Override schedule/learning options before compile(). Unknown keys
+  /// are rejected with std::invalid_argument naming the key and the
+  /// recognized set (see option_keys()). Keys alpha_supervised,
+  /// inverse_temperature, k_beta, noise_end, and plasticity_swaps apply
+  /// only to single-hidden-layer models; compile() rejects them for deep
+  /// stacks instead of silently dropping them.
   Model& set_option(const std::string& key, double value);
 
-  /// Materialize the network. Throws std::logic_error if input() or
-  /// hidden() were never called, or on a second compile.
+  /// The recognized set of set_option() keys.
+  [[nodiscard]] static const std::vector<std::string>& option_keys();
+
+  /// Materialize the network. The engine name is resolved through
+  /// parallel::EngineRegistry, so user-registered engines work here too.
+  /// Throws std::logic_error if input() or hidden() were never called, or
+  /// on a second compile.
   Model& compile(const std::string& engine = "simd", std::uint64_t seed = 1);
 
   [[nodiscard]] bool compiled() const noexcept {
     return network_ != nullptr || deep_ != nullptr;
   }
 
-  /// Train (unsupervised hidden phase + supervised head phase).
-  void fit(const tensor::MatrixF& x, const std::vector<int>& labels);
+  // --- Estimator contract -------------------------------------------------
 
-  [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x);
-  [[nodiscard]] std::vector<double> predict_scores(const tensor::MatrixF& x);
+  /// "bcpnn(depth=D,head=H)" once the topology is declared.
+  [[nodiscard]] std::string name() const override;
+
+  /// Train (unsupervised hidden phase + supervised head phase).
+  void fit(const tensor::MatrixF& x, const std::vector<int>& labels) override;
+
+  [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x) override;
+  [[nodiscard]] std::vector<double> predict_scores(
+      const tensor::MatrixF& x) override;
 
   /// Test accuracy.
   [[nodiscard]] double evaluate(const tensor::MatrixF& x,
-                                const std::vector<int>& labels);
+                                const std::vector<int>& labels) override;
+
+  [[nodiscard]] bool supports_save() const override { return true; }
+
+  /// Checkpoint the full facade (topology + options + engine + learned
+  /// state). Requires a compiled model.
+  void save(const std::string& path) const override;
+
+  /// Restore a checkpoint written by save() into this (un-compiled)
+  /// model: rebuilds the topology, compiles on the stored engine, and
+  /// loads the learned state. Predictions reproduce the saved model
+  /// bit-for-bit on the same engine.
+  void load(const std::string& path) override;
+
+  // --- Introspection ------------------------------------------------------
 
   /// Human-readable layer summary (Keras's model.summary()).
   [[nodiscard]] std::string summary() const;
@@ -70,20 +107,46 @@ class Model {
   /// Access the underlying single-hidden-layer network (throws when the
   /// model is deep or not compiled).
   [[nodiscard]] Network& network();
+  [[nodiscard]] const Network& network() const;
 
- private:
+  /// Access the underlying deep stack (throws when the model is shallow
+  /// or not compiled).
+  [[nodiscard]] DeepBcpnn& deep();
+  [[nodiscard]] const DeepBcpnn& deep() const;
+
   struct HiddenSpec {
     std::size_t hcus;
     std::size_t mcus;
     double receptive_field;
   };
 
+  [[nodiscard]] std::size_t input_hypercolumns() const noexcept {
+    return input_hypercolumns_;
+  }
+  [[nodiscard]] std::size_t input_bins() const noexcept { return input_bins_; }
+  [[nodiscard]] const std::vector<HiddenSpec>& hidden_specs() const noexcept {
+    return hidden_;
+  }
+  [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+  [[nodiscard]] HeadType head() const noexcept { return head_; }
+  [[nodiscard]] const util::Config& options() const noexcept {
+    return options_;
+  }
+  /// Engine name and seed passed to compile() (empty / 0 before compile).
+  [[nodiscard]] const std::string& engine_name() const noexcept {
+    return engine_name_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
   std::size_t input_hypercolumns_ = 0;
   std::size_t input_bins_ = 0;
   std::vector<HiddenSpec> hidden_;
   std::size_t classes_ = 2;
-  Head head_ = Head::kBcpnn;
+  HeadType head_ = HeadType::kBcpnn;
   util::Config options_;
+  std::string engine_name_;
+  std::uint64_t seed_ = 0;
 
   std::unique_ptr<Network> network_;   // depth == 1
   std::unique_ptr<DeepBcpnn> deep_;    // depth > 1

@@ -4,13 +4,14 @@
 #include <stdexcept>
 
 #include "data/dataset.hpp"
+#include "parallel/engine_registry.hpp"
 #include "util/timer.hpp"
 
 namespace streambrain::core {
 
 Network::Network(NetworkConfig config)
     : config_(std::move(config)),
-      engine_(parallel::make_engine(config_.bcpnn.engine)),
+      engine_(parallel::EngineRegistry::instance().create(config_.bcpnn.engine)),
       rng_(config_.bcpnn.seed) {
   config_.bcpnn.validate();
   hidden_ = std::make_unique<BcpnnLayer>(config_.bcpnn, *engine_, rng_);

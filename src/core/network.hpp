@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/classifier.hpp"
+#include "core/head.hpp"
 #include "core/hyperparams.hpp"
 #include "core/layer.hpp"
 #include "core/sgd_head.hpp"
@@ -22,8 +23,6 @@
 #include "tensor/matrix.hpp"
 
 namespace streambrain::core {
-
-enum class HeadType { kBcpnn, kSgd };
 
 struct NetworkConfig {
   BcpnnConfig bcpnn;

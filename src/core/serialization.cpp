@@ -15,6 +15,7 @@ enum class Section : std::uint32_t {
   kLayer = 1,
   kClassifier = 2,
   kSgdHead = 3,
+  kModel = 4,
 };
 
 // --- Primitive IO ---------------------------------------------------------
@@ -27,6 +28,47 @@ std::uint32_t read_u32(std::istream& in) {
   std::uint32_t value = 0;
   in.read(reinterpret_cast<char*>(&value), sizeof(value));
   if (!in) throw std::runtime_error("checkpoint: truncated u32");
+  return value;
+}
+
+void write_u64(std::ostream& out, std::uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("checkpoint: truncated u64");
+  return value;
+}
+
+void write_f64(std::ostream& out, double value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+double read_f64(std::istream& in) {
+  double value = 0.0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("checkpoint: truncated f64");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& value) {
+  write_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint32_t size = read_u32(in);
+  // Engine names and option keys are short; a large length here means a
+  // corrupt file, and must not turn into a multi-GB allocation.
+  if (size > 4096) {
+    throw std::runtime_error("checkpoint: implausible string length " +
+                             std::to_string(size));
+  }
+  std::string value(size, '\0');
+  in.read(value.data(), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("checkpoint: truncated string");
   return value;
 }
 
@@ -134,6 +176,59 @@ void read_layer_section(std::istream& in, BcpnnLayer& layer) {
   layer.set_state(traces, masks);
 }
 
+void write_classifier_section(std::ostream& out, const BcpnnClassifier& head) {
+  write_u32(out, static_cast<std::uint32_t>(Section::kClassifier));
+  write_u32(out, static_cast<std::uint32_t>(head.classes()));
+  write_traces(out, head.traces());
+}
+
+void read_classifier_section(std::istream& in, BcpnnClassifier& head) {
+  expect_section(in, Section::kClassifier);
+  if (read_u32(in) != head.classes()) {
+    throw std::runtime_error("checkpoint: class count mismatch");
+  }
+  read_traces(in, head.mutable_traces());
+  head.recompute_weights();
+}
+
+void write_sgd_section(std::ostream& out, const SgdHead& head) {
+  write_u32(out, static_cast<std::uint32_t>(Section::kSgdHead));
+  write_u32(out, static_cast<std::uint32_t>(head.classes()));
+  write_floats(out, head.weights().data(), head.weights().size());
+  write_floats(out, head.bias().data(), head.bias().size());
+}
+
+void read_sgd_section(std::istream& in, SgdHead& head) {
+  expect_section(in, Section::kSgdHead);
+  if (read_u32(in) != head.classes()) {
+    throw std::runtime_error("checkpoint: class count mismatch");
+  }
+  tensor::MatrixF weights(head.weights().rows(), head.weights().cols());
+  std::vector<float> bias(head.bias().size());
+  read_floats(in, weights.data(), weights.size());
+  read_floats(in, bias.data(), bias.size());
+  head.set_state(weights, bias);
+}
+
+/// Hidden layer + head of a compiled three-layer network.
+void write_network_state(std::ostream& out, const Network& network) {
+  write_layer_section(out, network.hidden());
+  if (const BcpnnClassifier* head = network.bcpnn_head()) {
+    write_classifier_section(out, *head);
+  } else if (const SgdHead* head = network.sgd_head()) {
+    write_sgd_section(out, *head);
+  }
+}
+
+void read_network_state(std::istream& in, Network& network) {
+  read_layer_section(in, network.mutable_hidden());
+  if (BcpnnClassifier* head = network.bcpnn_head()) {
+    read_classifier_section(in, *head);
+  } else if (SgdHead* head = network.sgd_head()) {
+    read_sgd_section(in, *head);
+  }
+}
+
 }  // namespace
 
 void save_layer(const std::string& path, const BcpnnLayer& layer) {
@@ -155,17 +250,7 @@ void save_network(const std::string& path, const Network& network) {
   std::ofstream file(path, std::ios::binary);
   if (!file) throw std::runtime_error("save_network: cannot open " + path);
   write_header(file);
-  write_layer_section(file, network.hidden());
-  if (const BcpnnClassifier* head = network.bcpnn_head()) {
-    write_u32(file, static_cast<std::uint32_t>(Section::kClassifier));
-    write_u32(file, static_cast<std::uint32_t>(head->classes()));
-    write_traces(file, head->traces());
-  } else if (const SgdHead* head = network.sgd_head()) {
-    write_u32(file, static_cast<std::uint32_t>(Section::kSgdHead));
-    write_u32(file, static_cast<std::uint32_t>(head->classes()));
-    write_floats(file, head->weights().data(), head->weights().size());
-    write_floats(file, head->bias().data(), head->bias().size());
-  }
+  write_network_state(file, network);
   if (!file) throw std::runtime_error("save_network: write failed");
 }
 
@@ -173,25 +258,105 @@ void load_network(const std::string& path, Network& network) {
   std::ifstream file(path, std::ios::binary);
   if (!file) throw std::runtime_error("load_network: cannot open " + path);
   read_header(file);
-  read_layer_section(file, network.mutable_hidden());
-  if (BcpnnClassifier* head = network.bcpnn_head()) {
-    expect_section(file, Section::kClassifier);
-    if (read_u32(file) != head->classes()) {
-      throw std::runtime_error("load_network: class count mismatch");
-    }
-    read_traces(file, head->mutable_traces());
-    head->recompute_weights();
-  } else if (SgdHead* head = network.sgd_head()) {
-    expect_section(file, Section::kSgdHead);
-    if (read_u32(file) != head->classes()) {
-      throw std::runtime_error("load_network: class count mismatch");
-    }
-    tensor::MatrixF weights(head->weights().rows(), head->weights().cols());
-    std::vector<float> bias(head->bias().size());
-    read_floats(file, weights.data(), weights.size());
-    read_floats(file, bias.data(), bias.size());
-    head->set_state(weights, bias);
+  read_network_state(file, network);
+}
+
+void save_model(const std::string& path, const Model& model) {
+  if (!model.compiled()) {
+    throw std::logic_error("save_model: model is not compiled");
   }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("save_model: cannot open " + path);
+  write_header(file);
+
+  // Topology section: everything needed to rebuild and re-compile the
+  // facade before the learned state is streamed in.
+  write_u32(file, static_cast<std::uint32_t>(Section::kModel));
+  write_u32(file, static_cast<std::uint32_t>(model.input_hypercolumns()));
+  write_u32(file, static_cast<std::uint32_t>(model.input_bins()));
+  write_u32(file, static_cast<std::uint32_t>(model.hidden_specs().size()));
+  for (const auto& spec : model.hidden_specs()) {
+    write_u32(file, static_cast<std::uint32_t>(spec.hcus));
+    write_u32(file, static_cast<std::uint32_t>(spec.mcus));
+    write_f64(file, spec.receptive_field);
+  }
+  write_u32(file, static_cast<std::uint32_t>(model.classes()));
+  write_u32(file, static_cast<std::uint32_t>(model.head()));
+  write_string(file, model.engine_name());
+  write_u64(file, model.seed());
+  const auto option_keys = model.options().keys();
+  write_u32(file, static_cast<std::uint32_t>(option_keys.size()));
+  for (const auto& key : option_keys) {
+    write_string(file, key);
+    write_f64(file, model.options().get_double(key, 0.0));
+  }
+
+  if (model.hidden_specs().size() == 1) {
+    write_network_state(file, model.network());
+  } else {
+    const DeepBcpnn& deep = model.deep();
+    for (std::size_t l = 0; l < deep.depth(); ++l) {
+      write_layer_section(file, deep.layer(l));
+    }
+    write_classifier_section(file, deep.head());
+  }
+  if (!file) throw std::runtime_error("save_model: write failed");
+}
+
+void load_model(const std::string& path, Model& model) {
+  if (model.compiled()) {
+    throw std::logic_error("load_model: model is already compiled");
+  }
+  if (model.input_hypercolumns() != 0 || !model.hidden_specs().empty()) {
+    throw std::logic_error(
+        "load_model: model already has topology declared; load into a "
+        "blank Model");
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("load_model: cannot open " + path);
+  read_header(file);
+  expect_section(file, Section::kModel);
+
+  // Stage into a scratch Model so a failure at any point (truncated
+  // weights, geometry mismatch) leaves the caller's object untouched
+  // instead of compiled-with-random-weights.
+  Model staging;
+  const std::uint32_t input_hypercolumns = read_u32(file);
+  const std::uint32_t input_bins = read_u32(file);
+  staging.input(input_hypercolumns, input_bins);
+  const std::uint32_t depth = read_u32(file);
+  if (depth == 0) throw std::runtime_error("load_model: no hidden layers");
+  for (std::uint32_t l = 0; l < depth; ++l) {
+    const std::uint32_t hcus = read_u32(file);
+    const std::uint32_t mcus = read_u32(file);
+    const double receptive_field = read_f64(file);
+    staging.hidden(hcus, mcus, receptive_field);
+  }
+  const std::uint32_t classes = read_u32(file);
+  const std::uint32_t head_tag = read_u32(file);
+  if (head_tag > 1) throw std::runtime_error("load_model: bad head tag");
+  staging.classifier(classes, static_cast<HeadType>(head_tag));
+  const std::string engine = read_string(file);
+  const std::uint64_t seed = read_u64(file);
+  const std::uint32_t option_count = read_u32(file);
+  for (std::uint32_t i = 0; i < option_count; ++i) {
+    const std::string key = read_string(file);
+    const double value = read_f64(file);
+    staging.set_option(key, value);
+  }
+  staging.compile(engine, seed);
+
+  if (depth == 1) {
+    read_network_state(file, staging.network());
+  } else {
+    DeepBcpnn& deep = staging.deep();
+    for (std::uint32_t l = 0; l < depth; ++l) {
+      read_layer_section(file, deep.mutable_layer(l));
+    }
+    read_classifier_section(file, deep.head());
+  }
+  model = std::move(staging);
 }
 
 }  // namespace streambrain::core
+

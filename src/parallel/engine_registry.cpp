@@ -1,0 +1,100 @@
+#include "parallel/engine_registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace streambrain::parallel {
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+EngineRegistry::EngineRegistry() { detail::register_builtin_engines(*this); }
+
+void EngineRegistry::register_engine(EngineInfo info, Factory factory) {
+  if (info.name.empty()) {
+    throw std::invalid_argument("EngineRegistry: engine name must not be empty");
+  }
+  if (!factory) {
+    throw std::invalid_argument("EngineRegistry: null factory for '" +
+                                info.name + "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [existing, _] : entries_) {
+    if (existing.name == info.name) {
+      throw std::invalid_argument("EngineRegistry: engine '" + info.name +
+                                  "' is already registered");
+    }
+  }
+  entries_.emplace_back(std::move(info), std::move(factory));
+}
+
+bool EngineRegistry::unregister_engine(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first.name == name) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Engine> EngineRegistry::create(const std::string& name) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [info, f] : entries_) {
+      if (info.name == name) {
+        factory = f;
+        break;
+      }
+    }
+    if (!factory) {
+      throw std::invalid_argument("EngineRegistry: unknown engine '" + name +
+                                  "' (registered: " + known_names_locked() +
+                                  ")");
+    }
+  }
+  // Invoke outside the lock: a factory may itself consult the registry.
+  return factory();
+}
+
+bool EngineRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [info, _] : entries_) {
+    if (info.name == name) return true;
+  }
+  return false;
+}
+
+EngineInfo EngineRegistry::info(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [info, _] : entries_) {
+    if (info.name == name) return info;
+  }
+  throw std::invalid_argument("EngineRegistry: unknown engine '" + name +
+                              "' (registered: " + known_names_locked() + ")");
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [info, _] : entries_) out.push_back(info.name);
+  return out;
+}
+
+std::string EngineRegistry::known_names_locked() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [info, _] : entries_) {
+    if (!first) out << ", ";
+    first = false;
+    out << info.name;
+  }
+  return out.str();
+}
+
+}  // namespace streambrain::parallel

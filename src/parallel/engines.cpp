@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "parallel/engine.hpp"
+#include "parallel/engine_registry.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/vecmath.hpp"
@@ -331,12 +332,32 @@ class DeviceSimEngine final : public Engine {
 
 }  // namespace
 
+namespace detail {
+
+void register_builtin_engines(EngineRegistry& registry) {
+  registry.register_engine(
+      {"naive", "scalar reference engine (correctness anchor)",
+       /*simd_width=*/1, /*offload=*/false, /*counts_transfers=*/false},
+      [] { return std::make_unique<NaiveEngine>(); });
+  registry.register_engine(
+      {"openmp", "OpenMP-parallel scalar loops with sparse-input skipping",
+       /*simd_width=*/1, /*offload=*/false, /*counts_transfers=*/false},
+      [] { return std::make_unique<OpenMpEngine>(); });
+  registry.register_engine(
+      {"simd", "blocked GEMM + vectorized exp/log kernels",
+       /*simd_width=*/8, /*offload=*/false, /*counts_transfers=*/false},
+      [] { return std::make_unique<SimdEngine>(); });
+  registry.register_engine(
+      {"device_sim",
+       "host emulation of the fully-offloaded GPU loop with PCIe accounting",
+       /*simd_width=*/8, /*offload=*/true, /*counts_transfers=*/true},
+      [] { return std::make_unique<DeviceSimEngine>(); });
+}
+
+}  // namespace detail
+
 std::unique_ptr<Engine> make_engine(const std::string& name) {
-  if (name == "naive") return std::make_unique<NaiveEngine>();
-  if (name == "openmp") return std::make_unique<OpenMpEngine>();
-  if (name == "simd") return std::make_unique<SimdEngine>();
-  if (name == "device_sim") return std::make_unique<DeviceSimEngine>();
-  throw std::invalid_argument("make_engine: unknown engine '" + name + "'");
+  return EngineRegistry::instance().create(name);
 }
 
 const std::vector<std::string>& engine_names() {

@@ -1,0 +1,179 @@
+// Estimator conformance suite: every model in the repo — the BCPNN Model
+// facade (shallow with both heads, deep) and the four baselines — must
+// honor the same contract: fit learns above chance, predict/predict_scores
+// agree in shape and threshold, evaluate matches accuracy(predict), and
+// save/load (where supported) reproduces predictions bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/estimator.hpp"
+#include "baselines/logistic.hpp"
+#include "core/model.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "metrics/classification.hpp"
+
+namespace sc = streambrain::core;
+namespace sd = streambrain::data;
+namespace st = streambrain::tensor;
+
+namespace {
+
+struct Split {
+  st::MatrixF x_train;
+  st::MatrixF x_test;
+  std::vector<int> y_train;
+  std::vector<int> y_test;
+};
+
+/// Raw synthetic Higgs features (what the baselines consume).
+Split raw_higgs(std::size_t train, std::size_t test) {
+  sd::SyntheticHiggsGenerator generator;
+  const auto train_set = generator.generate(train);
+  sd::HiggsGeneratorOptions opts;
+  opts.seed = 4242;
+  sd::SyntheticHiggsGenerator test_generator(opts);
+  const auto test_set = test_generator.generate(test);
+  return {train_set.features, test_set.features, train_set.labels,
+          test_set.labels};
+}
+
+/// One-hot encoded split (what the BCPNN models consume).
+Split encoded_higgs(std::size_t train, std::size_t test) {
+  Split raw = raw_higgs(train, test);
+  streambrain::encode::OneHotEncoder encoder(10);
+  return {encoder.fit_transform(raw.x_train), encoder.transform(raw.x_test),
+          std::move(raw.y_train), std::move(raw.y_test)};
+}
+
+struct Candidate {
+  std::string label;                 // test-name-friendly tag
+  bool encoded;                      // expects one-hot input
+  double min_accuracy;               // conformance floor on the test split
+  std::function<std::unique_ptr<streambrain::Estimator>()> make;
+};
+
+std::unique_ptr<streambrain::Estimator> make_model(std::size_t depth,
+                                                   sc::HeadType head) {
+  auto model = std::make_unique<sc::Model>();
+  model->input(28, 10);
+  if (depth == 1) {
+    model->hidden(1, 40, 0.4);
+    model->set_option("epochs", 4).set_option("head_epochs", 8);
+  } else {
+    // The greedy deep stack needs a longer unsupervised schedule to beat
+    // chance on this data budget.
+    model->hidden(2, 40, 0.4).hidden(1, 40, 1.0);
+    model->set_option("epochs", 8).set_option("head_epochs", 16);
+  }
+  model->classifier(2, head).compile("simd", 42);
+  return model;
+}
+
+std::vector<Candidate> candidates() {
+  return {
+      {"bcpnn_shallow_bcpnn_head", true, 0.55,
+       [] { return make_model(1, sc::HeadType::kBcpnn); }},
+      {"bcpnn_shallow_sgd_head", true, 0.55,
+       [] { return make_model(1, sc::HeadType::kSgd); }},
+      {"bcpnn_deep", true, 0.52,
+       [] { return make_model(2, sc::HeadType::kBcpnn); }},
+      {"logistic", false, 0.55,
+       [] { return streambrain::make_baseline_estimator("logistic"); }},
+      {"mlp", false, 0.55,
+       [] { return streambrain::make_baseline_estimator("mlp"); }},
+      {"naive_bayes", false, 0.55,
+       [] { return streambrain::make_baseline_estimator("naive_bayes"); }},
+      {"adaboost", false, 0.55,
+       [] { return streambrain::make_baseline_estimator("adaboost"); }},
+  };
+}
+
+class EstimatorConformance : public ::testing::TestWithParam<Candidate> {};
+
+}  // namespace
+
+TEST_P(EstimatorConformance, HonorsTheContract) {
+  const Candidate& candidate = GetParam();
+  const Split data = candidate.encoded ? encoded_higgs(1500, 300)
+                                       : raw_higgs(1500, 300);
+  auto estimator = candidate.make();
+
+  EXPECT_FALSE(estimator->name().empty());
+
+  estimator->fit(data.x_train, data.y_train);
+
+  const std::vector<int> labels = estimator->predict(data.x_test);
+  ASSERT_EQ(labels.size(), data.x_test.rows());
+  for (const int label : labels) {
+    EXPECT_TRUE(label == 0 || label == 1) << "label " << label;
+  }
+
+  const std::vector<double> scores = estimator->predict_scores(data.x_test);
+  ASSERT_EQ(scores.size(), data.x_test.rows());
+  for (const double score : scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+
+  const double accuracy = estimator->evaluate(data.x_test, data.y_test);
+  EXPECT_DOUBLE_EQ(accuracy,
+                   streambrain::metrics::accuracy(labels, data.y_test));
+  EXPECT_GT(accuracy, candidate.min_accuracy) << candidate.label;
+}
+
+TEST_P(EstimatorConformance, SaveLoadContract) {
+  const Candidate& candidate = GetParam();
+  auto estimator = candidate.make();
+  if (!estimator->supports_save()) {
+    EXPECT_THROW(estimator->save("/tmp/unsupported.sbrn"), std::runtime_error);
+    EXPECT_THROW(estimator->load("/tmp/unsupported.sbrn"), std::runtime_error);
+    return;
+  }
+
+  const Split data = candidate.encoded ? encoded_higgs(600, 200)
+                                       : raw_higgs(600, 200);
+  estimator->fit(data.x_train, data.y_train);
+  const std::string path =
+      ::testing::TempDir() + "estimator_" + candidate.label + ".sbrn";
+  estimator->save(path);
+
+  // A Model checkpoint restores into a brand-new un-compiled Model and
+  // must reproduce predictions and scores bit-for-bit.
+  auto restored = std::make_unique<sc::Model>();
+  restored->load(path);
+  EXPECT_EQ(restored->predict(data.x_test), estimator->predict(data.x_test));
+  EXPECT_EQ(restored->predict_scores(data.x_test),
+            estimator->predict_scores(data.x_test));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, EstimatorConformance, ::testing::ValuesIn(candidates()),
+    [](const ::testing::TestParamInfo<Candidate>& info) {
+      return info.param.label;
+    });
+
+TEST(BaselineEstimatorFactory, KnowsAllFourBaselines) {
+  const auto& names = streambrain::baseline_estimator_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto& name : names) {
+    EXPECT_NE(streambrain::make_baseline_estimator(name), nullptr);
+  }
+  EXPECT_THROW(streambrain::make_baseline_estimator("svm"),
+               std::invalid_argument);
+}
+
+TEST(BaselineEstimatorFactory, WrapsCustomConfiguredBaseline) {
+  streambrain::baselines::LogisticConfig config;
+  config.epochs = 5;
+  auto estimator = streambrain::wrap_baseline(
+      std::make_unique<streambrain::baselines::LogisticRegression>(config));
+  EXPECT_EQ(estimator->name(), "logistic_regression");
+}

@@ -55,7 +55,7 @@ TEST(Model, ThreeLayerPaperTopologyTrains) {
   sc::Model model;
   model.input(28, 10)
       .hidden(1, 50, 0.40)
-      .classifier(2, sc::Model::Head::kBcpnn)
+      .classifier(2, sc::HeadType::kBcpnn)
       .set_option("epochs", 5)
       .compile("simd", 42);
   model.fit(data.x_train, data.y_train);
@@ -67,7 +67,7 @@ TEST(Model, HybridSgdHead) {
   sc::Model model;
   model.input(28, 10)
       .hidden(1, 50, 0.40)
-      .classifier(2, sc::Model::Head::kSgd)
+      .classifier(2, sc::HeadType::kSgd)
       .set_option("epochs", 5)
       .compile("simd", 42);
   model.fit(data.x_train, data.y_train);
@@ -93,7 +93,7 @@ TEST(Model, DeepStackViaRepeatedHidden) {
 TEST(Model, DeepStackRejectsSgdHead) {
   sc::Model model;
   model.input(28, 10).hidden(2, 20, 0.4).hidden(1, 20, 1.0).classifier(
-      2, sc::Model::Head::kSgd);
+      2, sc::HeadType::kSgd);
   EXPECT_THROW(model.compile(), std::invalid_argument);
 }
 
@@ -128,4 +128,46 @@ TEST(Model, NetworkAccessorGuards) {
   model.input(28, 10).hidden(2, 10, 0.4).hidden(1, 10, 1.0).classifier(2);
   model.compile();
   EXPECT_THROW((void)model.network(), std::logic_error);  // deep model
+}
+
+TEST(Model, SetOptionRejectsUnknownKeys) {
+  sc::Model model;
+  model.input(28, 10).hidden(1, 20, 0.4).classifier(2);
+  try {
+    model.set_option("learning_rate", 0.1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("learning_rate"), std::string::npos);
+    EXPECT_NE(message.find("epochs"), std::string::npos)
+        << "message should list the recognized keys: " << message;
+  }
+  // The post-compile guard still applies, and takes precedence.
+  model.compile("naive", 1);
+  EXPECT_THROW(model.set_option("alpha", 0.1), std::logic_error);
+}
+
+TEST(Model, NameDescribesTopologyAndHead) {
+  sc::Model model;
+  model.input(28, 10).hidden(2, 20, 0.4).hidden(1, 20, 1.0).classifier(2);
+  EXPECT_EQ(model.name(), "bcpnn(depth=2,head=bcpnn)");
+  sc::Model hybrid;
+  hybrid.input(28, 10).hidden(1, 20, 0.4).classifier(2, sc::HeadType::kSgd);
+  EXPECT_EQ(hybrid.name(), "bcpnn(depth=1,head=sgd)");
+}
+
+TEST(Model, DeepCompileRejectsShallowOnlyOptions) {
+  sc::Model model;
+  model.input(28, 10)
+      .hidden(2, 10, 0.4)
+      .hidden(1, 10, 1.0)
+      .classifier(2)
+      .set_option("k_beta", 2.0);  // recognized, but shallow-only
+  try {
+    model.compile();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("k_beta"), std::string::npos);
+  }
+  EXPECT_FALSE(model.compiled());
 }

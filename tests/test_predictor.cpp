@@ -1,0 +1,209 @@
+// Predictor serving session: thread-safe micro-batched inference must be
+// bit-identical to the single-threaded path, coalescing must run shared
+// batches, flush() must release partial batches, and the serving counters
+// must add up.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/predictor.hpp"
+#include "core/model.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+
+namespace sc = streambrain::core;
+namespace st = streambrain::tensor;
+
+namespace {
+
+struct Serving {
+  std::shared_ptr<sc::Model> model;
+  st::MatrixF x_test;
+  std::vector<int> reference_labels;
+  std::vector<double> reference_scores;
+};
+
+/// One trained model + reference single-threaded predictions, shared by
+/// all tests (training once keeps the suite fast).
+const Serving& serving() {
+  static const Serving instance = [] {
+    streambrain::data::SyntheticHiggsGenerator generator;
+    const auto train = generator.generate(800);
+    streambrain::data::HiggsGeneratorOptions opts;
+    opts.seed = 99;
+    streambrain::data::SyntheticHiggsGenerator test_generator(opts);
+    const auto test = test_generator.generate(240);
+    streambrain::encode::OneHotEncoder encoder(10);
+
+    Serving s;
+    s.model = std::make_shared<sc::Model>();
+    s.model->input(28, 10)
+        .hidden(1, 40, 0.4)
+        .classifier(2)
+        .set_option("epochs", 4)
+        .compile("simd", 42);
+    s.model->fit(encoder.fit_transform(train.features), train.labels);
+    s.x_test = encoder.transform(test.features);
+    s.reference_labels = s.model->predict(s.x_test);
+    s.reference_scores = s.model->predict_scores(s.x_test);
+    return s;
+  }();
+  return instance;
+}
+
+st::MatrixF rows_slice(const st::MatrixF& x, std::size_t begin,
+                       std::size_t end) {
+  st::MatrixF out(end - begin, x.cols());
+  for (std::size_t r = begin; r < end; ++r) {
+    std::copy_n(x.row(r), x.cols(), out.row(r - begin));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Predictor, RejectsBadConstruction) {
+  EXPECT_THROW(streambrain::Predictor(nullptr), std::invalid_argument);
+  EXPECT_THROW(
+      streambrain::Predictor(serving().model, {/*max_batch_rows=*/0}),
+      std::invalid_argument);
+}
+
+TEST(Predictor, MicroBatchingMatchesSingleThreadedPath) {
+  // max_batch_rows far below the request size forces chunked execution;
+  // results must still be bit-identical to one big model call.
+  streambrain::Predictor predictor(serving().model, {/*max_batch_rows=*/32});
+  EXPECT_EQ(predictor.predict(serving().x_test), serving().reference_labels);
+  EXPECT_EQ(predictor.predict_scores(serving().x_test),
+            serving().reference_scores);
+
+  const auto stats = predictor.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.rows, 2 * serving().x_test.rows());
+  // 240 rows / 32-row micro-batches = 8 batches per request.
+  EXPECT_EQ(stats.batches, 16u);
+  EXPECT_GT(stats.total_latency_seconds, 0.0);
+  EXPECT_GE(stats.max_latency_seconds, stats.mean_latency_seconds());
+  EXPECT_GT(stats.model_throughput_rows_per_second(), 0.0);
+}
+
+TEST(Predictor, ConcurrentCallersAgreeWithSingleThread) {
+  streambrain::Predictor predictor(serving().model, {/*max_batch_rows=*/16});
+  const std::size_t n = serving().x_test.rows();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 3;
+
+  std::vector<std::vector<int>> label_results(kThreads);
+  std::vector<std::vector<double>> score_results(kThreads);
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Each thread serves a different slice, repeatedly, interleaving
+      // with every other thread through the shared session.
+      const std::size_t begin = t * n / kThreads;
+      const std::size_t end = (t + 1) * n / kThreads;
+      const st::MatrixF slice = rows_slice(serving().x_test, begin, end);
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        label_results[t] = predictor.predict(slice);
+        score_results[t] = predictor.predict_scores(slice);
+        if (label_results[t] !=
+            std::vector<int>(serving().reference_labels.begin() + begin,
+                             serving().reference_labels.begin() + end)) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_FALSE(mismatch.load());
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    const std::size_t begin = t * n / kThreads;
+    const std::size_t end = (t + 1) * n / kThreads;
+    EXPECT_EQ(label_results[t],
+              std::vector<int>(serving().reference_labels.begin() + begin,
+                               serving().reference_labels.begin() + end));
+    EXPECT_EQ(score_results[t],
+              std::vector<double>(serving().reference_scores.begin() + begin,
+                                  serving().reference_scores.begin() + end));
+  }
+  const auto stats = predictor.stats();
+  EXPECT_EQ(stats.requests, kThreads * kRounds * 2);
+  EXPECT_EQ(stats.rows, kRounds * 2 * n);
+}
+
+TEST(Predictor, CoalescePolicyRunsSharedBatches) {
+  // Two concurrent half-batch requests: neither fills max_batch_rows on
+  // its own, together they do — the second arrival must trigger one
+  // shared flush that serves both callers.
+  const std::size_t n = serving().x_test.rows();
+  ASSERT_GE(n, 32u);
+  streambrain::Predictor predictor(
+      serving().model,
+      {/*max_batch_rows=*/32, streambrain::FlushPolicy::kCoalesce});
+
+  std::vector<int> first, second;
+  std::thread a([&] {
+    first = predictor.predict(rows_slice(serving().x_test, 0, 16));
+  });
+  std::thread b([&] {
+    second = predictor.predict(rows_slice(serving().x_test, 16, 32));
+  });
+  a.join();
+  b.join();
+
+  EXPECT_EQ(first, std::vector<int>(serving().reference_labels.begin(),
+                                    serving().reference_labels.begin() + 16));
+  EXPECT_EQ(second,
+            std::vector<int>(serving().reference_labels.begin() + 16,
+                             serving().reference_labels.begin() + 32));
+}
+
+TEST(Predictor, FlushReleasesPartialBatches) {
+  streambrain::Predictor predictor(
+      serving().model,
+      {/*max_batch_rows=*/64, streambrain::FlushPolicy::kCoalesce});
+
+  std::vector<int> result;
+  std::atomic<bool> finished{false};
+  std::thread caller([&] {
+    result = predictor.predict(rows_slice(serving().x_test, 0, 8));
+    finished.store(true);
+  });
+  // 8 rows can never fill a 64-row batch; only flush() completes it.
+  while (!finished.load()) {
+    predictor.flush();
+    std::this_thread::yield();
+  }
+  caller.join();
+  EXPECT_EQ(result, std::vector<int>(serving().reference_labels.begin(),
+                                     serving().reference_labels.begin() + 8));
+}
+
+TEST(Predictor, ServesAnyEstimator) {
+  // The session is generic over the Estimator contract, not Model-bound.
+  streambrain::data::SyntheticHiggsGenerator generator;
+  const auto train = generator.generate(400);
+  std::shared_ptr<streambrain::Estimator> baseline =
+      streambrain::make_baseline_estimator("logistic");
+  baseline->fit(train.features, train.labels);
+  const std::vector<int> reference = baseline->predict(train.features);
+
+  streambrain::Predictor predictor(baseline, {/*max_batch_rows=*/50});
+  EXPECT_EQ(predictor.predict(train.features), reference);
+  EXPECT_EQ(predictor.stats().batches, 8u);  // 400 rows / 50
+}
+
+TEST(Predictor, EmptyRequestIsANoOp) {
+  streambrain::Predictor predictor(serving().model);
+  const st::MatrixF empty(0, serving().x_test.cols());
+  EXPECT_TRUE(predictor.predict(empty).empty());
+  EXPECT_TRUE(predictor.predict_scores(empty).empty());
+  EXPECT_EQ(predictor.stats().requests, 0u);
+}

@@ -214,3 +214,141 @@ TEST(Serialization, HeadTypeMismatchRejected) {
   EXPECT_THROW(sc::load_network(path, restored), std::runtime_error);
   fs::remove(path);
 }
+
+// --- Full Model facade checkpoints -----------------------------------------
+
+namespace {
+
+struct LabeledSplit {
+  st::MatrixF x;
+  std::vector<int> y;
+};
+
+LabeledSplit encoded_labeled(std::size_t count, std::uint64_t seed) {
+  sd::HiggsGeneratorOptions options;
+  options.seed = seed;
+  sd::SyntheticHiggsGenerator generator(options);
+  const auto dataset = generator.generate(count);
+  streambrain::encode::OneHotEncoder encoder(10);
+  return {encoder.fit_transform(dataset.features), dataset.labels};
+}
+
+}  // namespace
+
+class ModelCheckpoint : public ::testing::TestWithParam<sc::HeadType> {};
+
+TEST_P(ModelCheckpoint, ShallowRoundTripIsExact) {
+  const auto train = encoded_labeled(500, 21);
+  const auto probe = encoded_labeled(150, 22);
+  sc::Model model;
+  model.input(28, 10)
+      .hidden(1, 30, 0.4)
+      .classifier(2, GetParam())
+      .set_option("epochs", 3)
+      .set_option("batch_size", 32)
+      .compile("simd", 42);
+  model.fit(train.x, train.y);
+
+  const std::string path = ::testing::TempDir() + "model_shallow.sbrn";
+  model.save(path);
+
+  sc::Model restored;
+  restored.load(path);
+  // Topology, options, and engine choice all round-trip...
+  EXPECT_TRUE(restored.compiled());
+  EXPECT_EQ(restored.engine_name(), "simd");
+  EXPECT_EQ(restored.seed(), 42u);
+  EXPECT_EQ(restored.head(), GetParam());
+  EXPECT_EQ(restored.network().config().bcpnn.epochs, 3u);
+  EXPECT_EQ(restored.network().config().bcpnn.batch_size, 32u);
+  // ...and predictions reproduce bit-for-bit.
+  EXPECT_EQ(restored.predict(probe.x), model.predict(probe.x));
+  EXPECT_EQ(restored.predict_scores(probe.x), model.predict_scores(probe.x));
+  fs::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothHeads, ModelCheckpoint,
+                         ::testing::Values(sc::HeadType::kBcpnn,
+                                           sc::HeadType::kSgd));
+
+TEST(ModelCheckpointDeep, DeepRoundTripIsExact) {
+  const auto train = encoded_labeled(500, 31);
+  const auto probe = encoded_labeled(150, 32);
+  sc::Model model;
+  model.input(28, 10)
+      .hidden(2, 20, 0.4)
+      .hidden(1, 20, 1.0)
+      .classifier(2)
+      .set_option("epochs", 3)
+      .compile("simd", 7);
+  model.fit(train.x, train.y);
+
+  const std::string path = ::testing::TempDir() + "model_deep.sbrn";
+  model.save(path);
+
+  sc::Model restored;
+  restored.load(path);
+  EXPECT_EQ(restored.deep().depth(), 2u);
+  EXPECT_EQ(restored.predict(probe.x), model.predict(probe.x));
+  EXPECT_EQ(restored.predict_scores(probe.x), model.predict_scores(probe.x));
+  fs::remove(path);
+}
+
+TEST(ModelCheckpointGuards, LifecycleAndFormatErrors) {
+  sc::Model blank;
+  EXPECT_THROW(blank.save("/tmp/never.sbrn"), std::logic_error);  // un-compiled
+
+  sc::Model compiled;
+  compiled.input(28, 10).hidden(1, 10, 0.4).classifier(2).compile("naive", 1);
+  EXPECT_THROW(compiled.load("/tmp/never.sbrn"), std::logic_error);  // compiled
+
+  // A network-format file is not a model-format file: the topology
+  // section is missing and load() must reject it.
+  const auto train = encoded_labeled(200, 41);
+  sc::NetworkConfig config;
+  config.bcpnn = layer_config();
+  sc::Network network(config);
+  const std::string path = ::testing::TempDir() + "network_not_model.ckpt";
+  sc::save_network(path, network);
+  sc::Model wrong;
+  EXPECT_THROW(wrong.load(path), std::runtime_error);
+  fs::remove(path);
+
+  EXPECT_THROW(blank.load("/tmp/does_not_exist.sbrn"), std::runtime_error);
+}
+
+TEST(ModelCheckpointGuards, LoadIsAtomicAndRequiresABlankModel) {
+  // Declared-but-uncompiled topology must be rejected, not merged with
+  // the checkpoint's.
+  const auto train = encoded_labeled(200, 51);
+  sc::Model trained;
+  trained.input(28, 10).hidden(1, 10, 0.4).classifier(2).compile("naive", 3);
+  trained.fit(train.x, train.y);
+  const std::string path = ::testing::TempDir() + "model_atomic.sbrn";
+  trained.save(path);
+
+  sc::Model declared;
+  declared.input(28, 10).hidden(1, 30, 0.4);
+  EXPECT_THROW(declared.load(path), std::logic_error);
+
+  // A checkpoint truncated mid-weights must leave the target un-compiled
+  // (and therefore loadable again), not compiled with random weights.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string truncated_path =
+      ::testing::TempDir() + "model_truncated.sbrn";
+  std::ofstream out(truncated_path, std::ios::binary);
+  out.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size() * 2 / 3));
+  out.close();
+
+  sc::Model target;
+  EXPECT_THROW(target.load(truncated_path), std::runtime_error);
+  EXPECT_FALSE(target.compiled());
+  target.load(path);  // still usable after the failed attempt
+  EXPECT_TRUE(target.compiled());
+  fs::remove(path);
+  fs::remove(truncated_path);
+}
