@@ -47,7 +47,9 @@
 #include "comm/communicator.hpp"
 
 // --- Tensor primitives ------------------------------------------------------
+#include "tensor/cpu_features.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/kernel_set.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/vecmath.hpp"

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
+
 namespace streambrain::baselines {
 
 LogisticRegression::LogisticRegression(LogisticConfig config)
@@ -42,10 +44,9 @@ void LogisticRegression::fit(const tensor::MatrixF& x,
       for (std::size_t k = start; k < end; ++k) {
         const std::size_t r = order[k];
         const float* row = x.row(r);
-        float z = bias_;
-        for (std::size_t c = 0; c < d; ++c) z += weights_[c] * row[c];
+        const float z = bias_ + tensor::dot(weights_.data(), row, d);
         const float err = sigmoid(z) - static_cast<float>(y[r]);
-        for (std::size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+        tensor::axpy(err, row, grad.data(), d);
         grad_bias += err;
       }
       const float inv_b = 1.0f / static_cast<float>(end - start);
@@ -66,12 +67,12 @@ std::vector<double> LogisticRegression::predict_scores(
   if (x.cols() != weights_.size()) {
     throw std::invalid_argument("LogisticRegression: width mismatch");
   }
+  // One dispatched matrix-vector product for the whole batch.
+  std::vector<float> z(x.rows());
+  tensor::gemv(x, weights_.data(), z.data());
   std::vector<double> scores(x.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    const float* row = x.row(r);
-    float z = bias_;
-    for (std::size_t c = 0; c < x.cols(); ++c) z += weights_[c] * row[c];
-    scores[r] = sigmoid(z);
+    scores[r] = sigmoid(bias_ + z[r]);
   }
   return scores;
 }

@@ -44,7 +44,7 @@ void Mlp::forward(const tensor::MatrixF& x,
                  layers_[l].weights, 0.0f, out);
     tensor::add_row_bias(out, layers_[l].bias.data());
     if (l + 1 < layers_.size()) {
-      for (float& v : out) v = v > 0.0f ? v : 0.0f;  // ReLU
+      tensor::relu(out.data(), out.size());
     } else {
       tensor::softmax_blocks(out, out.cols());
     }
@@ -66,6 +66,7 @@ void Mlp::fit(const tensor::MatrixF& x, const std::vector<int>& y) {
   std::vector<tensor::MatrixF> activations;
   std::vector<tensor::MatrixF> deltas(layers_.size());
   tensor::MatrixF grad;
+  std::vector<float> bias_grad;
 
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng_.shuffle(order);
@@ -102,29 +103,24 @@ void Mlp::fit(const tensor::MatrixF& x, const std::vector<int>& y) {
                        deltas[l], layers_[l].weights, 0.0f, prev_delta);
           // ReLU derivative mask from the stored activation.
           const tensor::MatrixF& act = activations[l - 1];
-          for (std::size_t k = 0; k < prev_delta.size(); ++k) {
-            if (act.data()[k] <= 0.0f) prev_delta.data()[k] = 0.0f;
-          }
+          tensor::threshold_mask(act.data(), 0.0f, prev_delta.data(),
+                                 prev_delta.size());
         }
-        // SGD + momentum + L2.
-        float* w = layers_[l].weights.data();
-        float* v = layers_[l].weight_velocity.data();
-        const float* g = grad.data();
-        const float mu = config_.momentum;
-        const float l2 = config_.l2;
-#pragma omp simd
-        for (std::size_t k = 0; k < layers_[l].weights.size(); ++k) {
-          v[k] = mu * v[k] - lr * (g[k] + l2 * w[k]);
-          w[k] += v[k];
-        }
-        for (std::size_t c = 0; c < layers_[l].bias.size(); ++c) {
-          float gb = 0.0f;
-          for (std::size_t r = 0; r < b; ++r) gb += deltas[l](r, c);
-          gb /= static_cast<float>(b);
-          layers_[l].bias_velocity[c] =
-              mu * layers_[l].bias_velocity[c] - lr * gb;
-          layers_[l].bias[c] += layers_[l].bias_velocity[c];
-        }
+        // SGD + momentum + L2 as one fused dispatched pass.
+        tensor::MatrixF& weights = layers_[l].weights;
+        tensor::momentum_update(config_.momentum, lr, config_.l2, grad.data(),
+                                weights.data(),
+                                layers_[l].weight_velocity.data(),
+                                weights.size());
+        // Bias gradient: column means of the delta, then the same fused
+        // momentum kernel as the weights (l2 = 0 for biases).
+        const std::size_t bias_n = layers_[l].bias.size();
+        bias_grad.resize(bias_n);
+        tensor::col_sums(deltas[l], bias_grad.data());
+        tensor::scale(1.0f / static_cast<float>(b), bias_grad.data(), bias_n);
+        tensor::momentum_update(config_.momentum, lr, 0.0f, bias_grad.data(),
+                                layers_[l].bias.data(),
+                                layers_[l].bias_velocity.data(), bias_n);
       }
     }
     lr *= config_.learning_rate_decay;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
+
 namespace streambrain::core {
 
 BcpnnClassifier::BcpnnClassifier(std::size_t inputs, std::size_t input_hcs,
@@ -47,14 +49,11 @@ void BcpnnClassifier::predict(const tensor::MatrixF& hidden,
 std::vector<int> BcpnnClassifier::predict_labels(
     const tensor::MatrixF& hidden) {
   predict(hidden, scratch_);
+  std::vector<std::size_t> best(scratch_.rows());
+  tensor::argmax_rows(scratch_, best.data());
   std::vector<int> labels(scratch_.rows());
   for (std::size_t r = 0; r < scratch_.rows(); ++r) {
-    const float* row = scratch_.row(r);
-    std::size_t best = 0;
-    for (std::size_t c = 1; c < classes_; ++c) {
-      if (row[c] > row[best]) best = c;
-    }
-    labels[r] = static_cast<int>(best);
+    labels[r] = static_cast<int>(best[r]);
   }
   return labels;
 }

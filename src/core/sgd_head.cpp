@@ -1,5 +1,6 @@
 #include "core/sgd_head.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -50,6 +51,7 @@ double SgdHead::train_epoch(const tensor::MatrixF& features,
   tensor::MatrixF batch_t;
   tensor::MatrixF probs;
   tensor::MatrixF grad(weights_.rows(), classes_);
+  std::vector<float> bias_grad(classes_);
   double total_loss = 0.0;
   std::size_t batches = 0;
 
@@ -84,22 +86,14 @@ double SgdHead::train_epoch(const tensor::MatrixF& features,
     const float lr = current_lr_;
     const float l2 = config_.l2;
     const float mu = config_.momentum;
-    float* w = weights_.data();
-    float* v = velocity_.data();
-    const float* g = grad.data();
-#pragma omp simd
-    for (std::size_t k = 0; k < weights_.size(); ++k) {
-      v[k] = mu * v[k] - lr * (g[k] + l2 * w[k]);
-      w[k] += v[k];
-    }
-    // Bias gradient: column means of (probs - targets).
-    for (std::size_t c = 0; c < classes_; ++c) {
-      float gb = 0.0f;
-      for (std::size_t r = 0; r < b; ++r) gb += probs(r, c);
-      gb /= static_cast<float>(b);
-      bias_velocity_[c] = mu * bias_velocity_[c] - lr * gb;
-      bias_[c] += bias_velocity_[c];
-    }
+    tensor::momentum_update(mu, lr, l2, grad.data(), weights_.data(),
+                            velocity_.data(), weights_.size());
+    // Bias gradient: column means of (probs - targets), then the same
+    // fused momentum kernel as the weights (l2 = 0 for biases).
+    tensor::col_sums(probs, bias_grad.data());
+    tensor::scale(1.0f / static_cast<float>(b), bias_grad.data(), classes_);
+    tensor::momentum_update(mu, lr, 0.0f, bias_grad.data(), bias_.data(),
+                            bias_velocity_.data(), classes_);
   }
   current_lr_ *= config_.learning_rate_decay;
   return batches > 0 ? total_loss / static_cast<double>(n) : 0.0;
@@ -125,14 +119,11 @@ void SgdHead::predict(const tensor::MatrixF& features,
 std::vector<int> SgdHead::predict_labels(const tensor::MatrixF& features) const {
   tensor::MatrixF probs;
   forward(features, probs);
+  std::vector<std::size_t> best(probs.rows());
+  tensor::argmax_rows(probs, best.data());
   std::vector<int> labels(probs.rows());
   for (std::size_t r = 0; r < probs.rows(); ++r) {
-    const float* row = probs.row(r);
-    std::size_t best = 0;
-    for (std::size_t c = 1; c < classes_; ++c) {
-      if (row[c] > row[best]) best = c;
-    }
-    labels[r] = static_cast<int>(best);
+    labels[r] = static_cast<int>(best[r]);
   }
   return labels;
 }

@@ -36,6 +36,11 @@ struct EngineInfo {
   bool offload = false;
   /// True when Engine::transfer_bytes() reports meaningful numbers.
   bool counts_transfers = false;
+  /// Kernel dispatch tier the engine's math runs on ("scalar" / "sse42"
+  /// / "avx2" for engines built on tensor::KernelSet, empty for engines
+  /// with their own loops). Reflects the runtime CPUID selection and the
+  /// STREAMBRAIN_DISPATCH override, so it is honest per process.
+  std::string dispatch;
 };
 
 class EngineRegistry {

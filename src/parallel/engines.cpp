@@ -10,6 +10,7 @@
 #include "parallel/engine.hpp"
 #include "parallel/engine_registry.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/kernel_set.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/vecmath.hpp"
 
@@ -220,8 +221,12 @@ class OpenMpEngine final : public Engine {
   }
 };
 
-/// SIMD engine: blocked GEMM + vectorized exp/log approximations. This is
-/// the analogue of StreamBrain's hand-vectorized CPU backend.
+/// SIMD engine: every primitive routes through the runtime-dispatched
+/// tensor::KernelSet (cache-blocked GEMM tiles over the ThreadPool,
+/// vectorized exp/log approximations). This is the analogue of
+/// StreamBrain's hand-vectorized CPU backend; the actual instruction
+/// tier (scalar / sse42 / avx2) is decided once at startup by CPUID and
+/// the STREAMBRAIN_DISPATCH override.
 class SimdEngine final : public Engine {
  public:
   [[nodiscard]] std::string name() const override { return "simd"; }
@@ -229,8 +234,8 @@ class SimdEngine final : public Engine {
   void support(const MatrixF& x, const MatrixF& w, const float* bias,
                MatrixF& s) override {
     s.resize(x.rows(), w.cols());
-    tensor::gemm_blocked(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f,
-                         x, w, 0.0f, s);
+    tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f, x, w,
+                 0.0f, s);
     tensor::add_row_bias(s, bias);
   }
 
@@ -259,8 +264,8 @@ class SimdEngine final : public Engine {
     tensor::ema_update(pj, mean_a.data(), alpha, n_out);
 
     // p_ij = (1-alpha) p_ij + (alpha/B) X^T A as one GEMM.
-    tensor::gemm_blocked(tensor::Transpose::kYes, tensor::Transpose::kNo,
-                         alpha * inv_b, x, a, 1.0f - alpha, pij);
+    tensor::gemm(tensor::Transpose::kYes, tensor::Transpose::kNo,
+                 alpha * inv_b, x, a, 1.0f - alpha, pij);
   }
 
   void recompute_weights(const float* pi, const float* pj, const MatrixF& pij,
@@ -335,22 +340,35 @@ class DeviceSimEngine final : public Engine {
 namespace detail {
 
 void register_builtin_engines(EngineRegistry& registry) {
+  // Honest capability metadata for the KernelSet-backed engines: report
+  // the tier the dispatcher selected for this process (CPUID +
+  // STREAMBRAIN_DISPATCH), not the widest tier the build contains. The
+  // startup selection — not active_kernels() — so a force_dispatch()
+  // window in effect at first registry use cannot poison the metadata.
+  const tensor::KernelSet& kernels = tensor::startup_kernels();
   registry.register_engine(
       {"naive", "scalar reference engine (correctness anchor)",
-       /*simd_width=*/1, /*offload=*/false, /*counts_transfers=*/false},
+       /*simd_width=*/1, /*offload=*/false, /*counts_transfers=*/false,
+       /*dispatch=*/""},
       [] { return std::make_unique<NaiveEngine>(); });
   registry.register_engine(
       {"openmp", "OpenMP-parallel scalar loops with sparse-input skipping",
-       /*simd_width=*/1, /*offload=*/false, /*counts_transfers=*/false},
+       /*simd_width=*/1, /*offload=*/false, /*counts_transfers=*/false,
+       /*dispatch=*/""},
       [] { return std::make_unique<OpenMpEngine>(); });
   registry.register_engine(
-      {"simd", "blocked GEMM + vectorized exp/log kernels",
-       /*simd_width=*/8, /*offload=*/false, /*counts_transfers=*/false},
+      {"simd",
+       std::string("runtime-dispatched KernelSet engine (") + kernels.name +
+           " tier): blocked GEMM tiles over the ThreadPool + vectorized "
+           "exp/log",
+       /*simd_width=*/kernels.simd_width, /*offload=*/false,
+       /*counts_transfers=*/false, /*dispatch=*/kernels.name},
       [] { return std::make_unique<SimdEngine>(); });
   registry.register_engine(
       {"device_sim",
        "host emulation of the fully-offloaded GPU loop with PCIe accounting",
-       /*simd_width=*/8, /*offload=*/true, /*counts_transfers=*/true},
+       /*simd_width=*/kernels.simd_width, /*offload=*/true,
+       /*counts_transfers=*/true, /*dispatch=*/kernels.name},
       [] { return std::make_unique<DeviceSimEngine>(); });
 }
 

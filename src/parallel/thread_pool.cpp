@@ -4,6 +4,12 @@
 
 namespace streambrain::parallel {
 
+namespace {
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() noexcept { return t_in_pool_worker; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -24,6 +30,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

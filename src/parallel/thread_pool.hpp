@@ -46,6 +46,12 @@ class ThreadPool {
   /// Block until every queued task has finished.
   void wait_idle();
 
+  /// True when the calling thread is a ThreadPool worker (any pool).
+  /// Fan-out helpers (e.g. the dispatched GEMM) use this to run inline
+  /// instead of submitting nested work and blocking a worker on it,
+  /// which could deadlock a single-worker pool.
+  [[nodiscard]] static bool in_worker() noexcept;
+
  private:
   void worker_loop();
 

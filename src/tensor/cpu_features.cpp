@@ -1,0 +1,55 @@
+#include "tensor/cpu_features.hpp"
+
+#include <stdexcept>
+
+namespace streambrain::tensor {
+
+const char* dispatch_level_name(DispatchLevel level) noexcept {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return "scalar";
+    case DispatchLevel::kSse42:
+      return "sse42";
+    case DispatchLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+std::size_t dispatch_level_width(DispatchLevel level) noexcept {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return 1;
+    case DispatchLevel::kSse42:
+      return 4;
+    case DispatchLevel::kAvx2:
+      return 8;
+  }
+  return 1;
+}
+
+DispatchLevel max_supported_dispatch() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports runs CPUID once and caches; FMA is required
+  // alongside AVX2 because the AVX2 kernels use fused multiply-add.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return DispatchLevel::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse4.2")) {
+    return DispatchLevel::kSse42;
+  }
+#endif
+  return DispatchLevel::kScalar;
+}
+
+DispatchLevel parse_dispatch_level(const std::string& value) {
+  if (value == "scalar") return DispatchLevel::kScalar;
+  if (value == "sse42") return DispatchLevel::kSse42;
+  if (value == "avx2") return DispatchLevel::kAvx2;
+  if (value == "native" || value == "auto") return max_supported_dispatch();
+  throw std::invalid_argument(
+      "unknown dispatch level '" + value +
+      "' (accepted: scalar, sse42, avx2, native, auto)");
+}
+
+}  // namespace streambrain::tensor

@@ -1,0 +1,29 @@
+#pragma once
+// Runtime CPU feature detection for the SIMD kernel dispatch. The three
+// dispatch levels mirror the three kernel translation units (scalar /
+// SSE4.2 / AVX2+FMA); detection happens once, at first use, and can be
+// overridden through the STREAMBRAIN_DISPATCH environment variable.
+
+#include <string>
+
+namespace streambrain::tensor {
+
+/// Instruction-set tiers the kernel subsystem is compiled for, in
+/// strictly increasing capability order (comparisons rely on this).
+enum class DispatchLevel { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+/// Short lowercase tag: "scalar" / "sse42" / "avx2".
+const char* dispatch_level_name(DispatchLevel level) noexcept;
+
+/// Logical float lanes of a level's inner loops (1 / 4 / 8).
+std::size_t dispatch_level_width(DispatchLevel level) noexcept;
+
+/// Best level this CPU can execute (CPUID probe; kScalar on non-x86).
+DispatchLevel max_supported_dispatch() noexcept;
+
+/// Parse a STREAMBRAIN_DISPATCH value. Accepts the level names plus
+/// "native"/"auto" (meaning max_supported_dispatch). Throws
+/// std::invalid_argument naming the accepted set for anything else.
+DispatchLevel parse_dispatch_level(const std::string& value);
+
+}  // namespace streambrain::tensor

@@ -1,7 +1,13 @@
 #include "tensor/gemm.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <future>
 #include <stdexcept>
 #include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "tensor/kernel_set.hpp"
 
 namespace streambrain::tensor {
 
@@ -28,6 +34,75 @@ inline float load(const MatrixF& x, Transpose t, std::size_t i,
   return t == Transpose::kNo ? x(i, j) : x(j, i);
 }
 
+// Pack operands into contiguous row-major (A: m x k) and (B: k x n)
+// buffers so the tile kernel streams regardless of the requested
+// transposes. Packing costs O(mk + kn) against an O(mnk) kernel, the
+// standard GotoBLAS trade-off.
+const float* pack_a(Transpose trans, const MatrixF& a, std::size_t m,
+                    std::size_t k, std::vector<float>& storage) {
+  if (trans == Transpose::kNo) return a.data();
+  storage.resize(m * k);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) storage[i * k + p] = a(p, i);
+  }
+  return storage.data();
+}
+
+const float* pack_b(Transpose trans, const MatrixF& b, std::size_t k,
+                    std::size_t n, std::vector<float>& storage) {
+  if (trans == Transpose::kNo) return b.data();
+  storage.resize(k * n);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) storage[p * n + j] = b(j, p);
+  }
+  return storage.data();
+}
+
+// Scale C by beta so the tile kernel can accumulate unconditionally.
+void apply_beta(float beta, MatrixF& c, const KernelSet& kernels) {
+  if (beta == 0.0f) {
+    c.fill(0.0f);
+  } else if (beta != 1.0f) {
+    kernels.scale(beta, c.data(), c.size());
+  }
+}
+
+// K-panel blocking keeps the streamed B panel resident in L2.
+constexpr std::size_t kBlockK = 256;
+// Minimum rows per fan-out task: below this the submit overhead beats
+// the parallelism.
+constexpr std::size_t kMinRowsPerTask = 32;
+
+// Upper bound on concurrent GEMM tasks, resolved once. The old OpenMP
+// path honored OMP_NUM_THREADS; the pool fan-out keeps that contract
+// (STREAMBRAIN_THREADS wins, then OMP_NUM_THREADS, then the pool size),
+// so embedders and CI can still pin or disable GEMM threading.
+std::size_t max_gemm_tasks() {
+  static const std::size_t limit = [] {
+    for (const char* name : {"STREAMBRAIN_THREADS", "OMP_NUM_THREADS"}) {
+      if (const char* env = std::getenv(name)) {
+        const long value = std::atol(env);
+        if (value > 0) return static_cast<std::size_t>(value);
+      }
+    }
+    return parallel::global_pool().size();
+  }();
+  return limit;
+}
+
+// Rows [r0, r1) of C, all K panels, on the calling thread. Per C element
+// the accumulation order is fixed (ascending k), so results are
+// independent of how rows are partitioned across tasks.
+void run_row_range(const KernelSet& kernels, float alpha, const float* a,
+                   const float* b, MatrixF& c, std::size_t r0, std::size_t r1,
+                   std::size_t n, std::size_t k) {
+  for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::size_t kb = std::min(kBlockK, k - p0);
+    kernels.gemm_block(alpha, a + r0 * k + p0, k, b + p0 * n, n, c.row(r0), n,
+                       r1 - r0, n, kb);
+  }
+}
+
 }  // namespace
 
 void gemm_naive(Transpose trans_a, Transpose trans_b, float alpha,
@@ -48,57 +123,40 @@ void gemm_blocked(Transpose trans_a, Transpose trans_b, float alpha,
                   const MatrixF& a, const MatrixF& b, float beta, MatrixF& c) {
   const auto [m, n, k] = check_dims(trans_a, trans_b, a, b, c);
 
-  // Pack operands into contiguous row-major (A: m x k) and (B: k x n)
-  // buffers so the inner kernel is a pure streaming ikj loop regardless of
-  // the requested transposes. Packing costs O(mk + kn) against an O(mnk)
-  // kernel, which is the standard GotoBLAS trade-off.
-  std::vector<float> a_packed;
-  const float* a_ptr = nullptr;
-  if (trans_a == Transpose::kNo) {
-    a_ptr = a.data();
-  } else {
-    a_packed.resize(m * k);
-    for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t p = 0; p < k; ++p) a_packed[i * k + p] = a(p, i);
-    }
-    a_ptr = a_packed.data();
-  }
-  std::vector<float> b_packed;
-  const float* b_ptr = nullptr;
-  if (trans_b == Transpose::kNo) {
-    b_ptr = b.data();
-  } else {
-    b_packed.resize(k * n);
-    for (std::size_t p = 0; p < k; ++p) {
-      for (std::size_t j = 0; j < n; ++j) b_packed[p * n + j] = b(j, p);
-    }
-    b_ptr = b_packed.data();
+  std::vector<float> a_storage;
+  std::vector<float> b_storage;
+  const float* a_ptr = pack_a(trans_a, a, m, k, a_storage);
+  const float* b_ptr = pack_b(trans_b, b, k, n, b_storage);
+
+  const KernelSet& kernels = active_kernels();
+  apply_beta(beta, c, kernels);
+  if (m == 0 || n == 0 || k == 0) return;
+
+  // Fan the row blocks out over the shared ThreadPool — unless we are
+  // already on a pool worker (nested GEMM would deadlock a single-worker
+  // pool) or the matrix is too small to amortize the submits.
+  parallel::ThreadPool& pool = parallel::global_pool();
+  const std::size_t max_tasks = std::max<std::size_t>(
+      1, std::min({pool.size(), max_gemm_tasks(), m / kMinRowsPerTask}));
+  if (max_tasks <= 1 || parallel::ThreadPool::in_worker()) {
+    run_row_range(kernels, alpha, a_ptr, b_ptr, c, 0, m, n, k);
+    return;
   }
 
-  constexpr std::size_t kBlockK = 256;
-
-  // Scale C by beta first so the kernel can accumulate unconditionally.
-  if (beta == 0.0f) {
-    c.fill(0.0f);
-  } else if (beta != 1.0f) {
-    for (float& v : c) v *= beta;
+  const std::size_t rows_per_task = (m + max_tasks - 1) / max_tasks;
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(max_tasks - 1);
+  for (std::size_t r0 = rows_per_task; r0 < m; r0 += rows_per_task) {
+    const std::size_t r1 = std::min(r0 + rows_per_task, m);
+    tasks.push_back(pool.submit([&kernels, alpha, a_ptr, b_ptr, &c, r0, r1, n,
+                                 k] {
+      run_row_range(kernels, alpha, a_ptr, b_ptr, c, r0, r1, n, k);
+    }));
   }
-
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* c_row = c.row(i);
-    const float* a_row = a_ptr + i * k;
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::size_t p1 = std::min(p0 + kBlockK, k);
-      for (std::size_t p = p0; p < p1; ++p) {
-        const float a_ip = alpha * a_row[p];
-        const float* b_row = b_ptr + p * n;
-        // Vectorizable saxpy over the C row.
-#pragma omp simd
-        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
-      }
-    }
-  }
+  // First block on the calling thread, overlapping the pool workers.
+  run_row_range(kernels, alpha, a_ptr, b_ptr, c, 0,
+                std::min(rows_per_task, m), n, k);
+  for (auto& task : tasks) task.get();
 }
 
 void gemm(Transpose trans_a, Transpose trans_b, float alpha, const MatrixF& a,

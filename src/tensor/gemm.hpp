@@ -3,7 +3,9 @@
 //
 // Three implementations with identical semantics:
 //   gemm_naive     - triple loop, the correctness reference
-//   gemm_blocked   - cache-blocked ikj loop order, OpenMP over row blocks
+//   gemm_blocked   - cache-blocked K panels through the runtime-dispatched
+//                    SIMD tile kernel (tensor/kernel_set.hpp), row blocks
+//                    fanned out over parallel::global_pool()
 //   gemm           - dispatches to the best available implementation
 //
 // StreamBrain expresses both BCPNN activation (batch x weights) and the

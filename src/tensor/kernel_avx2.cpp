@@ -1,0 +1,180 @@
+// AVX2+FMA kernel tier. The shared bodies are compiled with
+// -mavx2 -mfma -fopenmp-simd (8 float lanes); the GEMM tile is replaced
+// by a hand-written micro-kernel with 4-row x 16-column register
+// blocking, which loads each B panel row once per 4 rows of A and keeps
+// 8 FMA accumulators live. When the build lacks the flags this TU
+// degrades to a null tier.
+
+#include "tensor/kernel_tiers.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+// NOTE: no shared headers with inline function definitions beyond the
+// vtable/tier plumbing — see k_exp2i in kernel_impl.inl for why.
+#include <bit>
+#include <cfloat>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#define SB_KERNEL_CUSTOM_GEMM_BLOCK
+#define SB_KERNEL_NS avx2_impl
+#define SB_SIMD_LOOP _Pragma("omp simd")
+#define SB_SIMD_REDUCE(...) _Pragma(SB_PRAGMA_STR(omp simd reduction(__VA_ARGS__)))
+#define SB_PRAGMA_STR(x) #x
+#include "tensor/kernel_impl.inl"
+#undef SB_KERNEL_NS
+#undef SB_SIMD_LOOP
+#undef SB_SIMD_REDUCE
+#undef SB_PRAGMA_STR
+#undef SB_KERNEL_CUSTOM_GEMM_BLOCK
+
+namespace streambrain::tensor {
+namespace avx2_impl {
+
+namespace {
+
+// One row of C over the column range [0, n): c_row += alpha * a_row . B.
+// k ascends for every element, matching the generic tier's order.
+inline void gemm_row1(float alpha, const float* a_row, const float* b,
+                      std::size_t ldb, float* c_row, std::size_t n,
+                      std::size_t k) {
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 acc0 = _mm256_loadu_ps(c_row + j);
+    __m256 acc1 = _mm256_loadu_ps(c_row + j + 8);
+    for (std::size_t p = 0; p < k; ++p) {
+      const __m256 av = _mm256_set1_ps(alpha * a_row[p]);
+      const float* b_row = b + p * ldb + j;
+      acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b_row), acc0);
+      acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b_row + 8), acc1);
+    }
+    _mm256_storeu_ps(c_row + j, acc0);
+    _mm256_storeu_ps(c_row + j + 8, acc1);
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc = _mm256_loadu_ps(c_row + j);
+    for (std::size_t p = 0; p < k; ++p) {
+      const __m256 av = _mm256_set1_ps(alpha * a_row[p]);
+      acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(b + p * ldb + j), acc);
+    }
+    _mm256_storeu_ps(c_row + j, acc);
+  }
+  for (; j < n; ++j) {
+    float acc = c_row[j];
+    for (std::size_t p = 0; p < k; ++p) {
+      acc = std::fma(alpha * a_row[p], b[p * ldb + j], acc);
+    }
+    c_row[j] = acc;
+  }
+}
+
+// Four rows of C at once: each B panel row is loaded once and feeds four
+// FMA accumulator pairs, quadrupling the arithmetic per byte of B.
+inline void gemm_rows4(float alpha, const float* a, std::size_t lda,
+                       const float* b, std::size_t ldb, float* c,
+                       std::size_t ldc, std::size_t n, std::size_t k) {
+  const float* a0 = a;
+  const float* a1 = a + lda;
+  const float* a2 = a + 2 * lda;
+  const float* a3 = a + 3 * lda;
+  float* c0 = c;
+  float* c1 = c + ldc;
+  float* c2 = c + 2 * ldc;
+  float* c3 = c + 3 * ldc;
+
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 r00 = _mm256_loadu_ps(c0 + j), r01 = _mm256_loadu_ps(c0 + j + 8);
+    __m256 r10 = _mm256_loadu_ps(c1 + j), r11 = _mm256_loadu_ps(c1 + j + 8);
+    __m256 r20 = _mm256_loadu_ps(c2 + j), r21 = _mm256_loadu_ps(c2 + j + 8);
+    __m256 r30 = _mm256_loadu_ps(c3 + j), r31 = _mm256_loadu_ps(c3 + j + 8);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* b_row = b + p * ldb + j;
+      const __m256 b0 = _mm256_loadu_ps(b_row);
+      const __m256 b1 = _mm256_loadu_ps(b_row + 8);
+      __m256 av = _mm256_set1_ps(alpha * a0[p]);
+      r00 = _mm256_fmadd_ps(av, b0, r00);
+      r01 = _mm256_fmadd_ps(av, b1, r01);
+      av = _mm256_set1_ps(alpha * a1[p]);
+      r10 = _mm256_fmadd_ps(av, b0, r10);
+      r11 = _mm256_fmadd_ps(av, b1, r11);
+      av = _mm256_set1_ps(alpha * a2[p]);
+      r20 = _mm256_fmadd_ps(av, b0, r20);
+      r21 = _mm256_fmadd_ps(av, b1, r21);
+      av = _mm256_set1_ps(alpha * a3[p]);
+      r30 = _mm256_fmadd_ps(av, b0, r30);
+      r31 = _mm256_fmadd_ps(av, b1, r31);
+    }
+    _mm256_storeu_ps(c0 + j, r00);
+    _mm256_storeu_ps(c0 + j + 8, r01);
+    _mm256_storeu_ps(c1 + j, r10);
+    _mm256_storeu_ps(c1 + j + 8, r11);
+    _mm256_storeu_ps(c2 + j, r20);
+    _mm256_storeu_ps(c2 + j + 8, r21);
+    _mm256_storeu_ps(c3 + j, r30);
+    _mm256_storeu_ps(c3 + j + 8, r31);
+  }
+  if (j < n) {
+    gemm_row1(alpha, a0, b + j, ldb, c0 + j, n - j, k);
+    gemm_row1(alpha, a1, b + j, ldb, c1 + j, n - j, k);
+    gemm_row1(alpha, a2, b + j, ldb, c2 + j, n - j, k);
+    gemm_row1(alpha, a3, b + j, ldb, c3 + j, n - j, k);
+  }
+}
+
+}  // namespace
+
+inline void k_gemm_block(float alpha, const float* a, std::size_t lda,
+                         const float* b, std::size_t ldb, float* c,
+                         std::size_t ldc, std::size_t mr, std::size_t n,
+                         std::size_t k) {
+  std::size_t i = 0;
+  for (; i + 4 <= mr; i += 4) {
+    gemm_rows4(alpha, a + i * lda, lda, b, ldb, c + i * ldc, ldc, n, k);
+  }
+  for (; i < mr; ++i) {
+    gemm_row1(alpha, a + i * lda, b, ldb, c + i * ldc, n, k);
+  }
+}
+
+}  // namespace avx2_impl
+
+namespace detail {
+
+const KernelSet* kernel_set_avx2() noexcept {
+  using namespace streambrain::tensor::avx2_impl;
+  static const KernelSet set = {
+      DispatchLevel::kAvx2,
+      dispatch_level_name(DispatchLevel::kAvx2),
+      dispatch_level_width(DispatchLevel::kAvx2),
+      &k_axpy,
+      &k_scale,
+      &k_dot,
+      &k_sum,
+      &k_reduce_max,
+      &k_ema_update,
+      &k_relu,
+      &k_threshold_mask,
+      &k_vexp,
+      &k_vlog_floored,
+      &k_softmax_block,
+      &k_gemv,
+      &k_gemm_block,
+      &k_momentum_update,
+  };
+  return &set;
+}
+
+}  // namespace detail
+}  // namespace streambrain::tensor
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace streambrain::tensor::detail {
+const KernelSet* kernel_set_avx2() noexcept { return nullptr; }
+}  // namespace streambrain::tensor::detail
+
+#endif

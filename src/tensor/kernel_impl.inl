@@ -1,0 +1,198 @@
+// Shared kernel bodies for the per-tier translation units. Each tier TU
+// (kernel_scalar.cpp / kernel_sse42.cpp / kernel_avx2.cpp) defines the
+// following macros and then includes this file, so the same algorithms
+// are compiled three times under different target flags:
+//
+//   SB_KERNEL_NS        - tier-private namespace for the function bodies
+//   SB_SIMD_LOOP        - loop pragma for elementwise loops (empty in the
+//                         scalar tier)
+//   SB_SIMD_REDUCE(...) - loop pragma for reductions; empty in the scalar
+//                         tier, which therefore keeps strict left-to-right
+//                         accumulation and serves as the ordered reference
+//
+// Every body is branchless in the lane dimension (selects, not early
+// returns) so the vectorizer can if-convert, and bitwise-equivalent to
+// the public fast_exp / fast_log scalar helpers on their defined ranges.
+//
+// This file is an implementation detail: include it only from the three
+// kernel tier TUs.
+
+namespace streambrain::tensor {
+namespace SB_KERNEL_NS {
+
+inline void k_axpy(float alpha, const float* x, float* y, std::size_t n) {
+  SB_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+inline void k_scale(float alpha, float* x, std::size_t n) {
+  SB_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+inline float k_dot(const float* x, const float* y, std::size_t n) {
+  float acc = 0.0f;
+  SB_SIMD_REDUCE(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+inline float k_sum(const float* x, std::size_t n) {
+  float acc = 0.0f;
+  SB_SIMD_REDUCE(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+inline float k_reduce_max(const float* x, std::size_t n) {
+  float best = -FLT_MAX;
+  SB_SIMD_REDUCE(max : best)
+  for (std::size_t i = 0; i < n; ++i) best = x[i] > best ? x[i] : best;
+  return best;
+}
+
+inline void k_ema_update(float* p, const float* x, float rate,
+                         std::size_t n) {
+  SB_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) p[i] += rate * (x[i] - p[i]);
+}
+
+inline void k_relu(float* x, std::size_t n) {
+  SB_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+inline void k_threshold_mask(const float* gate, float threshold, float* x,
+                             std::size_t n) {
+  SB_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = gate[i] > threshold ? x[i] : 0.0f;
+  }
+}
+
+// Tier-local copy of detail::exp2i (tensor/vecmath.hpp). Deliberately
+// NOT the shared inline: an inline function emitted out-of-line from a
+// -mavx2 TU could be the comdat copy the linker keeps for the whole
+// program, injecting VEX instructions into the scalar fallback path on
+// hosts without AVX. Each tier namespace owns its own copy instead.
+inline float k_exp2i(int k) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(k + 127) << 23);
+}
+
+// Branchless fast_exp: identical arithmetic to tensor::fast_exp on
+// [-87, 88], with the clamp-to-zero below -87 expressed as a select so
+// lanes never diverge (and the int conversion never overflows).
+inline float k_fast_exp(float x) {
+  const bool underflow = x < -87.0f;
+  float xc = x > 88.0f ? 88.0f : x;
+  xc = xc < -88.0f ? -88.0f : xc;
+  constexpr float kLog2E = 1.442695040888963f;
+  constexpr float kLn2Hi = 0.693145751953125f;
+  constexpr float kLn2Lo = 1.428606765330187e-06f;
+  const float kf = std::nearbyint(xc * kLog2E);
+  const int k = static_cast<int>(kf);
+  const float r = (xc - kf * kLn2Hi) - kf * kLn2Lo;
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  const float er = 1.0f + r + r * r * p;
+  const float result = er * k_exp2i(k);
+  return underflow ? 0.0f : result;
+}
+
+// Branchless fast_log: same polynomial as tensor::fast_log with the
+// mantissa normalization and the non-positive guard as selects.
+inline float k_fast_log(float x) {
+  const bool guard = x <= 0.0f;
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(x);
+  int exponent = static_cast<int>(bits >> 23) - 127;
+  float mantissa =
+      std::bit_cast<float>((bits & 0x007FFFFFu) | 0x3F800000u);  // [1,2)
+  const bool renorm = mantissa > 1.41421356f;
+  mantissa = renorm ? mantissa * 0.5f : mantissa;
+  exponent = renorm ? exponent + 1 : exponent;
+  const float f = mantissa - 1.0f;
+  float p = 7.0376836292e-2f;
+  p = p * f - 1.1514610310e-1f;
+  p = p * f + 1.1676998740e-1f;
+  p = p * f - 1.2420140846e-1f;
+  p = p * f + 1.4249322787e-1f;
+  p = p * f - 1.6668057665e-1f;
+  p = p * f + 2.0000714765e-1f;
+  p = p * f - 2.4999993993e-1f;
+  p = p * f + 3.3333331174e-1f;
+  const float f2 = f * f;
+  float result = f - 0.5f * f2 + f2 * f * p;
+  constexpr float kLn2 = 0.6931471805599453f;
+  result += static_cast<float>(exponent) * kLn2;
+  return guard ? -87.0f : result;
+}
+
+inline void k_vexp(const float* x, float* out, std::size_t n) {
+  SB_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) out[i] = k_fast_exp(x[i]);
+}
+
+inline void k_vlog_floored(const float* x, float* out, float floor,
+                           std::size_t n) {
+  SB_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = k_fast_log(x[i] > floor ? x[i] : floor);
+  }
+}
+
+inline void k_softmax_block(float* values, std::size_t n, float inv_temp) {
+  if (n == 0) return;
+  const float max_v = k_reduce_max(values, n);
+  float total = 0.0f;
+  SB_SIMD_REDUCE(+ : total)
+  for (std::size_t i = 0; i < n; ++i) {
+    const float e = k_fast_exp(inv_temp * (values[i] - max_v));
+    values[i] = e;
+    total += e;
+  }
+  const float inv_total = 1.0f / total;
+  SB_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) values[i] *= inv_total;
+}
+
+inline void k_gemv(const float* a, std::size_t lda, const float* x, float* y,
+                   std::size_t m, std::size_t k) {
+  for (std::size_t i = 0; i < m; ++i) y[i] = k_dot(a + i * lda, x, k);
+}
+
+inline void k_momentum_update(float mu, float lr, float l2, const float* g,
+                              float* w, float* v, std::size_t n) {
+  SB_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = mu * v[i] - lr * (g[i] + l2 * w[i]);
+    w[i] += v[i];
+  }
+}
+
+#if !defined(SB_KERNEL_CUSTOM_GEMM_BLOCK)
+// C[mr x n] += alpha * A[mr x k] * B[k x n] as an ikj saxpy sweep; the
+// AVX2 tier replaces this with a hand-tiled FMA micro-kernel. k ascends
+// for every C element, matching the custom tiers' accumulation order.
+inline void k_gemm_block(float alpha, const float* a, std::size_t lda,
+                         const float* b, std::size_t ldb, float* c,
+                         std::size_t ldc, std::size_t mr, std::size_t n,
+                         std::size_t k) {
+  for (std::size_t i = 0; i < mr; ++i) {
+    const float* a_row = a + i * lda;
+    float* c_row = c + i * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = alpha * a_row[p];
+      const float* b_row = b + p * ldb;
+      SB_SIMD_LOOP
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+#endif  // !SB_KERNEL_CUSTOM_GEMM_BLOCK
+
+}  // namespace SB_KERNEL_NS
+}  // namespace streambrain::tensor

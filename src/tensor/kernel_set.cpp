@@ -1,0 +1,97 @@
+// Kernel dispatch: pick the best tier the host supports (or the one the
+// operator pinned via STREAMBRAIN_DISPATCH), once, at first use.
+
+#include "tensor/kernel_set.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/kernel_tiers.hpp"
+#include "util/log.hpp"
+
+namespace streambrain::tensor {
+
+namespace {
+
+const KernelSet* tier_or_null(DispatchLevel level) noexcept {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return detail::kernel_set_scalar();
+    case DispatchLevel::kSse42:
+      return detail::kernel_set_sse42();
+    case DispatchLevel::kAvx2:
+      return detail::kernel_set_avx2();
+  }
+  return nullptr;
+}
+
+/// Highest available tier at or below `want` (build AND runtime support).
+const KernelSet* best_available(DispatchLevel want) noexcept {
+  const DispatchLevel runtime = max_supported_dispatch();
+  int level = static_cast<int>(want < runtime ? want : runtime);
+  for (; level >= 0; --level) {
+    if (const KernelSet* set = tier_or_null(static_cast<DispatchLevel>(level))) {
+      return set;
+    }
+  }
+  return detail::kernel_set_scalar();  // unreachable: scalar always exists
+}
+
+const KernelSet* select_startup_set() {
+  DispatchLevel want = max_supported_dispatch();
+  if (const char* env = std::getenv("STREAMBRAIN_DISPATCH")) {
+    try {
+      want = parse_dispatch_level(env);
+    } catch (const std::invalid_argument& error) {
+      SB_LOG(util::LogLevel::kWarn)
+          << "STREAMBRAIN_DISPATCH: " << error.what()
+          << "; falling back to native detection";
+    }
+  }
+  const KernelSet* chosen = best_available(want);
+  if (chosen->level != want) {
+    SB_LOG(util::LogLevel::kWarn)
+        << "kernel dispatch '" << dispatch_level_name(want)
+        << "' unavailable on this host/build; using '" << chosen->name << "'";
+  }
+  return chosen;
+}
+
+const KernelSet* startup_set() {
+  static const KernelSet* set = select_startup_set();
+  return set;
+}
+
+std::atomic<const KernelSet*>& active_slot() noexcept {
+  static std::atomic<const KernelSet*> slot{startup_set()};
+  return slot;
+}
+
+}  // namespace
+
+const KernelSet& active_kernels() noexcept {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+const KernelSet& startup_kernels() noexcept { return *startup_set(); }
+
+const KernelSet* kernel_set_for(DispatchLevel level) noexcept {
+  if (level > max_supported_dispatch()) return nullptr;
+  return tier_or_null(level);
+}
+
+DispatchLevel force_dispatch(DispatchLevel level) {
+  const KernelSet* set = kernel_set_for(level);
+  if (set == nullptr) {
+    throw std::invalid_argument(
+        std::string("force_dispatch: tier '") + dispatch_level_name(level) +
+        "' is not available on this host/build");
+  }
+  const KernelSet* previous =
+      active_slot().exchange(set, std::memory_order_acq_rel);
+  return previous->level;
+}
+
+}  // namespace streambrain::tensor

@@ -1,0 +1,105 @@
+#pragma once
+// Runtime-dispatched SIMD kernel subsystem. A KernelSet is a vtable of
+// the hot-loop primitives (gemm tile, gemv, axpy, dot, reductions,
+// relu / threshold-mask, exp/log transforms, per-block softmax); three
+// sets exist, one per instruction tier:
+//
+//   scalar : plain ordered loops, no reassociation — the correctness
+//            reference (and the only tier on non-x86 hosts)
+//   sse42  : the same algorithms compiled for SSE4.2, reductions
+//            vectorized with 4 float lanes
+//   avx2   : AVX2 + FMA, hand-tiled GEMM micro-kernel with 4x16
+//            register blocking
+//
+// The active set is chosen once, at first use, by CPUID probing
+// (tensor/cpu_features.hpp), and can be pinned through the environment
+// variable STREAMBRAIN_DISPATCH=scalar|sse42|avx2|native. All sets share
+// exact semantics; the property test suite asserts every SIMD kernel
+// matches the scalar reference within 1e-5 relative tolerance.
+//
+// Determinism guarantee: within one set, every kernel is sequential and
+// order-stable per output element, so results never depend on batch
+// splits or thread scheduling — the foundation of the Predictor's
+// bit-identical concurrent serving.
+
+#include <cstddef>
+
+#include "tensor/cpu_features.hpp"
+
+namespace streambrain::tensor {
+
+struct KernelSet {
+  DispatchLevel level = DispatchLevel::kScalar;
+  const char* name = "scalar";   ///< == dispatch_level_name(level)
+  std::size_t simd_width = 1;    ///< float lanes of the inner loops
+
+  /// y[i] += alpha * x[i]
+  void (*axpy)(float alpha, const float* x, float* y, std::size_t n);
+  /// x[i] *= alpha
+  void (*scale)(float alpha, float* x, std::size_t n);
+  /// sum_i x[i] * y[i]
+  float (*dot)(const float* x, const float* y, std::size_t n);
+  /// sum_i x[i]
+  float (*sum)(const float* x, std::size_t n);
+  /// max_i x[i]; returns -FLT_MAX for n == 0
+  float (*reduce_max)(const float* x, std::size_t n);
+  /// p[i] += rate * (x[i] - p[i])
+  void (*ema_update)(float* p, const float* x, float rate, std::size_t n);
+  /// x[i] = max(x[i], 0)
+  void (*relu)(float* x, std::size_t n);
+  /// x[i] = 0 wherever gate[i] <= threshold (the ReLU-backprop /
+  /// dropout-style masking primitive; gate may alias x)
+  void (*threshold_mask)(const float* gate, float threshold, float* x,
+                         std::size_t n);
+  /// out[i] = fast_exp(x[i])
+  void (*vexp)(const float* x, float* out, std::size_t n);
+  /// out[i] = fast_log(max(x[i], floor))
+  void (*vlog_floored)(const float* x, float* out, float floor,
+                       std::size_t n);
+  /// Numerically-stable in-place softmax over one contiguous block with
+  /// an inverse-temperature factor on the supports.
+  void (*softmax_block)(float* values, std::size_t n, float inv_temp);
+  /// y[i] = dot(A.row(i), x) for A row-major [m x k] with leading
+  /// dimension lda >= k.
+  void (*gemv)(const float* a, std::size_t lda, const float* x, float* y,
+               std::size_t m, std::size_t k);
+  /// GEMM register tile: C[mr x n] += alpha * A[mr x k] * B[k x n], all
+  /// row-major with leading dimensions lda/ldb/ldc. The cache-blocked
+  /// driver (tensor::gemm) feeds K-panels of packed A/B through this.
+  /// Accumulation order over k is ascending for every C element in every
+  /// tier, so tiers differ only by rounding (FMA / lane splits).
+  void (*gemm_block)(float alpha, const float* a, std::size_t lda,
+                     const float* b, std::size_t ldb, float* c,
+                     std::size_t ldc, std::size_t mr, std::size_t n,
+                     std::size_t k);
+  /// Fused SGD momentum step (one pass over the three arrays):
+  ///   v[i] = mu * v[i] - lr * (g[i] + l2 * w[i]);  w[i] += v[i]
+  void (*momentum_update)(float mu, float lr, float l2, const float* g,
+                          float* w, float* v, std::size_t n);
+};
+
+/// The set selected at startup (CPUID probe, then the STREAMBRAIN_DISPATCH
+/// override, clamped to what the host supports). Stable for the process
+/// lifetime unless force_dispatch() is called.
+const KernelSet& active_kernels() noexcept;
+
+/// The startup selection itself, unaffected by later force_dispatch()
+/// calls. Registration-time metadata (EngineRegistry's "simd" entry) is
+/// derived from this so it stays honest even when the registry is first
+/// touched inside a temporarily-forced dispatch window (as the golden
+/// tests do).
+const KernelSet& startup_kernels() noexcept;
+
+/// The set for one specific tier, independent of the active selection:
+/// nullptr when this build or this CPU cannot run that tier. The scalar
+/// set is always available. Used by the property tests and the kernel
+/// microbench to compare tiers side by side.
+const KernelSet* kernel_set_for(DispatchLevel level) noexcept;
+
+/// Swap the active set (testing / benchmarking hook — the golden
+/// regression suite pins the scalar tier to make its digests
+/// platform-independent). Returns the previously active level. Throws
+/// std::invalid_argument when the requested tier is unavailable.
+DispatchLevel force_dispatch(DispatchLevel level);
+
+}  // namespace streambrain::tensor

@@ -1,0 +1,21 @@
+#pragma once
+// Internal linkage points between the per-tier kernel translation units
+// and the dispatcher in kernel_set.cpp. Not part of the public surface —
+// user code goes through tensor/kernel_set.hpp.
+
+#include "tensor/kernel_set.hpp"
+
+namespace streambrain::tensor::detail {
+
+/// Always non-null: the ordered scalar reference tier.
+const KernelSet* kernel_set_scalar() noexcept;
+
+/// Null when the build lacks -msse4.2 support (non-x86 hosts or
+/// compilers without the flag); runtime CPU support is checked by the
+/// dispatcher, not here.
+const KernelSet* kernel_set_sse42() noexcept;
+
+/// Null when the build lacks -mavx2/-mfma support.
+const KernelSet* kernel_set_avx2() noexcept;
+
+}  // namespace streambrain::tensor::detail

@@ -1,67 +1,70 @@
 #include "tensor/kernels.hpp"
 
-#include <cmath>
+#include <algorithm>
 #include <stdexcept>
 
-#include "tensor/vecmath.hpp"
+#include "tensor/kernel_set.hpp"
 
 namespace streambrain::tensor {
 
 void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  active_kernels().axpy(alpha, x, y, n);
 }
 
 void scale(float alpha, float* x, std::size_t n) noexcept {
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+  active_kernels().scale(alpha, x, n);
 }
 
 float dot(const float* x, const float* y, std::size_t n) noexcept {
-  float acc = 0.0f;
-#pragma omp simd reduction(+ : acc)
-  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-  return acc;
+  return active_kernels().dot(x, y, n);
 }
 
 float sum(const float* x, std::size_t n) noexcept {
-  float acc = 0.0f;
-#pragma omp simd reduction(+ : acc)
-  for (std::size_t i = 0; i < n; ++i) acc += x[i];
-  return acc;
+  return active_kernels().sum(x, n);
+}
+
+float reduce_max(const float* x, std::size_t n) noexcept {
+  return active_kernels().reduce_max(x, n);
+}
+
+void relu(float* x, std::size_t n) noexcept {
+  active_kernels().relu(x, n);
+}
+
+void threshold_mask(const float* gate, float threshold, float* x,
+                    std::size_t n) noexcept {
+  active_kernels().threshold_mask(gate, threshold, x, n);
+}
+
+void gemv(const MatrixF& a, const float* x, float* y) noexcept {
+  active_kernels().gemv(a.data(), a.cols(), x, y, a.rows(), a.cols());
 }
 
 void add_row_bias(MatrixF& m, const float* bias) noexcept {
+  const KernelSet& kernels = active_kernels();
   const std::size_t cols = m.cols();
   for (std::size_t r = 0; r < m.rows(); ++r) {
-    float* row = m.row(r);
-#pragma omp simd
-    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+    kernels.axpy(1.0f, bias, m.row(r), cols);
   }
 }
 
 void ema_update(float* p, const float* x, float rate, std::size_t n) noexcept {
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) p[i] += rate * (x[i] - p[i]);
+  active_kernels().ema_update(p, x, rate, n);
 }
 
-namespace {
+void momentum_update(float mu, float lr, float l2, const float* g, float* w,
+                     float* v, std::size_t n) noexcept {
+  active_kernels().momentum_update(mu, lr, l2, g, w, v, n);
+}
 
-inline void softmax_block_inplace(float* values, std::size_t n,
-                                  float inv_temp) noexcept {
-  float max_v = values[0];
-  for (std::size_t i = 1; i < n; ++i) max_v = std::max(max_v, values[i]);
-  float total = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float e = fast_exp(inv_temp * (values[i] - max_v));
-    values[i] = e;
-    total += e;
+void col_sums(const MatrixF& m, float* out) noexcept {
+  const KernelSet& kernels = active_kernels();
+  const std::size_t cols = m.cols();
+  std::fill_n(out, cols, 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    kernels.axpy(1.0f, m.row(r), out, cols);
   }
-  const float inv_total = 1.0f / total;
-  for (std::size_t i = 0; i < n; ++i) values[i] *= inv_total;
 }
-
-}  // namespace
 
 void softmax_blocks(MatrixF& m, std::size_t block) {
   softmax_blocks_temperature(m, block, 1.0f);
@@ -73,12 +76,13 @@ void softmax_blocks_temperature(MatrixF& m, std::size_t block,
     throw std::invalid_argument(
         "softmax_blocks: row width must be a multiple of the block size");
   }
+  const KernelSet& kernels = active_kernels();
   const std::size_t blocks_per_row = m.cols() / block;
 #pragma omp parallel for schedule(static)
   for (std::size_t r = 0; r < m.rows(); ++r) {
     float* row = m.row(r);
     for (std::size_t b = 0; b < blocks_per_row; ++b) {
-      softmax_block_inplace(row + b * block, block, inverse_temperature);
+      kernels.softmax_block(row + b * block, block, inverse_temperature);
     }
   }
 }

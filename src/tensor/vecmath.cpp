@@ -1,88 +1,21 @@
 #include "tensor/vecmath.hpp"
 
-#include <bit>
-#include <cmath>
+#include "tensor/kernel_set.hpp"
 
 namespace streambrain::tensor {
 
-namespace {
-
-// 2^k with k in float-exponent range, built by bit manipulation.
-inline float exp2i(int k) noexcept {
-  return std::bit_cast<float>(static_cast<std::uint32_t>(k + 127) << 23);
-}
-
-}  // namespace
-
-float fast_exp(float x) noexcept {
-  // Clamp: exp(-87) ~ float-min, exp(88) ~ float-max.
-  if (x > 88.0f) x = 88.0f;
-  if (x < -87.0f) return 0.0f;
-
-  // x = k*ln2 + r with r in [-ln2/2, ln2/2].
-  constexpr float kLog2E = 1.442695040888963f;
-  constexpr float kLn2Hi = 0.693145751953125f;
-  constexpr float kLn2Lo = 1.428606765330187e-06f;
-  const float kf = std::nearbyint(x * kLog2E);
-  const int k = static_cast<int>(kf);
-  const float r = (x - kf * kLn2Hi) - kf * kLn2Lo;
-
-  // Degree-5 minimax polynomial for exp(r) on [-ln2/2, ln2/2].
-  float p = 1.9875691500e-4f;
-  p = p * r + 1.3981999507e-3f;
-  p = p * r + 8.3334519073e-3f;
-  p = p * r + 4.1665795894e-2f;
-  p = p * r + 1.6666665459e-1f;
-  p = p * r + 5.0000001201e-1f;
-  const float er = 1.0f + r + r * r * p;
-  return er * exp2i(k);
-}
-
-float fast_log(float x) noexcept {
-  if (x <= 0.0f) return -87.0f;  // callers floor probabilities; guard only
-  const std::uint32_t bits = std::bit_cast<std::uint32_t>(x);
-  int exponent = static_cast<int>(bits >> 23) - 127;
-  float mantissa =
-      std::bit_cast<float>((bits & 0x007FFFFFu) | 0x3F800000u);  // [1,2)
-  // Normalize mantissa into [sqrt(2)/2, sqrt(2)) for symmetry.
-  if (mantissa > 1.41421356f) {
-    mantissa *= 0.5f;
-    ++exponent;
-  }
-  const float f = mantissa - 1.0f;
-  // log(1+f) via atanh-style polynomial (from cephes logf).
-  float p = 7.0376836292e-2f;
-  p = p * f - 1.1514610310e-1f;
-  p = p * f + 1.1676998740e-1f;
-  p = p * f - 1.2420140846e-1f;
-  p = p * f + 1.4249322787e-1f;
-  p = p * f - 1.6668057665e-1f;
-  p = p * f + 2.0000714765e-1f;
-  p = p * f - 2.4999993993e-1f;
-  p = p * f + 3.3333331174e-1f;
-  const float f2 = f * f;
-  float result = f - 0.5f * f2 + f2 * f * p;
-  constexpr float kLn2 = 0.6931471805599453f;
-  result += static_cast<float>(exponent) * kLn2;
-  return result;
-}
-
 void vexp(const float* x, float* out, std::size_t n) noexcept {
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) out[i] = fast_exp(x[i]);
+  active_kernels().vexp(x, out, n);
 }
 
 void vlog(const float* x, float* out, std::size_t n) noexcept {
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) out[i] = fast_log(x[i]);
+  // floor = 0 keeps fast_log's non-positive guard semantics (-87).
+  active_kernels().vlog_floored(x, out, 0.0f, n);
 }
 
 void vlog_floored(const float* x, float* out, float floor,
                   std::size_t n) noexcept {
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = fast_log(x[i] > floor ? x[i] : floor);
-  }
+  active_kernels().vlog_floored(x, out, floor, n);
 }
 
 }  // namespace streambrain::tensor

@@ -14,6 +14,11 @@ namespace streambrain::util {
 class Stopwatch {
  public:
   using Clock = std::chrono::steady_clock;
+  // Bench timings (BENCH_*.json) must be monotonic: a wall-clock step —
+  // NTP slew, suspend/resume — must never produce negative or inflated
+  // intervals, so the clock choice is a compile-time contract.
+  static_assert(Clock::is_steady,
+                "Stopwatch requires a monotonic (steady) clock");
 
   Stopwatch() : start_(Clock::now()) {}
 

@@ -13,6 +13,7 @@
 #include "data/higgs.hpp"
 #include "encode/one_hot.hpp"
 #include "parallel/engine_registry.hpp"
+#include "tensor/kernel_set.hpp"
 
 namespace sp = streambrain::parallel;
 namespace sc = streambrain::core;
@@ -92,12 +93,37 @@ TEST(EngineRegistry, BuiltinCapabilityMetadata) {
   const sp::EngineInfo naive = registry.info("naive");
   EXPECT_EQ(naive.simd_width, 1u);
   EXPECT_FALSE(naive.offload);
-  const sp::EngineInfo simd = registry.info("simd");
-  EXPECT_GT(simd.simd_width, 1u);
+  EXPECT_TRUE(naive.dispatch.empty());  // hand loops, not KernelSet-backed
   const sp::EngineInfo device = registry.info("device_sim");
   EXPECT_TRUE(device.offload);
   EXPECT_TRUE(device.counts_transfers);
   EXPECT_FALSE(device.description.empty());
+}
+
+TEST(EngineRegistry, SimdEngineMetadataIsHonestAboutRuntimeDispatch) {
+  // The "simd" engine routes through the runtime-dispatched KernelSet,
+  // so its registered capabilities must mirror what the dispatcher
+  // actually selected on this host (CPUID + STREAMBRAIN_DISPATCH) — not
+  // the widest tier the binary happens to contain. Under a forced
+  // scalar dispatch the honest width is 1.
+  const streambrain::tensor::KernelSet& kernels =
+      streambrain::tensor::startup_kernels();
+  const sp::EngineInfo simd = sp::EngineRegistry::instance().info("simd");
+  EXPECT_EQ(simd.simd_width, kernels.simd_width);
+  EXPECT_EQ(simd.dispatch, kernels.name);
+  EXPECT_NE(simd.description.find(kernels.name), std::string::npos)
+      << "description should name the active tier: " << simd.description;
+  EXPECT_FALSE(simd.offload);
+  // device_sim delegates its math to the same kernels.
+  const sp::EngineInfo device = sp::EngineRegistry::instance().info(
+      "device_sim");
+  EXPECT_EQ(device.simd_width, kernels.simd_width);
+  EXPECT_EQ(device.dispatch, kernels.name);
+  // The dispatch tag is a real tier name and never exceeds the host.
+  EXPECT_NO_THROW({
+    const auto level = streambrain::tensor::parse_dispatch_level(simd.dispatch);
+    EXPECT_LE(level, streambrain::tensor::max_supported_dispatch());
+  });
 }
 
 TEST(EngineRegistry, UnknownNameFailsNamingTheRegisteredSet) {

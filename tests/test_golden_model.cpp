@@ -1,0 +1,227 @@
+// Golden-regression tests: train one small fixed-seed model per head
+// type on the scalar kernel tier (strict left-to-right accumulation, no
+// libc exp/log on the model path — fully deterministic across hosts) and
+// compare predictions, scores, accuracy, and log-loss against digests
+// committed under tests/golden/. Any drift — a kernel swap changing
+// numerics, a refactor reordering accumulation — fails loudly instead of
+// silently changing learned behavior.
+//
+// The SIMD tiers are not pinned to these exact digests (FMA and lane
+// reassociation legitimately change rounding); their contract is the
+// property suite (test_kernels_property.cpp) plus the tolerance check at
+// the end of each test here, which re-runs inference under the startup
+// dispatch tier and bounds its drift from the scalar-trained goldens.
+//
+// Regenerate after an intentional behavior change with:
+//   STREAMBRAIN_UPDATE_GOLDEN=1 ./test_golden_model
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "tensor/kernel_set.hpp"
+
+namespace sc = streambrain::core;
+namespace st = streambrain::tensor;
+
+#ifndef STREAMBRAIN_GOLDEN_DIR
+#define STREAMBRAIN_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+struct Digest {
+  double accuracy = 0.0;
+  double log_loss = 0.0;
+  std::vector<int> labels;
+  std::vector<double> scores;
+};
+
+std::string golden_path(const std::string& name) {
+  return std::string(STREAMBRAIN_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+bool update_mode() {
+  const char* env = std::getenv("STREAMBRAIN_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void write_digest(const std::string& name, const Digest& digest) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+  out.precision(12);
+  out << "# golden digest '" << name << "' — scalar-dispatch training;\n";
+  out << "# regenerate with STREAMBRAIN_UPDATE_GOLDEN=1 ./test_golden_model\n";
+  out << "accuracy " << digest.accuracy << "\n";
+  out << "log_loss " << digest.log_loss << "\n";
+  out << "labels " << digest.labels.size();
+  for (const int label : digest.labels) out << ' ' << label;
+  out << "\nscores " << digest.scores.size();
+  for (const double score : digest.scores) out << ' ' << score;
+  out << "\n";
+}
+
+bool read_digest(const std::string& name, Digest& digest) {
+  std::ifstream in(golden_path(name));
+  if (!in.good()) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "accuracy") {
+      fields >> digest.accuracy;
+    } else if (key == "log_loss") {
+      fields >> digest.log_loss;
+    } else if (key == "labels") {
+      std::size_t count = 0;
+      fields >> count;
+      digest.labels.resize(count);
+      for (std::size_t i = 0; i < count; ++i) fields >> digest.labels[i];
+    } else if (key == "scores") {
+      std::size_t count = 0;
+      fields >> count;
+      digest.scores.resize(count);
+      for (std::size_t i = 0; i < count; ++i) fields >> digest.scores[i];
+    }
+  }
+  return true;
+}
+
+/// RAII dispatch pin so a failing assertion cannot leak the scalar tier
+/// into other tests of this binary.
+struct ScopedDispatch {
+  explicit ScopedDispatch(st::DispatchLevel level)
+      : previous(st::force_dispatch(level)) {}
+  ~ScopedDispatch() { st::force_dispatch(previous); }
+  st::DispatchLevel previous;
+};
+
+struct FixtureData {
+  st::MatrixF x_train;
+  std::vector<int> y_train;
+  st::MatrixF x_test;
+  std::vector<int> y_test;
+};
+
+const FixtureData& fixture() {
+  static const FixtureData data = [] {
+    streambrain::data::SyntheticHiggsGenerator train_generator;
+    const auto train = train_generator.generate(700);
+    streambrain::data::HiggsGeneratorOptions opts;
+    opts.seed = 4242;
+    streambrain::data::SyntheticHiggsGenerator test_generator(opts);
+    const auto test = test_generator.generate(200);
+    streambrain::encode::OneHotEncoder encoder(10);
+    FixtureData out;
+    out.x_train = encoder.fit_transform(train.features);
+    out.y_train = train.labels;
+    out.x_test = encoder.transform(test.features);
+    out.y_test = test.labels;
+    return out;
+  }();
+  return data;
+}
+
+double binary_log_loss(const std::vector<double>& scores,
+                       const std::vector<int>& labels) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double p = std::min(std::max(scores[i], 1e-12), 1.0 - 1e-12);
+    total -= labels[i] == 1 ? std::log(p) : std::log(1.0 - p);
+  }
+  return scores.empty() ? 0.0 : total / static_cast<double>(scores.size());
+}
+
+Digest run_model(sc::HeadType head) {
+  const FixtureData& data = fixture();
+  sc::Model model;
+  model.input(28, 10)
+      .hidden(1, 30, 0.4)
+      .classifier(2, head)
+      .set_option("epochs", 3)
+      .compile("simd", /*seed=*/7);
+  model.fit(data.x_train, data.y_train);
+  Digest digest;
+  digest.labels = model.predict(data.x_test);
+  digest.scores = model.predict_scores(data.x_test);
+  digest.accuracy = model.evaluate(data.x_test, data.y_test);
+  digest.log_loss = binary_log_loss(digest.scores, data.y_test);
+  return digest;
+}
+
+void check_against_golden(const std::string& name, sc::HeadType head) {
+  Digest actual;
+  {
+    // Scalar tier: platform-stable ordered math for exact digests.
+    const ScopedDispatch pin(st::DispatchLevel::kScalar);
+    actual = run_model(head);
+  }
+
+  if (update_mode()) {
+    write_digest(name, actual);
+    GTEST_SKIP() << "regenerated " << golden_path(name);
+  }
+
+  Digest expected;
+  ASSERT_TRUE(read_digest(name, expected))
+      << "missing golden digest " << golden_path(name)
+      << " — run with STREAMBRAIN_UPDATE_GOLDEN=1 to create it";
+
+  // Exact label digest; tight numeric tolerances (the stored text has 12
+  // significant digits, and std::log in the loss is the only libm call).
+  EXPECT_EQ(actual.labels, expected.labels) << name << ": label drift";
+  EXPECT_NEAR(actual.accuracy, expected.accuracy, 1e-9) << name;
+  EXPECT_NEAR(actual.log_loss, expected.log_loss, 1e-7) << name;
+  ASSERT_EQ(actual.scores.size(), expected.scores.size());
+  for (std::size_t i = 0; i < actual.scores.size(); ++i) {
+    EXPECT_NEAR(actual.scores[i], expected.scores[i], 1e-8)
+        << name << ": score drift at row " << i;
+  }
+
+  // Secondary guard: training + inference under the startup dispatch
+  // tier (possibly SSE4.2/AVX2) must stay within honest float tolerance
+  // of the scalar goldens — kernel tiers may round differently but must
+  // not change learned behavior.
+  const Digest simd = run_model(head);
+  EXPECT_NEAR(simd.accuracy, expected.accuracy, 0.02) << name;
+  EXPECT_NEAR(simd.log_loss, expected.log_loss, 0.02) << name;
+  std::size_t label_mismatches = 0;
+  for (std::size_t i = 0; i < simd.labels.size(); ++i) {
+    if (simd.labels[i] != expected.labels[i]) ++label_mismatches;
+  }
+  // At most 2% of rows may sit close enough to the decision boundary to
+  // flip under a different rounding of the same math.
+  EXPECT_LE(label_mismatches, simd.labels.size() / 50 + 1)
+      << name << ": " << label_mismatches << "/" << simd.labels.size()
+      << " labels changed under '" << st::active_kernels().name
+      << "' dispatch";
+}
+
+}  // namespace
+
+TEST(GoldenModel, BcpnnHeadMatchesCommittedDigest) {
+  check_against_golden("bcpnn_head", sc::HeadType::kBcpnn);
+}
+
+TEST(GoldenModel, SgdHeadMatchesCommittedDigest) {
+  check_against_golden("sgd_head", sc::HeadType::kSgd);
+}
+
+TEST(GoldenModel, UpdateModeIsOffInCommittedRuns) {
+  // A committed tree must never run in regeneration mode by accident;
+  // this test documents the env contract.
+  if (update_mode()) {
+    GTEST_SKIP() << "STREAMBRAIN_UPDATE_GOLDEN is set (regeneration run)";
+  }
+  SUCCEED();
+}

@@ -14,6 +14,8 @@
 #include "core/model.hpp"
 #include "data/higgs.hpp"
 #include "encode/one_hot.hpp"
+#include "parallel/engine_registry.hpp"
+#include "tensor/kernel_set.hpp"
 
 namespace sc = streambrain::core;
 namespace st = streambrain::tensor;
@@ -136,6 +138,53 @@ TEST(Predictor, ConcurrentCallersAgreeWithSingleThread) {
   const auto stats = predictor.stats();
   EXPECT_EQ(stats.requests, kThreads * kRounds * 2);
   EXPECT_EQ(stats.rows, kRounds * 2 * n);
+}
+
+TEST(Predictor, SimdEngineStressStaysBitIdenticalToSerialReference) {
+  // Heavy mixed-shape stress on the "simd" (KernelSet-dispatched)
+  // engine: many threads, varying slice sizes, interleaved label/score
+  // requests, and micro-batch splits that never align with the slices.
+  // Every result must be bit-identical to the single-threaded reference
+  // computed once at setup — the kernel subsystem guarantees per-row
+  // deterministic accumulation regardless of batching or scheduling.
+  ASSERT_EQ(serving().model->engine_name(), "simd");
+  // The engine's advertised dispatch tier is the one actually serving.
+  const auto info =
+      streambrain::parallel::EngineRegistry::instance().info("simd");
+  EXPECT_EQ(info.dispatch, streambrain::tensor::startup_kernels().name);
+
+  streambrain::Predictor predictor(serving().model, {/*max_batch_rows=*/13});
+  const std::size_t n = serving().x_test.rows();
+  constexpr std::size_t kThreads = 10;
+  constexpr std::size_t kRounds = 4;
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        // Different slice geometry every round and thread.
+        const std::size_t width = 1 + (t * 7 + round * 11) % 37;
+        const std::size_t begin = (t * 13 + round * 29) % (n - width);
+        const std::size_t end = begin + width;
+        const st::MatrixF slice = rows_slice(serving().x_test, begin, end);
+        const std::vector<int> labels = predictor.predict(slice);
+        const std::vector<double> scores = predictor.predict_scores(slice);
+        for (std::size_t i = 0; i < width; ++i) {
+          if (labels[i] != serving().reference_labels[begin + i] ||
+              scores[i] != serving().reference_scores[begin + i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const auto stats = predictor.stats();
+  EXPECT_EQ(stats.requests, kThreads * kRounds * 2);
 }
 
 TEST(Predictor, CoalescePolicyRunsSharedBatches) {

@@ -16,9 +16,13 @@ namespace su = streambrain::util;
 
 namespace {
 
+// Matrix's two-argument constructor already value-initializes (fill
+// defaults to T{}); tests that later compare contents still spell the
+// fill out so the defined starting state survives any change to that
+// default.
 st::MatrixF random_matrix(std::size_t rows, std::size_t cols, su::Rng& rng,
                           float lo = -1.0f, float hi = 1.0f) {
-  st::MatrixF m(rows, cols);
+  st::MatrixF m(rows, cols, 0.0f);
   for (float& v : m) v = static_cast<float>(rng.uniform(lo, hi));
   return m;
 }
@@ -45,7 +49,7 @@ TEST(Matrix, InitializerList) {
 }
 
 TEST(Matrix, AlignedStorage) {
-  st::MatrixF m(5, 7);
+  st::MatrixF m(5, 7, 0.0f);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % st::kAlignment, 0u);
 }
 
@@ -66,7 +70,7 @@ TEST(Matrix, MoveTransfersOwnership) {
 }
 
 TEST(Matrix, AtThrowsOutOfRange) {
-  st::MatrixF m(2, 2);
+  st::MatrixF m(2, 2, 0.0f);
   EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
   EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
   EXPECT_NO_THROW((void)m.at(1, 1));
@@ -92,7 +96,7 @@ TEST(Matrix, EqualityComparesShapeAndContents) {
 }
 
 TEST(Matrix, RowPointerArithmetic) {
-  st::MatrixF m(3, 4);
+  st::MatrixF m(3, 4, 0.0f);
   for (std::size_t r = 0; r < 3; ++r) {
     for (std::size_t c = 0; c < 4; ++c) m(r, c) = static_cast<float>(r * 4 + c);
   }
@@ -183,9 +187,9 @@ TEST(Gemm, BetaAccumulates) {
 }
 
 TEST(Gemm, DimensionMismatchThrows) {
-  st::MatrixF a(2, 3);
-  st::MatrixF b(4, 2);  // inner mismatch
-  st::MatrixF c(2, 2);
+  st::MatrixF a(2, 3, 0.0f);
+  st::MatrixF b(4, 2, 0.0f);  // inner mismatch
+  st::MatrixF c(2, 2, 0.0f);
   EXPECT_THROW(
       st::gemm(st::Transpose::kNo, st::Transpose::kNo, 1.0f, a, b, 0.0f, c),
       std::invalid_argument);
@@ -280,7 +284,7 @@ TEST(Kernels, SoftmaxTemperatureSharpens) {
 }
 
 TEST(Kernels, SoftmaxBlocksRejectsBadBlock) {
-  st::MatrixF m(1, 5);
+  st::MatrixF m(1, 5, 0.0f);
   EXPECT_THROW(st::softmax_blocks(m, 2), std::invalid_argument);
   EXPECT_THROW(st::softmax_blocks(m, 0), std::invalid_argument);
 }
@@ -298,10 +302,51 @@ TEST(Kernels, WtaBlocksPicksWinner) {
 
 TEST(Kernels, ArgmaxRows) {
   st::MatrixF m(2, 3, {0.0f, 5.0f, 1.0f, 7.0f, 2.0f, 3.0f});
-  std::size_t out[2];
+  std::size_t out[2] = {99, 99};
   st::argmax_rows(m, out);
   EXPECT_EQ(out[0], 1u);
   EXPECT_EQ(out[1], 0u);
+}
+
+TEST(Kernels, ReluClampsNegatives) {
+  float x[5] = {-1.0f, 0.0f, 2.5f, -0.25f, 7.0f};
+  st::relu(x, 5);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.0f);
+  EXPECT_FLOAT_EQ(x[2], 2.5f);
+  EXPECT_FLOAT_EQ(x[3], 0.0f);
+  EXPECT_FLOAT_EQ(x[4], 7.0f);
+}
+
+TEST(Kernels, ThresholdMaskZeroesWhereGateBelowThreshold) {
+  const float gate[4] = {-1.0f, 0.0f, 0.5f, 2.0f};
+  float x[4] = {10.0f, 20.0f, 30.0f, 40.0f};
+  st::threshold_mask(gate, 0.0f, x, 4);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);   // gate < threshold
+  EXPECT_FLOAT_EQ(x[1], 0.0f);   // gate == threshold (<=) masks too
+  EXPECT_FLOAT_EQ(x[2], 30.0f);
+  EXPECT_FLOAT_EQ(x[3], 40.0f);
+}
+
+TEST(Kernels, ReduceMaxFindsMaximumAndHandlesEmpty) {
+  const float x[6] = {-5.0f, 3.0f, -1.0f, 9.5f, 0.0f, 2.0f};
+  EXPECT_FLOAT_EQ(st::reduce_max(x, 6), 9.5f);
+  EXPECT_LT(st::reduce_max(nullptr, 0), -1e30f);  // identity
+}
+
+TEST(Kernels, GemvMatchesPerRowDot) {
+  su::Rng rng(23);
+  const st::MatrixF a = random_matrix(7, 19, rng);
+  const auto xv = [&] {
+    std::vector<float> v(19);
+    for (auto& e : v) e = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return v;
+  }();
+  std::vector<float> y(7, -1.0f);
+  st::gemv(a, xv.data(), y.data());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    EXPECT_NEAR(y[r], st::dot(a.row(r), xv.data(), a.cols()), 1e-5f);
+  }
 }
 
 // ------------------------------------------------------------- vecmath ----
@@ -347,17 +392,22 @@ TEST(Vecmath, VectorVariantsMatchScalar) {
   std::vector<float> vl(x.size());
   st::vexp(x.data(), ve.data(), x.size());
   st::vlog(x.data(), vl.data(), x.size());
+  // The array variants run on the dispatched SIMD tier, which may use
+  // FMA: tolerance-compare against the scalar helpers instead of
+  // requiring bitwise equality.
   for (std::size_t i = 0; i < x.size(); ++i) {
-    EXPECT_FLOAT_EQ(ve[i], st::fast_exp(x[i]));
-    EXPECT_FLOAT_EQ(vl[i], st::fast_log(x[i]));
+    const float e = st::fast_exp(x[i]);
+    const float l = st::fast_log(x[i]);
+    EXPECT_NEAR(ve[i], e, 1e-6f + 1e-5f * std::abs(e));
+    EXPECT_NEAR(vl[i], l, 1e-6f + 1e-5f * std::abs(l));
   }
 }
 
 TEST(Vecmath, VlogFlooredAppliesFloor) {
   const float x[3] = {1e-9f, 0.5f, 2.0f};
-  float out[3];
+  float out[3] = {0.0f, 0.0f, 0.0f};
   st::vlog_floored(x, out, 1e-4f, 3);
-  EXPECT_FLOAT_EQ(out[0], st::fast_log(1e-4f));
-  EXPECT_FLOAT_EQ(out[1], st::fast_log(0.5f));
-  EXPECT_FLOAT_EQ(out[2], st::fast_log(2.0f));
+  EXPECT_NEAR(out[0], st::fast_log(1e-4f), 1e-4f);
+  EXPECT_NEAR(out[1], st::fast_log(0.5f), 1e-5f);
+  EXPECT_NEAR(out[2], st::fast_log(2.0f), 1e-5f);
 }
