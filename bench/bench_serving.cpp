@@ -1,0 +1,237 @@
+// Serving-layer benchmark: concurrent client traffic through the old
+// mutex-serialized Predictor vs. the sharded AsyncPredictor, at several
+// shard counts, emitting BENCH_serving.json. The acceptance bar for the
+// serve:: subsystem is >= 2x throughput over the mutex path at 4 shards.
+//
+// GEMM pool fan-out is pinned to 1 thread up front so both paths run
+// identical single-threaded per-batch compute — the comparison measures
+// serving architecture (one global lock vs. N replicas), not kernel
+// threading.
+//
+//   bench_serving [--out BENCH_serving.json] [--events 4000]
+//                 [--clients 8] [--requests 64] [--rows 48]
+//                 [--max-shards 4] [--cache-rows 0]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "streambrain/streambrain.hpp"
+
+using namespace streambrain;
+
+namespace {
+
+struct Result {
+  std::string mode;  // "mutex" or "async"
+  std::size_t shards = 0;
+  double wall_seconds = 0.0;
+  double rows_per_second = 0.0;
+  double speedup_vs_mutex = 1.0;
+  double mean_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  double mean_queue_wait_ms = 0.0;
+};
+
+struct Workload {
+  std::shared_ptr<core::Model> model;
+  std::vector<tensor::MatrixF> request_slices;  // one per client
+  std::size_t clients = 0;
+  std::size_t requests_per_client = 0;
+};
+
+/// Drive `clients` threads, each firing `requests_per_client` requests
+/// through `serve_one(client, request_index)`; returns wall seconds and
+/// per-request latencies.
+template <typename ServeOne>
+double drive(const Workload& load, std::vector<double>& latencies_ms,
+             ServeOne&& serve_one) {
+  latencies_ms.assign(load.clients * load.requests_per_client, 0.0);
+  util::Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(load.clients);
+  for (std::size_t c = 0; c < load.clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t r = 0; r < load.requests_per_client; ++r) {
+        util::Stopwatch latency;
+        serve_one(c, r);
+        latencies_ms[c * load.requests_per_client + r] =
+            1e3 * latency.seconds();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  return wall.seconds();
+}
+
+Result summarize(const std::string& mode, std::size_t shards,
+                 double wall_seconds, std::size_t total_rows,
+                 const std::vector<double>& latencies_ms) {
+  Result result;
+  result.mode = mode;
+  result.shards = shards;
+  result.wall_seconds = wall_seconds;
+  result.rows_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(total_rows) / wall_seconds
+                         : 0.0;
+  double sum = 0.0, worst = 0.0;
+  for (const double ms : latencies_ms) {
+    sum += ms;
+    worst = std::max(worst, ms);
+  }
+  result.mean_latency_ms =
+      latencies_ms.empty() ? 0.0 : sum / static_cast<double>(latencies_ms.size());
+  result.max_latency_ms = worst;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Pin GEMM fan-out before the first kernel call (the limit is resolved
+  // once): per-batch compute must be serial so shard scaling is honest.
+  setenv("STREAMBRAIN_THREADS", "1", /*overwrite=*/1);
+
+  util::ArgParser args(argc, argv);
+  const std::string out_path = args.get_string("out", "BENCH_serving.json");
+  const std::size_t events =
+      static_cast<std::size_t>(args.get_int("events", 4000));
+  const std::size_t clients =
+      static_cast<std::size_t>(args.get_int("clients", 8));
+  const std::size_t requests_per_client =
+      static_cast<std::size_t>(args.get_int("requests", 64));
+  const std::size_t rows_per_request =
+      static_cast<std::size_t>(args.get_int("rows", 48));
+  const std::size_t max_shards =
+      static_cast<std::size_t>(args.get_int("max-shards", 4));
+  const std::size_t cache_rows =
+      static_cast<std::size_t>(args.get_int("cache-rows", 0));
+
+  // --- Model + traffic ------------------------------------------------------
+  data::SyntheticHiggsGenerator generator;
+  const auto train = generator.generate(events);
+  encode::OneHotEncoder encoder(10);
+  const tensor::MatrixF x_train = encoder.fit_transform(train.features);
+
+  auto model = std::make_shared<core::Model>();
+  model->input(28, 10)
+      .hidden(1, 160, 0.40)
+      .classifier(2)
+      .set_option("epochs", 2)
+      .compile("simd", 42);
+  std::printf("training %s on %zu events...\n", model->name().c_str(), events);
+  model->fit(x_train, train.labels);
+
+  data::HiggsGeneratorOptions traffic_options;
+  traffic_options.seed = 777;
+  data::SyntheticHiggsGenerator traffic_generator(traffic_options);
+  const auto traffic = traffic_generator.generate(
+      std::max<std::size_t>(rows_per_request * clients, 512));
+  const tensor::MatrixF x_serve = encoder.transform(traffic.features);
+
+  Workload load;
+  load.model = model;
+  load.clients = clients;
+  load.requests_per_client = requests_per_client;
+  for (std::size_t c = 0; c < clients; ++c) {
+    tensor::MatrixF slice(rows_per_request, x_serve.cols());
+    for (std::size_t r = 0; r < rows_per_request; ++r) {
+      const std::size_t source = (c * rows_per_request + r) % x_serve.rows();
+      std::copy_n(x_serve.row(source), x_serve.cols(), slice.row(r));
+    }
+    load.request_slices.push_back(std::move(slice));
+  }
+  const std::size_t total_rows =
+      clients * requests_per_client * rows_per_request;
+
+  std::vector<Result> results;
+  std::vector<double> latencies_ms;
+
+  // --- Baseline: the mutex-serialized Predictor ----------------------------
+  {
+    Predictor predictor(model, {/*max_batch_rows=*/rows_per_request});
+    const double wall = drive(load, latencies_ms, [&](std::size_t c,
+                                                      std::size_t) {
+      (void)predictor.predict_scores(load.request_slices[c]);
+    });
+    Result result =
+        summarize("mutex", 0, wall, total_rows, latencies_ms);
+    result.mean_queue_wait_ms =
+        1e3 * predictor.stats().mean_queue_wait_seconds();
+    results.push_back(result);
+    std::printf("mutex Predictor           : %8.0f rows/s  (mean %.2f ms, "
+                "queue %.2f ms)\n",
+                result.rows_per_second, result.mean_latency_ms,
+                result.mean_queue_wait_ms);
+  }
+  const double mutex_rows_per_second = results.front().rows_per_second;
+
+  // --- Sharded AsyncPredictor: shard sweep, then shards + score cache ------
+  // The shard sweep shows lock-free scaling (needs cores: on a 1-core
+  // host it can only tie the mutex path); the cache run shows the LRU
+  // digest cache absorbing repeat traffic on any host.
+  for (std::size_t shards = 1; shards <= 2 * max_shards; shards *= 2) {
+    const bool cached = shards > max_shards;  // final iteration
+    AsyncPredictorOptions options;
+    options.shards = cached ? max_shards : shards;
+    options.max_batch_rows = rows_per_request;
+    options.max_batch_delay = std::chrono::microseconds(200);
+    options.queue_capacity = clients * 4;
+    options.score_cache_rows =
+        cached ? std::max(cache_rows, clients * rows_per_request) : 0;
+    AsyncPredictor server(model, options);
+    const double wall = drive(load, latencies_ms, [&](std::size_t c,
+                                                      std::size_t) {
+      (void)server.predict_scores(load.request_slices[c]);
+    });
+    Result result = summarize(cached ? "async+cache" : "async",
+                              options.shards, wall, total_rows, latencies_ms);
+    result.speedup_vs_mutex =
+        mutex_rows_per_second > 0.0
+            ? result.rows_per_second / mutex_rows_per_second
+            : 0.0;
+    result.mean_queue_wait_ms =
+        1e3 * server.stats().mean_queue_wait_seconds();
+    results.push_back(result);
+    std::printf("%-12s @%zu shard%s      : %8.0f rows/s  (%.2fx mutex, "
+                "mean %.2f ms, queue %.2f ms)\n",
+                result.mode.c_str(), options.shards,
+                options.shards == 1 ? " " : "s", result.rows_per_second,
+                result.speedup_vs_mutex, result.mean_latency_ms,
+                result.mean_queue_wait_ms);
+  }
+
+  // --- JSON report ----------------------------------------------------------
+  std::ofstream out(out_path);
+  out << "{\n";
+  out << "  \"bench\": \"serving\",\n";
+  out << "  \"clients\": " << clients << ",\n";
+  out << "  \"requests_per_client\": " << requests_per_client << ",\n";
+  out << "  \"rows_per_request\": " << rows_per_request << ",\n";
+  out << "  \"total_rows\": " << total_rows << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& result = results[i];
+    out << "    {\"mode\": \"" << result.mode
+        << "\", \"shards\": " << result.shards
+        << ", \"wall_seconds\": " << result.wall_seconds
+        << ", \"rows_per_second\": " << result.rows_per_second
+        << ", \"speedup_vs_mutex\": " << result.speedup_vs_mutex
+        << ", \"mean_latency_ms\": " << result.mean_latency_ms
+        << ", \"max_latency_ms\": " << result.max_latency_ms
+        << ", \"mean_queue_wait_ms\": " << result.mean_queue_wait_ms << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  const Result& best = results.back();
+  std::printf("\nasync @%zu shards: %.2fx over the mutex Predictor\nwrote %s\n",
+              best.shards, best.speedup_vs_mutex, out_path.c_str());
+  return 0;
+}

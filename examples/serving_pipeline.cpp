@@ -1,6 +1,8 @@
 // Serving pipeline: the full production loop through the unified API —
 // train a Model, checkpoint it, restore it into an immutable snapshot,
-// and serve concurrent traffic through a thread-safe batched Predictor.
+// and serve concurrent traffic two ways: the legacy mutex-serialized
+// Predictor and the sharded AsyncPredictor (bounded queue + deadline
+// micro-batching + N replica shards + LRU score cache).
 //
 // Also demonstrates the two extension seams of the redesigned API:
 // the EngineRegistry (engines are listed and resolved by name, including
@@ -9,9 +11,10 @@
 //
 // Usage:
 //   example_serving_pipeline [--events 6000] [--engine simd]
-//                            [--threads 4] [--batch 128]
+//                            [--threads 4] [--batch 128] [--shards 4]
 
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -29,6 +32,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("threads", 4));
   const std::size_t batch =
       static_cast<std::size_t>(args.get_int("batch", 128));
+  const std::size_t shards =
+      static_cast<std::size_t>(args.get_int("shards", 4));
 
   // --- 0. The engine catalogue -------------------------------------------
   std::printf("registered engines:\n");
@@ -104,13 +109,63 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.rows));
   std::printf("  micro-batches  : %llu\n",
               static_cast<unsigned long long>(stats.batches));
-  std::printf("  mean latency   : %.3f ms\n",
-              1e3 * stats.mean_latency_seconds());
+  std::printf("  mean latency   : %.3f ms (queue wait %.3f ms)\n",
+              1e3 * stats.mean_latency_seconds(),
+              1e3 * stats.mean_queue_wait_seconds());
   std::printf("  max latency    : %.3f ms\n", 1e3 * stats.max_latency_seconds);
   std::printf("  model thrpt    : %.0f rows/s\n",
               stats.model_throughput_rows_per_second());
 
-  // --- 5. The same serving loop drives a baseline -------------------------
+  // --- 5. Sharded async serving -------------------------------------------
+  // The AsyncPredictor replaces the global inference mutex with a bounded
+  // request queue, a deadline-flushing batcher, and `shards` checkpoint-
+  // cloned replicas running batches concurrently. Futures come back
+  // immediately; the LRU score cache serves repeated rows bit-identically
+  // without touching a model.
+  AsyncPredictorOptions async_options;
+  async_options.shards = shards;
+  async_options.max_batch_rows = batch;
+  async_options.max_batch_delay = std::chrono::milliseconds(1);
+  async_options.score_cache_rows = rows;
+  {
+    AsyncPredictor server(snapshot, async_options);
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        const std::size_t begin = t * rows / threads;
+        const std::size_t end = (t + 1) * rows / threads;
+        tensor::MatrixF slice(end - begin, x_test.cols());
+        for (std::size_t r = begin; r < end; ++r) {
+          std::copy_n(x_test.row(r), x_test.cols(), slice.row(r - begin));
+        }
+        for (int round = 0; round < 5; ++round) {
+          std::future<std::vector<double>> scores =
+              server.submit_scores(slice);
+          (void)scores.get();
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+
+    const AsyncPredictorStats async_stats = server.stats();
+    std::printf("\nasync serving stats (%zu shards, cache %zu rows):\n",
+                server.shards(), async_options.score_cache_rows);
+    std::printf("  requests       : %llu\n",
+                static_cast<unsigned long long>(async_stats.requests));
+    std::printf("  micro-batches  : %llu\n",
+                static_cast<unsigned long long>(async_stats.batches));
+    std::printf("  cache hit/miss : %llu / %llu\n",
+                static_cast<unsigned long long>(async_stats.cache_hits),
+                static_cast<unsigned long long>(async_stats.cache_misses));
+    std::printf("  queue wait     : mean %.3f ms, max %.3f ms\n",
+                1e3 * async_stats.mean_queue_wait_seconds(),
+                1e3 * async_stats.max_queue_wait_seconds);
+    std::printf("  model thrpt    : %.0f rows/s\n",
+                async_stats.model_throughput_rows_per_second());
+  }
+
+  // --- 6. The same serving loop drives a baseline -------------------------
   std::shared_ptr<Estimator> baseline = make_baseline_estimator("logistic");
   baseline->fit(train.features, train.labels);
   Predictor baseline_predictor(baseline, options);

@@ -13,12 +13,18 @@
 //
 //   auto snapshot = std::make_shared<streambrain::core::Model>();
 //   snapshot->load("model.sbrn");
-//   streambrain::Predictor predictor(snapshot);
-//   auto labels = predictor.predict(x_test);  // thread-safe, micro-batched
+//   streambrain::AsyncPredictor server(snapshot, {.shards = 4});
+//   auto labels = server.submit(x_test).get();  // sharded, micro-batched
 
 // --- Public API layer -------------------------------------------------------
+#include "api/async_predictor.hpp"
 #include "api/estimator.hpp"
 #include "api/predictor.hpp"
+
+// --- Serving substrate ------------------------------------------------------
+#include "serve/request_queue.hpp"
+#include "serve/score_cache.hpp"
+#include "serve/shard_pool.hpp"
 
 // --- Core BCPNN stack -------------------------------------------------------
 #include "core/adaptive_plasticity.hpp"

@@ -1,0 +1,318 @@
+#include "api/async_predictor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace streambrain {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+AsyncPredictorOptions validated(AsyncPredictorOptions options) {
+  if (options.shards == 0) {
+    throw std::invalid_argument("AsyncPredictor: shards must be > 0");
+  }
+  if (options.max_batch_rows == 0) {
+    throw std::invalid_argument("AsyncPredictor: max_batch_rows must be > 0");
+  }
+  if (options.queue_capacity == 0) {
+    throw std::invalid_argument("AsyncPredictor: queue_capacity must be > 0");
+  }
+  return options;
+}
+
+}  // namespace
+
+AsyncPredictor::AsyncPredictor(std::shared_ptr<Estimator> model,
+                               AsyncPredictorOptions options)
+    : options_(validated(options)),
+      shards_(std::move(model), options_.shards),
+      queue_(options_.queue_capacity, options_.overflow_policy),
+      cache_(options_.score_cache_rows) {
+  // Batches lease a shard before entering the pool, so `shards` tasks can
+  // be in flight at once — make sure the pool can actually run them all.
+  parallel::global_pool().grow(shards_.size());
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+AsyncPredictor::~AsyncPredictor() {
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher exits only after every queued request was batched and
+  // dispatched; wait for the shard tasks to finish fulfilling promises.
+  std::unique_lock<std::mutex> lock(inflight_mutex_);
+  inflight_cv_.wait(lock, [this] {
+    return inflight_batches_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::future<std::vector<int>> AsyncPredictor::submit(tensor::MatrixF x) {
+  auto request = std::make_shared<serve::ServeRequest>();
+  request->kind = serve::RequestKind::kLabels;
+  request->x = std::move(x);
+  std::future<std::vector<int>> future = request->labels_future();
+  enqueue(request);
+  return future;
+}
+
+std::future<std::vector<double>> AsyncPredictor::submit_scores(
+    tensor::MatrixF x) {
+  auto request = std::make_shared<serve::ServeRequest>();
+  request->kind = serve::RequestKind::kScores;
+  request->x = std::move(x);
+  std::future<std::vector<double>> future = request->scores_future();
+  enqueue(request);
+  return future;
+}
+
+void AsyncPredictor::enqueue(
+    const std::shared_ptr<serve::ServeRequest>& request) {
+  const std::size_t rows = request->x.rows();
+  request->enqueued_at = Clock::now();
+  // Guard chunk: held through submission and (for accepted requests) the
+  // dispatcher's splitting, so the promise cannot fire before every
+  // chunk exists.
+  request->add_chunks(1);
+
+  if (rows == 0) {  // nothing to run — resolve immediately
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.requests += 1;
+    }
+    request->complete_chunk();
+    return;
+  }
+
+  if (request->kind == serve::RequestKind::kLabels) {
+    request->labels.assign(rows, 0);
+  } else {
+    request->scores.assign(rows, 0.0);
+  }
+  if (!queue_.push(request)) {
+    throw std::runtime_error(
+        "AsyncPredictor: request queue is full (backpressure, "
+        "OverflowPolicy::kReject)");
+  }
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.requests += 1;
+  stats_.rows += rows;
+}
+
+std::vector<int> AsyncPredictor::predict(const tensor::MatrixF& x) {
+  return submit(x).get();
+}
+
+std::vector<double> AsyncPredictor::predict_scores(const tensor::MatrixF& x) {
+  return submit_scores(x).get();
+}
+
+void AsyncPredictor::flush() {
+  flush_requested_.store(true, std::memory_order_release);
+  queue_.interrupt();
+}
+
+AsyncPredictorStats AsyncPredictor::stats() const {
+  AsyncPredictorStats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.rejected = queue_.rejected();
+  const serve::ScoreCache::Stats cache_stats = cache_.stats();
+  snapshot.cache_hits = cache_stats.hits;
+  snapshot.cache_misses = cache_stats.misses;
+  return snapshot;
+}
+
+void AsyncPredictor::dispatcher_loop() {
+  OpenBatch batch;
+  for (;;) {
+    // With an open batch, wait only until its deadline; otherwise block
+    // for the next request (close()/flush() interrupt the wait).
+    std::shared_ptr<serve::ServeRequest> request =
+        batch.chunks.empty() ? queue_.pop() : queue_.pop_until(batch.deadline);
+    if (request != nullptr) {
+      absorb(request, batch);
+      request->complete_chunk();  // drop the guard chunk
+    }
+    const bool flush_now = flush_requested_.exchange(false);
+    if (!batch.chunks.empty() &&
+        (flush_now || Clock::now() >= batch.deadline || queue_.drained())) {
+      dispatch(batch);
+    }
+    if (request == nullptr && batch.chunks.empty() && queue_.drained()) {
+      return;
+    }
+  }
+}
+
+void AsyncPredictor::absorb(
+    const std::shared_ptr<serve::ServeRequest>& request, OpenBatch& batch) {
+  const std::size_t rows = request->x.rows();
+  const std::size_t cols = request->x.cols();
+  // A micro-batch is one model call: it must be homogeneous in request
+  // kind and column width.
+  if (!batch.chunks.empty() &&
+      (batch.kind != request->kind || batch.cols != cols)) {
+    dispatch(batch);
+  }
+  std::size_t begin = 0;
+  while (begin < rows) {
+    if (batch.chunks.empty()) {
+      batch.kind = request->kind;
+      batch.cols = cols;
+      batch.rows = 0;
+      // The batch closes no later than when its oldest rows have waited
+      // max_batch_delay.
+      batch.deadline = request->enqueued_at + options_.max_batch_delay;
+    }
+    const std::size_t take =
+        std::min(rows - begin, options_.max_batch_rows - batch.rows);
+    request->add_chunks(1);
+    batch.chunks.push_back(Chunk{request, begin, begin + take});
+    batch.rows += take;
+    begin += take;
+    if (batch.rows >= options_.max_batch_rows) dispatch(batch);
+  }
+}
+
+void AsyncPredictor::dispatch(OpenBatch& batch) {
+  auto chunks = std::make_shared<std::vector<Chunk>>(std::move(batch.chunks));
+  const serve::RequestKind kind = batch.kind;
+  const std::size_t cols = batch.cols;
+  batch.chunks.clear();
+  batch.rows = 0;
+
+  inflight_batches_.fetch_add(1, std::memory_order_acq_rel);
+  // Leasing here (not in the pool task) caps in-flight batches at the
+  // shard count and backpressures the dispatcher when serving saturates.
+  auto lease =
+      std::make_shared<serve::ShardPool::Lease>(shards_.acquire());
+  auto task = [this, lease, chunks, kind, cols]() mutable {
+    run_batch(lease->model(), *chunks, kind, cols);
+    lease.reset();  // free the shard before signalling completion
+    // Notify under the lock: the destructor may destroy the cv the
+    // instant the count hits zero, so the broadcast must complete
+    // before the waiter can observe it.
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_batches_.fetch_sub(1, std::memory_order_acq_rel);
+    inflight_cv_.notify_all();
+  };
+  try {
+    // Pass an lvalue: submit() moves its argument into the packaged
+    // task before it can throw, so the fallback below must still hold a
+    // live closure (the copy costs two shared_ptr bumps per batch).
+    parallel::global_pool().submit(task);
+  } catch (...) {
+    // Pool rejected the task (shutdown); serve the batch inline rather
+    // than dropping it.
+    task();
+  }
+}
+
+void AsyncPredictor::run_batch(Estimator& model,
+                               const std::vector<Chunk>& chunks,
+                               serve::RequestKind kind, std::size_t cols) {
+  const auto exec_start = Clock::now();
+
+  // (request, target row) pairs, in batch order.
+  std::vector<std::pair<serve::ServeRequest*, std::size_t>> rowrefs;
+  for (const Chunk& chunk : chunks) {
+    for (std::size_t r = chunk.begin; r < chunk.end; ++r) {
+      rowrefs.emplace_back(chunk.request.get(), r);
+    }
+  }
+
+  // Queue-wait accounting: each request once, at its first chunk.
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const Chunk& chunk : chunks) {
+      if (chunk.begin != 0) continue;
+      const double wait =
+          seconds_between(chunk.request->enqueued_at, exec_start);
+      stats_.total_queue_wait_seconds += wait;
+      stats_.max_queue_wait_seconds =
+          std::max(stats_.max_queue_wait_seconds, wait);
+    }
+  }
+
+  double model_seconds = 0.0;
+  std::size_t model_rows = 0;
+  try {
+    tensor::MatrixF input;
+    if (kind == serve::RequestKind::kScores && cache_.enabled()) {
+      // Serve cached rows directly; run the model only on the misses.
+      std::vector<std::size_t> miss;
+      for (std::size_t i = 0; i < rowrefs.size(); ++i) {
+        const auto& [request, row] = rowrefs[i];
+        double cached = 0.0;
+        if (cache_.lookup(request->x.row(row), cols, cached)) {
+          request->scores[row] = cached;
+        } else {
+          miss.push_back(i);
+        }
+      }
+      if (!miss.empty()) {
+        input.resize(miss.size(), cols);
+        for (std::size_t i = 0; i < miss.size(); ++i) {
+          const auto& [request, row] = rowrefs[miss[i]];
+          std::copy_n(request->x.row(row), cols, input.row(i));
+        }
+        const auto model_start = Clock::now();
+        const std::vector<double> scores = model.predict_scores(input);
+        model_seconds = seconds_between(model_start, Clock::now());
+        model_rows = miss.size();
+        for (std::size_t i = 0; i < miss.size(); ++i) {
+          const auto& [request, row] = rowrefs[miss[i]];
+          request->scores[row] = scores[i];
+          cache_.insert(input.row(i), cols, scores[i]);
+        }
+      }
+    } else {
+      input.resize(rowrefs.size(), cols);
+      for (std::size_t i = 0; i < rowrefs.size(); ++i) {
+        const auto& [request, row] = rowrefs[i];
+        std::copy_n(request->x.row(row), cols, input.row(i));
+      }
+      const auto model_start = Clock::now();
+      if (kind == serve::RequestKind::kLabels) {
+        const std::vector<int> labels = model.predict(input);
+        for (std::size_t i = 0; i < rowrefs.size(); ++i) {
+          const auto& [request, row] = rowrefs[i];
+          request->labels[row] = labels[i];
+        }
+      } else {
+        const std::vector<double> scores = model.predict_scores(input);
+        for (std::size_t i = 0; i < rowrefs.size(); ++i) {
+          const auto& [request, row] = rowrefs[i];
+          request->scores[row] = scores[i];
+        }
+      }
+      model_seconds = seconds_between(model_start, Clock::now());
+      model_rows = rowrefs.size();
+    }
+  } catch (...) {
+    // Fail every request touched by this batch (fail() is idempotent, so
+    // multi-chunk requests are fine); chunk accounting still completes.
+    const std::exception_ptr error = std::current_exception();
+    for (const Chunk& chunk : chunks) chunk.request->fail(error);
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.batches += 1;
+    stats_.model_seconds += model_seconds;
+    stats_.model_rows += model_rows;
+  }
+  for (const Chunk& chunk : chunks) chunk.request->complete_chunk();
+}
+
+}  // namespace streambrain

@@ -1,0 +1,183 @@
+#pragma once
+// Sharded asynchronous serving session — the concurrent successor to the
+// mutex-serialized Predictor. Clients submit requests into a bounded
+// queue and get std::futures back; a background dispatcher coalesces
+// rows into micro-batches and closes each batch when it fills OR when
+// the oldest row has waited max_batch_delay (so a lone request is never
+// stranded — the deferred-flush hang is impossible by construction);
+// closed batches run concurrently on a pool of read-only model replicas
+// (serve::ShardPool) dispatched over parallel::ThreadPool.
+//
+//   auto model = std::make_shared<core::Model>();
+//   model->load("model.sbrn");
+//   AsyncPredictor server(model, {.shards = 4, .max_batch_rows = 256});
+//   auto future = server.submit(rows);          // non-blocking
+//   std::vector<int> labels = future.get();     // or server.predict(rows)
+//
+// Extras over Predictor:
+//   - true concurrency: N shards run N batches in parallel, no global
+//     inference mutex;
+//   - backpressure: a bounded queue that blocks or rejects (throws) when
+//     serving is saturated, instead of growing without bound;
+//   - optional LRU score cache keyed by row digest (bit-identical hits);
+//   - honest latency split: queue wait and model time are separate.
+//
+// Results are bit-identical to the serial path regardless of shard
+// count, batch splits, or caching — every replica is a checkpoint
+// round-trip clone and every model computes rows independently.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/estimator.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/score_cache.hpp"
+#include "serve/shard_pool.hpp"
+#include "tensor/matrix.hpp"
+
+namespace streambrain {
+
+struct AsyncPredictorOptions {
+  /// Read-only model replicas serving batches concurrently. >1 requires
+  /// a checkpointable core::Model (see serve::ShardPool).
+  std::size_t shards = 1;
+  /// Upper bound on rows per executed micro-batch.
+  std::size_t max_batch_rows = 256;
+  /// A batch closes when this much time has passed since its oldest row
+  /// was enqueued, even if it is not full — bounds tail latency.
+  std::chrono::steady_clock::duration max_batch_delay =
+      std::chrono::milliseconds(2);
+  /// Bounded request-queue depth (requests, not rows).
+  std::size_t queue_capacity = 1024;
+  /// Full-queue behavior: block the submitter, or reject (submit throws).
+  serve::OverflowPolicy overflow_policy = serve::OverflowPolicy::kBlock;
+  /// LRU score-cache capacity in rows; 0 disables caching. Only
+  /// submit_scores()/predict_scores() traffic is cached.
+  std::size_t score_cache_rows = 0;
+};
+
+/// Monotonic serving counters; snapshot via AsyncPredictor::stats().
+struct AsyncPredictorStats {
+  std::uint64_t requests = 0;   ///< submissions accepted
+  std::uint64_t rejected = 0;   ///< submissions refused (kReject backpressure)
+  std::uint64_t rows = 0;       ///< rows accepted
+  std::uint64_t model_rows = 0;  ///< rows actually run on a shard (cache
+                                 ///< hits never touch a model)
+  std::uint64_t batches = 0;    ///< micro-batches executed on shards
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double model_seconds = 0.0;  ///< summed shard compute (can exceed wall time)
+  /// Enqueue -> batch-execution-start wait, summed over requests (each
+  /// request counted once, at its first chunk's execution).
+  double total_queue_wait_seconds = 0.0;
+  double max_queue_wait_seconds = 0.0;
+
+  [[nodiscard]] double mean_queue_wait_seconds() const noexcept {
+    return requests == 0 ? 0.0
+                         : total_queue_wait_seconds /
+                               static_cast<double>(requests);
+  }
+  /// Rows per second of actual shard compute — cache-served rows are
+  /// excluded so the cache cannot inflate the model's apparent speed.
+  [[nodiscard]] double model_throughput_rows_per_second() const noexcept {
+    return model_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(model_rows) / model_seconds;
+  }
+};
+
+class AsyncPredictor {
+ public:
+  /// The model must be compiled/loaded and is treated as frozen. With
+  /// shards > 1 it is cloned via the checkpoint round-trip; the original
+  /// serves shard 0.
+  explicit AsyncPredictor(std::shared_ptr<Estimator> model,
+                          AsyncPredictorOptions options = {});
+
+  /// Drains: stops intake, flushes the open batch, completes every
+  /// accepted request, then joins the dispatcher. No future is ever
+  /// abandoned.
+  ~AsyncPredictor();
+
+  AsyncPredictor(const AsyncPredictor&) = delete;
+  AsyncPredictor& operator=(const AsyncPredictor&) = delete;
+
+  /// Queue a hard-label request; the future resolves once every row ran
+  /// (or rethrows the model's error, e.g. a column-width mismatch).
+  /// Throws std::runtime_error when the queue is full under kReject.
+  [[nodiscard]] std::future<std::vector<int>> submit(tensor::MatrixF x);
+
+  /// Queue a P(class == 1) scoring request (served from the score cache
+  /// where enabled).
+  [[nodiscard]] std::future<std::vector<double>> submit_scores(
+      tensor::MatrixF x);
+
+  /// Synchronous conveniences: submit + wait.
+  [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x);
+  [[nodiscard]] std::vector<double> predict_scores(const tensor::MatrixF& x);
+
+  /// Close the open batch now instead of waiting for fill/deadline.
+  /// Purely a latency hint — never required for progress.
+  void flush();
+
+  [[nodiscard]] AsyncPredictorStats stats() const;
+  [[nodiscard]] const AsyncPredictorOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+
+ private:
+  /// One request's contribution to a micro-batch: rows [begin, end).
+  struct Chunk {
+    std::shared_ptr<serve::ServeRequest> request;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// The dispatcher's open (not yet dispatched) micro-batch.
+  struct OpenBatch {
+    std::vector<Chunk> chunks;
+    serve::RequestKind kind = serve::RequestKind::kLabels;
+    std::size_t cols = 0;
+    std::size_t rows = 0;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  /// Shared submit path: stats, zero-row fast path, backpressure.
+  void enqueue(const std::shared_ptr<serve::ServeRequest>& request);
+
+  void dispatcher_loop();
+  /// Split `request` into chunks, closing batches as they fill.
+  void absorb(const std::shared_ptr<serve::ServeRequest>& request,
+              OpenBatch& batch);
+  /// Lease a shard and hand the batch to the thread pool.
+  void dispatch(OpenBatch& batch);
+  /// Runs on a pool worker: execute one batch on one shard.
+  void run_batch(Estimator& model, const std::vector<Chunk>& chunks,
+                 serve::RequestKind kind, std::size_t cols);
+
+  AsyncPredictorOptions options_;
+  serve::ShardPool shards_;
+  serve::RequestQueue queue_;
+  serve::ScoreCache cache_;
+
+  mutable std::mutex stats_mutex_;
+  AsyncPredictorStats stats_;
+
+  std::atomic<bool> flush_requested_{false};
+  std::atomic<std::size_t> inflight_batches_{0};
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace streambrain

@@ -26,11 +26,12 @@ Predictor::Predictor(std::shared_ptr<Estimator> model,
   }
 }
 
-void Predictor::run_pending_locked() {
+double Predictor::run_pending_locked() {
+  double model_seconds = 0.0;
   std::vector<std::shared_ptr<Request>> batch;
   batch.swap(pending_);
   pending_rows_ = 0;
-  if (batch.empty()) return;
+  if (batch.empty()) return model_seconds;
 
   // Execute each request kind separately (they produce different result
   // types), coalescing rows across requests into micro-batches of at most
@@ -79,7 +80,9 @@ void Predictor::run_pending_locked() {
           request->scores[row] = scores[i];
         }
       }
-      stats_.model_seconds += seconds_since(started);
+      const double batch_seconds = seconds_since(started);
+      model_seconds += batch_seconds;
+      stats_.model_seconds += batch_seconds;
       stats_.batches += 1;
       stats_.rows += take;
       cursor += take;
@@ -88,11 +91,13 @@ void Predictor::run_pending_locked() {
 
   for (const auto& request : batch) request->done = true;
   done_cv_.notify_all();
+  return model_seconds;
 }
 
-void Predictor::run_direct_locked(const tensor::MatrixF& x, Kind kind,
-                                  std::vector<int>& labels,
-                                  std::vector<double>& scores) {
+double Predictor::run_direct_locked(const tensor::MatrixF& x, Kind kind,
+                                    std::vector<int>& labels,
+                                    std::vector<double>& scores) {
+  double model_seconds = 0.0;
   const std::size_t rows = x.rows();
   tensor::MatrixF chunk;
   for (std::size_t begin = 0; begin < rows;
@@ -114,10 +119,13 @@ void Predictor::run_direct_locked(const tensor::MatrixF& x, Kind kind,
       const std::vector<double> part = model_->predict_scores(*input);
       scores.insert(scores.end(), part.begin(), part.end());
     }
-    stats_.model_seconds += seconds_since(started);
+    const double batch_seconds = seconds_since(started);
+    model_seconds += batch_seconds;
+    stats_.model_seconds += batch_seconds;
     stats_.batches += 1;
     stats_.rows += take;
   }
+  return model_seconds;
 }
 
 std::vector<int> Predictor::predict(const tensor::MatrixF& x) {
@@ -125,25 +133,35 @@ std::vector<int> Predictor::predict(const tensor::MatrixF& x) {
   const auto started = Clock::now();
   std::vector<int> labels;
   std::vector<double> scores;
+  double own_model_seconds = 0.0;
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (options_.flush_policy == FlushPolicy::kImmediate) {
-    run_direct_locked(x, Kind::kLabels, labels, scores);
+    own_model_seconds = run_direct_locked(x, Kind::kLabels, labels, scores);
   } else {
     auto request = std::make_shared<Request>();
     request->x = x;
     request->kind = Kind::kLabels;
     pending_.push_back(request);
     pending_rows_ += request->x.rows();
-    if (pending_rows_ >= options_.max_batch_rows) run_pending_locked();
-    done_cv_.wait(lock, [&] { return request->done; });
+    if (pending_rows_ >= options_.max_batch_rows) {
+      own_model_seconds += run_pending_locked();
+    }
+    // Deadline-bounded wait: if the shared batch neither fills nor gets
+    // flushed within max_batch_delay, close it ourselves — a deferred
+    // caller makes progress even with no other traffic and no external
+    // flush() driver.
+    const auto deadline = started + options_.max_batch_delay;
+    while (!request->done) {
+      if (!done_cv_.wait_until(lock, deadline,
+                               [&] { return request->done; })) {
+        own_model_seconds += run_pending_locked();
+      }
+    }
     labels = std::move(request->labels);
   }
 
-  const double latency = seconds_since(started);
-  stats_.requests += 1;
-  stats_.total_latency_seconds += latency;
-  stats_.max_latency_seconds = std::max(stats_.max_latency_seconds, latency);
+  record_call_locked(started, own_model_seconds);
   return labels;
 }
 
@@ -152,26 +170,47 @@ std::vector<double> Predictor::predict_scores(const tensor::MatrixF& x) {
   const auto started = Clock::now();
   std::vector<int> labels;
   std::vector<double> scores;
+  double own_model_seconds = 0.0;
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (options_.flush_policy == FlushPolicy::kImmediate) {
-    run_direct_locked(x, Kind::kScores, labels, scores);
+    own_model_seconds = run_direct_locked(x, Kind::kScores, labels, scores);
   } else {
     auto request = std::make_shared<Request>();
     request->x = x;
     request->kind = Kind::kScores;
     pending_.push_back(request);
     pending_rows_ += request->x.rows();
-    if (pending_rows_ >= options_.max_batch_rows) run_pending_locked();
-    done_cv_.wait(lock, [&] { return request->done; });
+    if (pending_rows_ >= options_.max_batch_rows) {
+      own_model_seconds += run_pending_locked();
+    }
+    const auto deadline = started + options_.max_batch_delay;
+    while (!request->done) {
+      if (!done_cv_.wait_until(lock, deadline,
+                               [&] { return request->done; })) {
+        own_model_seconds += run_pending_locked();
+      }
+    }
     scores = std::move(request->scores);
   }
 
+  record_call_locked(started, own_model_seconds);
+  return scores;
+}
+
+void Predictor::record_call_locked(
+    std::chrono::steady_clock::time_point started, double own_model_seconds) {
   const double latency = seconds_since(started);
+  // Whatever part of the call was not spent running the model on the
+  // caller's own thread is queueing: lock contention, batch-fill waits,
+  // and batches other callers ran for us.
+  const double queue_wait = std::max(0.0, latency - own_model_seconds);
   stats_.requests += 1;
   stats_.total_latency_seconds += latency;
   stats_.max_latency_seconds = std::max(stats_.max_latency_seconds, latency);
-  return scores;
+  stats_.total_queue_wait_seconds += queue_wait;
+  stats_.max_queue_wait_seconds =
+      std::max(stats_.max_queue_wait_seconds, queue_wait);
 }
 
 void Predictor::flush() {

@@ -18,6 +18,7 @@
 // bit-identical to the single-threaded path regardless of how requests
 // interleave — the concurrency test asserts exactly this.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -34,7 +35,9 @@ enum class FlushPolicy {
   kImmediate,
   /// Buffer rows until max_batch_rows accumulate, then run the shared
   /// batch (highest throughput). Callers block until their rows ran; a
-  /// partial batch waits until more rows arrive or flush() is called.
+  /// partial batch runs when more rows arrive, flush() is called, or the
+  /// oldest waiter's max_batch_delay deadline expires — a lone caller is
+  /// never stranded waiting for traffic that never comes.
   kCoalesce,
 };
 
@@ -43,9 +46,17 @@ struct PredictorOptions {
   /// split; under kCoalesce smaller concurrent requests are merged.
   std::size_t max_batch_rows = 256;
   FlushPolicy flush_policy = FlushPolicy::kImmediate;
+  /// kCoalesce only: the longest a caller waits for its batch to fill
+  /// before it closes the partial batch itself. This bounds tail latency
+  /// and makes deferred flushing safe without an external flush() driver.
+  std::chrono::steady_clock::duration max_batch_delay =
+      std::chrono::milliseconds(5);
 };
 
 /// Monotonic serving counters; snapshot via Predictor::stats().
+/// Per call, `total_latency_seconds` = queue wait (lock contention +
+/// batch-fill waiting) + model compute; the two are accounted
+/// separately so contention cannot masquerade as model time.
 struct PredictorStats {
   std::uint64_t requests = 0;  ///< predict()/predict_scores() calls
   std::uint64_t rows = 0;      ///< total rows served
@@ -53,10 +64,20 @@ struct PredictorStats {
   double total_latency_seconds = 0.0;  ///< summed per-call wall time
   double max_latency_seconds = 0.0;    ///< worst single call
   double model_seconds = 0.0;          ///< time spent inside the model
+  /// Summed per-call time NOT spent running the model on behalf of the
+  /// call: mutex acquisition, waiting for a coalesced batch to fill, and
+  /// batches run by other callers that happened to include our rows.
+  double total_queue_wait_seconds = 0.0;
+  double max_queue_wait_seconds = 0.0;  ///< worst single-call queue wait
 
   [[nodiscard]] double mean_latency_seconds() const noexcept {
     return requests == 0 ? 0.0
                          : total_latency_seconds /
+                               static_cast<double>(requests);
+  }
+  [[nodiscard]] double mean_queue_wait_seconds() const noexcept {
+    return requests == 0 ? 0.0
+                         : total_queue_wait_seconds /
                                static_cast<double>(requests);
   }
   /// Rows per second of model compute (excludes queueing).
@@ -81,7 +102,9 @@ class Predictor {
   [[nodiscard]] std::vector<double> predict_scores(const tensor::MatrixF& x);
 
   /// Run any buffered partial batch now (kCoalesce only; a no-op under
-  /// kImmediate). Unblocks callers waiting on a batch that never filled.
+  /// kImmediate). Optional: waiters self-flush once max_batch_delay
+  /// expires, so calling this only trims latency, it is never required
+  /// for progress.
   void flush();
 
   [[nodiscard]] PredictorStats stats() const;
@@ -103,15 +126,22 @@ class Predictor {
   };
 
   /// Pre: lock held. Executes all pending requests in micro-batches and
-  /// wakes their owners.
-  void run_pending_locked();
+  /// wakes their owners. Returns the model seconds this call spent, so
+  /// the caller can split its latency into queue wait vs. model time.
+  double run_pending_locked();
 
   /// Pre: lock held. kImmediate fast path: runs `x` in micro-batches
   /// straight from the caller's matrix (no queue, no row copies unless a
   /// split is needed), filling whichever result vector matches `kind`.
-  void run_direct_locked(const tensor::MatrixF& x, Kind kind,
-                         std::vector<int>& labels,
-                         std::vector<double>& scores);
+  /// Returns the model seconds spent.
+  double run_direct_locked(const tensor::MatrixF& x, Kind kind,
+                           std::vector<int>& labels,
+                           std::vector<double>& scores);
+
+  /// Pre: lock held. Folds one finished call into the counters, splitting
+  /// its latency into queue wait vs. the model time it ran itself.
+  void record_call_locked(std::chrono::steady_clock::time_point started,
+                          double own_model_seconds);
 
   std::shared_ptr<Estimator> model_;
   PredictorOptions options_;

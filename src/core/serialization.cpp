@@ -2,14 +2,35 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 namespace streambrain::core {
 
+namespace detail {
+
+std::uint32_t checked_u32(std::size_t value, const char* what) {
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error(std::string("checkpoint: ") + what + " count " +
+                             std::to_string(value) +
+                             " does not fit in a u32 field");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace detail
+
 namespace {
 
+using detail::checked_u32;
+
 constexpr char kMagic[4] = {'S', 'B', 'R', 'N'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 widened float-array counts from u32 to u64 (a >= 4 GiB trace
+// array silently truncated its count under version 1). Version 1 files
+// are still read.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldestReadableVersion = 1;
 
 enum class Section : std::uint32_t {
   kLayer = 1,
@@ -54,7 +75,7 @@ double read_f64(std::istream& in) {
 }
 
 void write_string(std::ostream& out, const std::string& value) {
-  write_u32(out, static_cast<std::uint32_t>(value.size()));
+  write_u32(out, checked_u32(value.size(), "string length"));
   out.write(value.data(), static_cast<std::streamsize>(value.size()));
 }
 
@@ -73,13 +94,17 @@ std::string read_string(std::istream& in) {
 }
 
 void write_floats(std::ostream& out, const float* data, std::size_t count) {
-  write_u32(out, static_cast<std::uint32_t>(count));
+  write_u64(out, static_cast<std::uint64_t>(count));
   out.write(reinterpret_cast<const char*>(data),
             static_cast<std::streamsize>(count * sizeof(float)));
 }
 
-void read_floats(std::istream& in, float* data, std::size_t expected) {
-  const std::uint32_t count = read_u32(in);
+void read_floats(std::istream& in, float* data, std::size_t expected,
+                 std::uint32_t version) {
+  // Version 1 stored float-array counts as u32 (and silently truncated
+  // larger arrays on write); version 2 widened the field to u64.
+  const std::uint64_t count =
+      version >= 2 ? read_u64(in) : static_cast<std::uint64_t>(read_u32(in));
   if (count != expected) {
     throw std::runtime_error("checkpoint: float array size mismatch");
   }
@@ -93,17 +118,20 @@ void write_header(std::ostream& out) {
   write_u32(out, kVersion);
 }
 
-void read_header(std::istream& in) {
+/// Validates magic + version and returns the file's version so readers
+/// can decode version-dependent fields (see read_floats).
+std::uint32_t read_header(std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kMagic, 4) != 0) {
     throw std::runtime_error("checkpoint: bad magic");
   }
   const std::uint32_t version = read_u32(in);
-  if (version != kVersion) {
+  if (version < kOldestReadableVersion || version > kVersion) {
     throw std::runtime_error("checkpoint: unsupported version " +
                              std::to_string(version));
   }
+  return version;
 }
 
 void expect_section(std::istream& in, Section expected) {
@@ -122,19 +150,20 @@ void write_traces(std::ostream& out, const ProbabilityTraces& traces) {
   write_floats(out, traces.pij().data(), traces.pij().size());
 }
 
-void read_traces(std::istream& in, ProbabilityTraces& traces) {
-  read_floats(in, traces.mutable_pi().data(), traces.pi().size());
-  read_floats(in, traces.mutable_pj().data(), traces.pj().size());
-  read_floats(in, traces.mutable_pij().data(), traces.pij().size());
+void read_traces(std::istream& in, ProbabilityTraces& traces,
+                 std::uint32_t version) {
+  read_floats(in, traces.mutable_pi().data(), traces.pi().size(), version);
+  read_floats(in, traces.mutable_pj().data(), traces.pj().size(), version);
+  read_floats(in, traces.mutable_pij().data(), traces.pij().size(), version);
 }
 
 void write_layer_section(std::ostream& out, const BcpnnLayer& layer) {
   write_u32(out, static_cast<std::uint32_t>(Section::kLayer));
   const auto& config = layer.config();
-  write_u32(out, static_cast<std::uint32_t>(config.input_hypercolumns));
-  write_u32(out, static_cast<std::uint32_t>(config.input_bins));
-  write_u32(out, static_cast<std::uint32_t>(config.hcus));
-  write_u32(out, static_cast<std::uint32_t>(config.mcus));
+  write_u32(out, checked_u32(config.input_hypercolumns, "hypercolumn"));
+  write_u32(out, checked_u32(config.input_bins, "bin"));
+  write_u32(out, checked_u32(config.hcus, "hcu"));
+  write_u32(out, checked_u32(config.mcus, "mcu"));
   write_traces(out, layer.traces());
   for (std::size_t h = 0; h < config.hcus; ++h) {
     const auto& mask = layer.masks().mask(h);
@@ -144,7 +173,8 @@ void write_layer_section(std::ostream& out, const BcpnnLayer& layer) {
   }
 }
 
-void read_layer_section(std::istream& in, BcpnnLayer& layer) {
+void read_layer_section(std::istream& in, BcpnnLayer& layer,
+                        std::uint32_t version) {
   expect_section(in, Section::kLayer);
   const auto& config = layer.config();
   if (read_u32(in) != config.input_hypercolumns ||
@@ -154,7 +184,7 @@ void read_layer_section(std::istream& in, BcpnnLayer& layer) {
   }
   ProbabilityTraces traces(config.input_units(), config.input_bins,
                            config.hidden_units(), config.mcus);
-  read_traces(in, traces);
+  read_traces(in, traces, version);
   // Masks: rebuild from the stored bits (cardinality must match config).
   util::Rng scratch_rng(0);
   ReceptiveFieldMasks masks(config.hcus, config.input_hypercolumns,
@@ -178,35 +208,37 @@ void read_layer_section(std::istream& in, BcpnnLayer& layer) {
 
 void write_classifier_section(std::ostream& out, const BcpnnClassifier& head) {
   write_u32(out, static_cast<std::uint32_t>(Section::kClassifier));
-  write_u32(out, static_cast<std::uint32_t>(head.classes()));
+  write_u32(out, checked_u32(head.classes(), "class"));
   write_traces(out, head.traces());
 }
 
-void read_classifier_section(std::istream& in, BcpnnClassifier& head) {
+void read_classifier_section(std::istream& in, BcpnnClassifier& head,
+                             std::uint32_t version) {
   expect_section(in, Section::kClassifier);
   if (read_u32(in) != head.classes()) {
     throw std::runtime_error("checkpoint: class count mismatch");
   }
-  read_traces(in, head.mutable_traces());
+  read_traces(in, head.mutable_traces(), version);
   head.recompute_weights();
 }
 
 void write_sgd_section(std::ostream& out, const SgdHead& head) {
   write_u32(out, static_cast<std::uint32_t>(Section::kSgdHead));
-  write_u32(out, static_cast<std::uint32_t>(head.classes()));
+  write_u32(out, checked_u32(head.classes(), "class"));
   write_floats(out, head.weights().data(), head.weights().size());
   write_floats(out, head.bias().data(), head.bias().size());
 }
 
-void read_sgd_section(std::istream& in, SgdHead& head) {
+void read_sgd_section(std::istream& in, SgdHead& head,
+                      std::uint32_t version) {
   expect_section(in, Section::kSgdHead);
   if (read_u32(in) != head.classes()) {
     throw std::runtime_error("checkpoint: class count mismatch");
   }
   tensor::MatrixF weights(head.weights().rows(), head.weights().cols());
   std::vector<float> bias(head.bias().size());
-  read_floats(in, weights.data(), weights.size());
-  read_floats(in, bias.data(), bias.size());
+  read_floats(in, weights.data(), weights.size(), version);
+  read_floats(in, bias.data(), bias.size(), version);
   head.set_state(weights, bias);
 }
 
@@ -220,12 +252,13 @@ void write_network_state(std::ostream& out, const Network& network) {
   }
 }
 
-void read_network_state(std::istream& in, Network& network) {
-  read_layer_section(in, network.mutable_hidden());
+void read_network_state(std::istream& in, Network& network,
+                        std::uint32_t version) {
+  read_layer_section(in, network.mutable_hidden(), version);
   if (BcpnnClassifier* head = network.bcpnn_head()) {
-    read_classifier_section(in, *head);
+    read_classifier_section(in, *head, version);
   } else if (SgdHead* head = network.sgd_head()) {
-    read_sgd_section(in, *head);
+    read_sgd_section(in, *head, version);
   }
 }
 
@@ -242,8 +275,8 @@ void save_layer(const std::string& path, const BcpnnLayer& layer) {
 void load_layer(const std::string& path, BcpnnLayer& layer) {
   std::ifstream file(path, std::ios::binary);
   if (!file) throw std::runtime_error("load_layer: cannot open " + path);
-  read_header(file);
-  read_layer_section(file, layer);
+  const std::uint32_t version = read_header(file);
+  read_layer_section(file, layer, version);
 }
 
 void save_network(const std::string& path, const Network& network) {
@@ -257,53 +290,57 @@ void save_network(const std::string& path, const Network& network) {
 void load_network(const std::string& path, Network& network) {
   std::ifstream file(path, std::ios::binary);
   if (!file) throw std::runtime_error("load_network: cannot open " + path);
-  read_header(file);
-  read_network_state(file, network);
+  const std::uint32_t version = read_header(file);
+  read_network_state(file, network, version);
 }
 
-void save_model(const std::string& path, const Model& model) {
+void save_model(std::ostream& out, const Model& model) {
   if (!model.compiled()) {
     throw std::logic_error("save_model: model is not compiled");
   }
-  std::ofstream file(path, std::ios::binary);
-  if (!file) throw std::runtime_error("save_model: cannot open " + path);
-  write_header(file);
+  write_header(out);
 
   // Topology section: everything needed to rebuild and re-compile the
   // facade before the learned state is streamed in.
-  write_u32(file, static_cast<std::uint32_t>(Section::kModel));
-  write_u32(file, static_cast<std::uint32_t>(model.input_hypercolumns()));
-  write_u32(file, static_cast<std::uint32_t>(model.input_bins()));
-  write_u32(file, static_cast<std::uint32_t>(model.hidden_specs().size()));
+  write_u32(out, static_cast<std::uint32_t>(Section::kModel));
+  write_u32(out, checked_u32(model.input_hypercolumns(), "hypercolumn"));
+  write_u32(out, checked_u32(model.input_bins(), "bin"));
+  write_u32(out, checked_u32(model.hidden_specs().size(), "hidden layer"));
   for (const auto& spec : model.hidden_specs()) {
-    write_u32(file, static_cast<std::uint32_t>(spec.hcus));
-    write_u32(file, static_cast<std::uint32_t>(spec.mcus));
-    write_f64(file, spec.receptive_field);
+    write_u32(out, checked_u32(spec.hcus, "hcu"));
+    write_u32(out, checked_u32(spec.mcus, "mcu"));
+    write_f64(out, spec.receptive_field);
   }
-  write_u32(file, static_cast<std::uint32_t>(model.classes()));
-  write_u32(file, static_cast<std::uint32_t>(model.head()));
-  write_string(file, model.engine_name());
-  write_u64(file, model.seed());
+  write_u32(out, checked_u32(model.classes(), "class"));
+  write_u32(out, static_cast<std::uint32_t>(model.head()));
+  write_string(out, model.engine_name());
+  write_u64(out, model.seed());
   const auto option_keys = model.options().keys();
-  write_u32(file, static_cast<std::uint32_t>(option_keys.size()));
+  write_u32(out, checked_u32(option_keys.size(), "option"));
   for (const auto& key : option_keys) {
-    write_string(file, key);
-    write_f64(file, model.options().get_double(key, 0.0));
+    write_string(out, key);
+    write_f64(out, model.options().get_double(key, 0.0));
   }
 
   if (model.hidden_specs().size() == 1) {
-    write_network_state(file, model.network());
+    write_network_state(out, model.network());
   } else {
     const DeepBcpnn& deep = model.deep();
     for (std::size_t l = 0; l < deep.depth(); ++l) {
-      write_layer_section(file, deep.layer(l));
+      write_layer_section(out, deep.layer(l));
     }
-    write_classifier_section(file, deep.head());
+    write_classifier_section(out, deep.head());
   }
-  if (!file) throw std::runtime_error("save_model: write failed");
+  if (!out) throw std::runtime_error("save_model: write failed");
 }
 
-void load_model(const std::string& path, Model& model) {
+void save_model(const std::string& path, const Model& model) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("save_model: cannot open " + path);
+  save_model(file, model);
+}
+
+void load_model(std::istream& in, Model& model) {
   if (model.compiled()) {
     throw std::logic_error("load_model: model is already compiled");
   }
@@ -312,50 +349,65 @@ void load_model(const std::string& path, Model& model) {
         "load_model: model already has topology declared; load into a "
         "blank Model");
   }
-  std::ifstream file(path, std::ios::binary);
-  if (!file) throw std::runtime_error("load_model: cannot open " + path);
-  read_header(file);
-  expect_section(file, Section::kModel);
+  const std::uint32_t version = read_header(in);
+  expect_section(in, Section::kModel);
 
   // Stage into a scratch Model so a failure at any point (truncated
   // weights, geometry mismatch) leaves the caller's object untouched
   // instead of compiled-with-random-weights.
   Model staging;
-  const std::uint32_t input_hypercolumns = read_u32(file);
-  const std::uint32_t input_bins = read_u32(file);
+  const std::uint32_t input_hypercolumns = read_u32(in);
+  const std::uint32_t input_bins = read_u32(in);
   staging.input(input_hypercolumns, input_bins);
-  const std::uint32_t depth = read_u32(file);
+  const std::uint32_t depth = read_u32(in);
   if (depth == 0) throw std::runtime_error("load_model: no hidden layers");
   for (std::uint32_t l = 0; l < depth; ++l) {
-    const std::uint32_t hcus = read_u32(file);
-    const std::uint32_t mcus = read_u32(file);
-    const double receptive_field = read_f64(file);
+    const std::uint32_t hcus = read_u32(in);
+    const std::uint32_t mcus = read_u32(in);
+    const double receptive_field = read_f64(in);
     staging.hidden(hcus, mcus, receptive_field);
   }
-  const std::uint32_t classes = read_u32(file);
-  const std::uint32_t head_tag = read_u32(file);
+  const std::uint32_t classes = read_u32(in);
+  const std::uint32_t head_tag = read_u32(in);
   if (head_tag > 1) throw std::runtime_error("load_model: bad head tag");
   staging.classifier(classes, static_cast<HeadType>(head_tag));
-  const std::string engine = read_string(file);
-  const std::uint64_t seed = read_u64(file);
-  const std::uint32_t option_count = read_u32(file);
+  const std::string engine = read_string(in);
+  const std::uint64_t seed = read_u64(in);
+  const std::uint32_t option_count = read_u32(in);
   for (std::uint32_t i = 0; i < option_count; ++i) {
-    const std::string key = read_string(file);
-    const double value = read_f64(file);
+    const std::string key = read_string(in);
+    const double value = read_f64(in);
     staging.set_option(key, value);
   }
   staging.compile(engine, seed);
 
   if (depth == 1) {
-    read_network_state(file, staging.network());
+    read_network_state(in, staging.network(), version);
   } else {
     DeepBcpnn& deep = staging.deep();
     for (std::uint32_t l = 0; l < depth; ++l) {
-      read_layer_section(file, deep.mutable_layer(l));
+      read_layer_section(in, deep.mutable_layer(l), version);
     }
-    read_classifier_section(file, deep.head());
+    read_classifier_section(in, deep.head(), version);
   }
   model = std::move(staging);
+}
+
+void load_model(const std::string& path, Model& model) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("load_model: cannot open " + path);
+  load_model(file, model);
+}
+
+Model clone_model(const Model& model) {
+  // The checkpoint format is the one exact, engine-aware snapshot of a
+  // compiled model, so cloning is a save/load round-trip through memory:
+  // the replica compiles on the same engine and predicts bit-identically.
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_model(buffer, model);
+  Model replica;
+  load_model(buffer, replica);
+  return replica;
 }
 
 }  // namespace streambrain::core

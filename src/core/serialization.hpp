@@ -5,11 +5,18 @@
 // checkpoints are small and exact — loading reproduces the saved model's
 // predictions bit-for-bit on the same engine.
 //
-// Format (little-endian, version 1):
+// Format (little-endian, version 2):
 //   magic "SBRN" | u32 version | u32 section tag | section payload ...
 // Sections: layer (geometry, traces, masks), classifier (traces),
 // sgd_head (weights, bias). Network files chain hidden + head sections.
+// Version 2 widened float-array counts from u32 to u64 (version 1
+// silently truncated counts >= 2^32); version-1 files are still read.
+// Every other count field that stays u32 is now overflow-checked on
+// write instead of narrowing silently.
 
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "core/classifier.hpp"
@@ -40,5 +47,23 @@ void load_network(const std::string& path, Network& network);
 /// save_model requires a compiled model; load_model an un-compiled one.
 void save_model(const std::string& path, const Model& model);
 void load_model(const std::string& path, Model& model);
+
+/// Stream variants of the Model checkpoint — the building block for
+/// in-memory replica cloning (serve::ShardPool) and network transports.
+void save_model(std::ostream& out, const Model& model);
+void load_model(std::istream& in, Model& model);
+
+/// Clone a compiled model via an in-memory checkpoint round-trip. The
+/// replica is an independent object (own engine instance, own weights)
+/// whose predictions are bit-identical to the original's.
+[[nodiscard]] Model clone_model(const Model& model);
+
+namespace detail {
+
+/// Narrow a size to u32 for a checkpoint count field, throwing
+/// std::runtime_error instead of truncating when it does not fit.
+std::uint32_t checked_u32(std::size_t value, const char* what);
+
+}  // namespace detail
 
 }  // namespace streambrain::core

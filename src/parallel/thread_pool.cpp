@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace streambrain::parallel {
 
@@ -18,6 +19,26 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+}
+
+std::size_t ThreadPool::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+void ThreadPool::grow(std::size_t threads) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) {
+    throw std::runtime_error("ThreadPool::grow after shutdown");
+  }
+  while (workers_.size() < threads) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 ThreadPool::~ThreadPool() {

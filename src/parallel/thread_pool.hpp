@@ -41,7 +41,16 @@ class ThreadPool {
     return future;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+  [[nodiscard]] std::size_t size() const;
+
+  /// Grow the pool to at least `threads` workers (a no-op when it is
+  /// already that large). Serving layers call this so a shard fan-out is
+  /// never throttled below the shard count by a small default pool.
+  void grow(std::size_t threads);
+
+  /// Tasks queued but not yet started — a cheap saturation signal for
+  /// schedulers deciding whether to submit or run inline.
+  [[nodiscard]] std::size_t queue_depth() const;
 
   /// Block until every queued task has finished.
   void wait_idle();
@@ -57,7 +66,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;

@@ -1,0 +1,129 @@
+#include "serve/request_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace streambrain::serve {
+
+// --- ServeRequest -----------------------------------------------------------
+
+void ServeRequest::add_chunks(std::size_t count) {
+  chunks_remaining_.fetch_add(count, std::memory_order_acq_rel);
+}
+
+void ServeRequest::complete_chunk() {
+  // acq_rel: the release publishes this chunk's result rows, the acquire
+  // on the final decrement makes every chunk's rows visible before the
+  // promise is fulfilled.
+  if (chunks_remaining_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (failed_.load(std::memory_order_acquire)) return;
+  if (kind == RequestKind::kLabels) {
+    labels_promise_.set_value(std::move(labels));
+  } else {
+    scores_promise_.set_value(std::move(scores));
+  }
+}
+
+void ServeRequest::fail(std::exception_ptr error) {
+  const std::lock_guard<std::mutex> lock(fail_mutex_);
+  if (failed_.load(std::memory_order_acquire)) return;
+  failed_.store(true, std::memory_order_release);
+  if (kind == RequestKind::kLabels) {
+    labels_promise_.set_exception(std::move(error));
+  } else {
+    scores_promise_.set_exception(std::move(error));
+  }
+}
+
+// --- RequestQueue -----------------------------------------------------------
+
+RequestQueue::RequestQueue(std::size_t capacity, OverflowPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("RequestQueue: capacity must be > 0");
+  }
+}
+
+bool RequestQueue::push(std::shared_ptr<ServeRequest> request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) throw std::runtime_error("RequestQueue: push after close");
+  if (items_.size() >= capacity_) {
+    if (policy_ == OverflowPolicy::kReject) {
+      ++rejected_;
+      return false;
+    }
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) throw std::runtime_error("RequestQueue: push after close");
+  }
+  items_.push_back(std::move(request));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::shared_ptr<ServeRequest> RequestQueue::pop() {
+  return pop_until(std::chrono::steady_clock::time_point::max());
+}
+
+std::shared_ptr<ServeRequest> RequestQueue::pop_until(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto ready = [this] {
+    return !items_.empty() || closed_ || interrupts_ > 0;
+  };
+  if (deadline == std::chrono::steady_clock::time_point::max()) {
+    not_empty_.wait(lock, ready);
+  } else if (!not_empty_.wait_until(lock, deadline, ready)) {
+    return nullptr;  // timeout
+  }
+  if (interrupts_ > 0 && items_.empty()) {
+    --interrupts_;
+    return nullptr;
+  }
+  if (items_.empty()) return nullptr;  // closed and drained
+  std::shared_ptr<ServeRequest> request = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return request;
+}
+
+void RequestQueue::interrupt() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++interrupts_;
+  }
+  not_empty_.notify_all();
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+bool RequestQueue::drained() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_ && items_.empty();
+}
+
+std::size_t RequestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+std::uint64_t RequestQueue::rejected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace streambrain::serve

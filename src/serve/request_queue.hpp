@@ -1,0 +1,129 @@
+#pragma once
+// The serving layer's inbound side: one in-flight inference request and
+// the bounded MPMC queue that carries requests from client threads to
+// the AsyncPredictor's batching dispatcher.
+//
+// A ServeRequest completes through chunk accounting: the dispatcher may
+// split a large request across several micro-batches (and several
+// shards), so the request holds a chunk counter and fulfills its
+// promise when the last chunk lands. Result rows are written by shard
+// workers into disjoint ranges of the request's result vector, which is
+// race-free by construction.
+//
+// The queue is bounded for backpressure: when it is full, push() either
+// blocks the client (OverflowPolicy::kBlock) or refuses the request
+// (kReject) so overload turns into explicit load-shedding instead of
+// unbounded memory growth.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace streambrain::serve {
+
+enum class RequestKind { kLabels, kScores };
+
+enum class OverflowPolicy {
+  kBlock,   ///< push() blocks until the queue has room.
+  kReject,  ///< push() returns false immediately when full.
+};
+
+/// One inference request travelling through the async serving path.
+/// Created by AsyncPredictor::submit*, completed by shard workers.
+class ServeRequest {
+ public:
+  tensor::MatrixF x;
+  RequestKind kind = RequestKind::kLabels;
+  std::chrono::steady_clock::time_point enqueued_at{};
+
+  /// Result storage, sized by the dispatcher; shard workers fill
+  /// disjoint row ranges. Only the vector matching `kind` is used.
+  std::vector<int> labels;
+  std::vector<double> scores;
+
+  [[nodiscard]] std::future<std::vector<int>> labels_future() {
+    return labels_promise_.get_future();
+  }
+  [[nodiscard]] std::future<std::vector<double>> scores_future() {
+    return scores_promise_.get_future();
+  }
+
+  /// Register `count` more outstanding chunks. The dispatcher arms the
+  /// request with one guard chunk before splitting, so the promise can
+  /// never fire while chunks are still being created.
+  void add_chunks(std::size_t count);
+
+  /// Mark one chunk finished; the last one fulfills the promise with the
+  /// accumulated result (unless the request already failed).
+  void complete_chunk();
+
+  /// Fail the request (first failure wins; later chunks still count
+  /// down normally but the promise already holds `error`).
+  void fail(std::exception_ptr error);
+
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::promise<std::vector<int>> labels_promise_;
+  std::promise<std::vector<double>> scores_promise_;
+  std::atomic<std::size_t> chunks_remaining_{0};
+  std::atomic<bool> failed_{false};
+  std::mutex fail_mutex_;
+};
+
+/// Bounded MPMC queue of requests with close/interrupt support for
+/// clean shutdown and explicit flushes.
+class RequestQueue {
+ public:
+  RequestQueue(std::size_t capacity, OverflowPolicy policy);
+
+  /// Enqueue. Returns false when the queue is full under kReject; blocks
+  /// until room under kBlock. Throws std::runtime_error after close().
+  bool push(std::shared_ptr<ServeRequest> request);
+
+  /// Dequeue, blocking until an item, an interrupt(), or close()-drained.
+  /// Returns nullptr in the latter two cases.
+  [[nodiscard]] std::shared_ptr<ServeRequest> pop();
+
+  /// Dequeue with a deadline; nullptr on timeout/interrupt/drained.
+  [[nodiscard]] std::shared_ptr<ServeRequest> pop_until(
+      std::chrono::steady_clock::time_point deadline);
+
+  /// Wake every blocked pop() once (each returns nullptr). Used by
+  /// flush(): the dispatcher re-evaluates its open batch immediately.
+  void interrupt();
+
+  /// Stop accepting pushes. Queued items still drain through pop().
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] bool drained() const;  ///< closed and empty
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t rejected() const;  ///< kReject refusals
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::shared_ptr<ServeRequest>> items_;
+  std::size_t interrupts_ = 0;
+  std::uint64_t rejected_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace streambrain::serve

@@ -1,0 +1,89 @@
+#include "serve/score_cache.hpp"
+
+#include <cstring>
+
+namespace streambrain::serve {
+
+namespace {
+
+std::string_view row_view(const float* row, std::size_t cols) {
+  return {reinterpret_cast<const char*>(row), cols * sizeof(float)};
+}
+
+}  // namespace
+
+std::size_t ScoreCache::RowDigest::operator()(
+    std::string_view key) const noexcept {
+  // FNV-1a (64-bit), folding 8 row bytes per step: hashing is on the
+  // cache-hit fast path and must stay well under the model's per-row
+  // cost. Rows are float arrays, so the 8-byte tail loop rarely runs.
+  std::uint64_t digest = 14695981039346656037ull;
+  const char* cursor = key.data();
+  std::size_t remaining = key.size();
+  while (remaining >= sizeof(std::uint64_t)) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, cursor, sizeof(word));
+    digest = (digest ^ word) * 1099511628211ull;
+    cursor += sizeof(word);
+    remaining -= sizeof(word);
+  }
+  while (remaining-- > 0) {
+    digest ^= static_cast<unsigned char>(*cursor++);
+    digest *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(digest);
+}
+
+ScoreCache::ScoreCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool ScoreCache::lookup(const float* row, std::size_t cols, double& score) {
+  if (!enabled()) return false;
+  const std::string_view key = row_view(row, cols);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  score = it->second->score;
+  ++stats_.hits;
+  return true;
+}
+
+void ScoreCache::insert(const float* row, std::size_t cols, double score) {
+  if (!enabled()) return;
+  const std::string_view key = row_view(row, cols);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->score = score;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(std::string_view(lru_.back().key));
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{std::string(key), score});
+  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+}
+
+ScoreCache::Stats ScoreCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ScoreCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ScoreCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace streambrain::serve

@@ -1,0 +1,72 @@
+#pragma once
+// LRU score cache for the serving layer, keyed by row digest. Repeated
+// traffic (hot feature vectors, retried requests) skips the model
+// entirely; because the cached value is the exact double the model
+// produced and keys compare the full row bytes (the 64-bit FNV-1a
+// digest is only the hash-table index), a hit is bit-identical to a
+// recompute and a digest collision can never alias two distinct rows.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace streambrain::serve {
+
+/// Thread-safe LRU map from feature row -> model score. Capacity 0
+/// disables the cache (lookup always misses, insert is a no-op).
+class ScoreCache {
+ public:
+  explicit ScoreCache(std::size_t capacity);
+
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+
+  /// If `row` (cols floats) is cached, write its score and promote it to
+  /// most-recently-used. Counts a hit or a miss.
+  bool lookup(const float* row, std::size_t cols, double& score);
+
+  /// Insert/refresh a row's score, evicting the least-recently-used
+  /// entry when at capacity.
+  void insert(const float* row, std::size_t cols, double score);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    double score = 0.0;
+  };
+  /// Word-wise FNV-1a over the raw row bytes — the digest that buckets
+  /// the keys. Lookups hash a zero-copy string_view over the caller's
+  /// row instead of allocating a key (the hit path must be far cheaper
+  /// than the model, or the cache defeats itself).
+  struct RowDigest {
+    std::size_t operator()(std::string_view key) const noexcept;
+  };
+
+  using LruList = std::list<Entry>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  /// Keys view the owning Entry's bytes (list nodes never move), so each
+  /// row's bytes are stored once, not duplicated into the map.
+  std::unordered_map<std::string_view, LruList::iterator, RowDigest>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace streambrain::serve

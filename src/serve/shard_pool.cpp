@@ -1,0 +1,74 @@
+#include "serve/shard_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/model.hpp"
+#include "core/serialization.hpp"
+
+namespace streambrain::serve {
+
+std::shared_ptr<Estimator> clone_estimator(
+    const std::shared_ptr<Estimator>& primary) {
+  if (!primary) throw std::invalid_argument("clone_estimator: null model");
+  if (const auto* model = dynamic_cast<const core::Model*>(primary.get())) {
+    return std::make_shared<core::Model>(core::clone_model(*model));
+  }
+  throw std::invalid_argument(
+      "clone_estimator: '" + primary->name() +
+      "' cannot be replicated via the checkpoint round-trip; construct "
+      "the replicas yourself and use ShardPool's adopting constructor");
+}
+
+ShardPool::ShardPool(std::shared_ptr<Estimator> primary, std::size_t shards) {
+  if (!primary) throw std::invalid_argument("ShardPool: null model");
+  if (shards == 0) throw std::invalid_argument("ShardPool: shards must be > 0");
+  replicas_.reserve(shards);
+  replicas_.push_back(std::move(primary));
+  for (std::size_t s = 1; s < shards; ++s) {
+    replicas_.push_back(clone_estimator(replicas_.front()));
+  }
+  free_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) free_.push_back(shards - 1 - s);
+}
+
+ShardPool::ShardPool(std::vector<std::shared_ptr<Estimator>> replicas)
+    : replicas_(std::move(replicas)) {
+  if (replicas_.empty()) {
+    throw std::invalid_argument("ShardPool: no replicas");
+  }
+  for (const auto& replica : replicas_) {
+    if (!replica) throw std::invalid_argument("ShardPool: null replica");
+  }
+  free_.reserve(replicas_.size());
+  for (std::size_t s = 0; s < replicas_.size(); ++s) {
+    free_.push_back(replicas_.size() - 1 - s);
+  }
+}
+
+ShardPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)),
+      shard_(other.shard_),
+      model_(other.model_) {}
+
+ShardPool::Lease::~Lease() {
+  if (pool_ != nullptr) pool_->release(shard_);
+}
+
+ShardPool::Lease ShardPool::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  free_cv_.wait(lock, [this] { return !free_.empty(); });
+  const std::size_t shard = free_.back();
+  free_.pop_back();
+  return Lease(this, shard, replicas_[shard].get());
+}
+
+void ShardPool::release(std::size_t shard) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(shard);
+  }
+  free_cv_.notify_one();
+}
+
+}  // namespace streambrain::serve

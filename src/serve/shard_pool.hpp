@@ -1,0 +1,88 @@
+#pragma once
+// A pool of read-only model replicas ("shards") for concurrent serving.
+// The mutex-serialized Predictor runs every batch on one model object;
+// a ShardPool instead clones the trained model N times via the
+// checkpoint round-trip (core::clone_model), so N batches run truly
+// concurrently — one per replica — with zero shared mutable state
+// between them. Replicas predict bit-identically to the primary.
+//
+// Shards are handed out as RAII leases: acquire() blocks until a
+// replica is free, which doubles as natural backpressure on the batch
+// dispatcher (at most N batches in flight).
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/estimator.hpp"
+
+namespace streambrain::serve {
+
+class ShardPool {
+ public:
+  /// Clone `primary` into `shards` independent replicas. shards == 1
+  /// serves through `primary` directly (no clone); more shards require a
+  /// core::Model (cloned in-memory via the checkpoint round-trip) — for
+  /// other estimator types, build the replicas yourself and use the
+  /// adopting constructor.
+  ShardPool(std::shared_ptr<Estimator> primary, std::size_t shards);
+
+  /// Adopt pre-built replicas (for estimators that cannot checkpoint —
+  /// the caller asserts they are equivalent and thread-compatible).
+  explicit ShardPool(std::vector<std::shared_ptr<Estimator>> replicas);
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Exclusive RAII hold on one replica; releases (and wakes a waiting
+  /// acquire) on destruction.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    [[nodiscard]] Estimator& model() const noexcept { return *model_; }
+    [[nodiscard]] std::size_t shard() const noexcept { return shard_; }
+
+   private:
+    friend class ShardPool;
+    Lease(ShardPool* pool, std::size_t shard, Estimator* model) noexcept
+        : pool_(pool), shard_(shard), model_(model) {}
+
+    ShardPool* pool_;
+    std::size_t shard_;
+    Estimator* model_;
+  };
+
+  /// Block until a replica is free and lease it.
+  [[nodiscard]] Lease acquire();
+
+  [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
+
+  /// Replica access for verification (e.g. shard-equivalence tests).
+  /// The caller must not run it concurrently with serving traffic.
+  [[nodiscard]] Estimator& replica(std::size_t shard) {
+    return *replicas_.at(shard);
+  }
+
+ private:
+  void release(std::size_t shard);
+
+  std::vector<std::shared_ptr<Estimator>> replicas_;
+  std::mutex mutex_;
+  std::condition_variable free_cv_;
+  std::vector<std::size_t> free_;  // stack of free shard indices
+};
+
+/// Clone a trained core::Model estimator through the in-memory
+/// checkpoint round-trip. Throws std::invalid_argument for estimator
+/// types that cannot be cloned this way.
+[[nodiscard]] std::shared_ptr<Estimator> clone_estimator(
+    const std::shared_ptr<Estimator>& primary);
+
+}  // namespace streambrain::serve

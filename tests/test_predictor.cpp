@@ -214,6 +214,48 @@ TEST(Predictor, CoalescePolicyRunsSharedBatches) {
                              serving().reference_labels.begin() + 32));
 }
 
+TEST(Predictor, DeferredFlushSingleThreadedCallerReturns) {
+  // Regression: a kCoalesce request smaller than max_batch_rows used to
+  // block on done_cv_ forever unless another thread called flush(). The
+  // max_batch_delay deadline now closes the partial batch from inside
+  // the waiting call itself — single-threaded deferred predict() must
+  // return, promptly and correctly, with no external flusher.
+  streambrain::PredictorOptions options;
+  options.max_batch_rows = 64;
+  options.flush_policy = streambrain::FlushPolicy::kCoalesce;
+  options.max_batch_delay = std::chrono::milliseconds(5);
+  streambrain::Predictor predictor(serving().model, options);
+
+  const auto labels = predictor.predict(rows_slice(serving().x_test, 0, 8));
+  EXPECT_EQ(labels, std::vector<int>(serving().reference_labels.begin(),
+                                     serving().reference_labels.begin() + 8));
+  const auto scores =
+      predictor.predict_scores(rows_slice(serving().x_test, 0, 8));
+  EXPECT_EQ(scores,
+            std::vector<double>(serving().reference_scores.begin(),
+                                serving().reference_scores.begin() + 8));
+  EXPECT_EQ(predictor.stats().requests, 2u);
+}
+
+TEST(Predictor, StatsSeparateQueueWaitFromModelTime) {
+  // Per call: total latency = queue wait + own model time. A serial
+  // kImmediate caller has (almost) no queue wait, so model_seconds must
+  // dominate total_latency and the queue-wait counters must stay small
+  // and self-consistent.
+  streambrain::Predictor predictor(serving().model, {/*max_batch_rows=*/64});
+  (void)predictor.predict(serving().x_test);
+  const auto stats = predictor.stats();
+  EXPECT_GT(stats.model_seconds, 0.0);
+  EXPECT_GE(stats.total_queue_wait_seconds, 0.0);
+  EXPECT_GE(stats.max_queue_wait_seconds, stats.mean_queue_wait_seconds());
+  // latency decomposes: wait + model time adds back up (within rounding)
+  EXPECT_NEAR(stats.total_latency_seconds,
+              stats.total_queue_wait_seconds + stats.model_seconds, 1e-6);
+  // and the lock-free single caller spent nearly everything in the model
+  EXPECT_LT(stats.total_queue_wait_seconds,
+            0.5 * stats.total_latency_seconds);
+}
+
 TEST(Predictor, FlushReleasesPartialBatches) {
   streambrain::Predictor predictor(
       serving().model,

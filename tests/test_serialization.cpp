@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "core/serialization.hpp"
 #include "data/higgs.hpp"
@@ -351,4 +354,130 @@ TEST(ModelCheckpointGuards, LoadIsAtomicAndRequiresABlankModel) {
   EXPECT_TRUE(target.compiled());
   fs::remove(path);
   fs::remove(truncated_path);
+}
+
+// --- Format version 2 (u64 float counts) ------------------------------------
+
+namespace {
+
+/// Down-convert a version-2 layer checkpoint to the version-1 wire
+/// format: version field u32 2 -> 1, each float-array count u64 -> u32.
+/// Keeps the backward-compat read path honest against real v1 bytes.
+std::string downconvert_layer_file_to_v1(const std::string& bytes) {
+  auto read_u64_at = [&](std::size_t pos) {
+    std::uint64_t value = 0;
+    std::memcpy(&value, bytes.data() + pos, sizeof(value));
+    return value;
+  };
+  std::string v1;
+  auto append_u32 = [&](std::uint32_t value) {
+    v1.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+
+  v1.append(bytes, 0, 4);  // magic
+  append_u32(1);           // version
+  std::size_t pos = 8;
+  v1.append(bytes, pos, 20);  // section tag + 4 geometry fields
+  pos += 20;
+  for (int array = 0; array < 3; ++array) {  // pi, pj, pij
+    const std::uint64_t count = read_u64_at(pos);
+    pos += sizeof(std::uint64_t);
+    append_u32(static_cast<std::uint32_t>(count));
+    v1.append(bytes, pos, count * sizeof(float));
+    pos += count * sizeof(float);
+  }
+  v1.append(bytes, pos, std::string::npos);  // masks
+  return v1;
+}
+
+}  // namespace
+
+TEST(SerializationVersioning, Version1FilesStillLoad) {
+  const auto config = layer_config();
+  auto engine = sp::make_engine("simd");
+  su::Rng rng(7);
+  sc::BcpnnLayer trained(config, *engine, rng);
+  const auto x = encoded_events(300, 5);
+  for (int step = 0; step < 8; ++step) trained.train_batch(x, 1.0f);
+  trained.plasticity_step();
+
+  const std::string v2_path = ::testing::TempDir() + "layer_v2.ckpt";
+  sc::save_layer(v2_path, trained);
+  std::ifstream in(v2_path, std::ios::binary);
+  const std::string v2_bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+
+  // v2 files carry u64 float counts (8 bytes per array vs v1's 4).
+  const std::string v1_bytes = downconvert_layer_file_to_v1(v2_bytes);
+  EXPECT_EQ(v2_bytes.size(), v1_bytes.size() + 3 * 4);
+  const std::string v1_path = ::testing::TempDir() + "layer_v1.ckpt";
+  {
+    std::ofstream out(v1_path, std::ios::binary);
+    out.write(v1_bytes.data(), static_cast<std::streamsize>(v1_bytes.size()));
+  }
+
+  su::Rng rng2(99);
+  sc::BcpnnLayer restored(config, *engine, rng2);
+  sc::load_layer(v1_path, restored);
+  EXPECT_EQ(restored.masks().all(), trained.masks().all());
+  st::MatrixF a_trained;
+  st::MatrixF a_restored;
+  trained.forward(x, a_trained);
+  restored.forward(x, a_restored);
+  for (std::size_t i = 0; i < a_trained.size(); ++i) {
+    ASSERT_EQ(a_trained.data()[i], a_restored.data()[i]);
+  }
+  fs::remove(v2_path);
+  fs::remove(v1_path);
+}
+
+TEST(SerializationVersioning, UnknownFutureVersionRejected) {
+  const auto config = layer_config();
+  auto engine = sp::make_engine("simd");
+  su::Rng rng(7);
+  sc::BcpnnLayer layer(config, *engine, rng);
+  const std::string path = ::testing::TempDir() + "layer_future.ckpt";
+  sc::save_layer(path, layer);
+  {
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(4);
+    const std::uint32_t version = 99;
+    file.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  su::Rng rng2(8);
+  sc::BcpnnLayer target(config, *engine, rng2);
+  EXPECT_THROW(sc::load_layer(path, target), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(SerializationVersioning, OverflowingU32CountFieldThrows) {
+  // Counts that fit stay identity; counts >= 2^32 must throw instead of
+  // silently truncating (and corrupting) the checkpoint.
+  EXPECT_EQ(sc::detail::checked_u32(0, "test"), 0u);
+  EXPECT_EQ(sc::detail::checked_u32(4096, "test"), 4096u);
+  const std::size_t max32 = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_EQ(sc::detail::checked_u32(max32, "test"), max32);
+  EXPECT_THROW(sc::detail::checked_u32(max32 + 1, "test"),
+               std::runtime_error);
+  EXPECT_THROW(sc::detail::checked_u32(std::size_t{1} << 40, "test"),
+               std::runtime_error);
+}
+
+TEST(SerializationVersioning, InMemoryCloneIsBitIdentical) {
+  // clone_model (the serve::ShardPool replica path) round-trips through
+  // a stream instead of a file; the clone must predict bit-identically
+  // and be fully independent of the original.
+  const auto train = encoded_labeled(300, 11);
+  sc::Model trained;
+  trained.input(28, 10).hidden(1, 30, 0.4).classifier(2).compile("simd", 21);
+  trained.fit(train.x, train.y);
+
+  sc::Model clone = sc::clone_model(trained);
+  EXPECT_TRUE(clone.compiled());
+  EXPECT_EQ(clone.engine_name(), trained.engine_name());
+  const auto test = encoded_labeled(120, 12);
+  EXPECT_EQ(clone.predict(test.x), trained.predict(test.x));
+  EXPECT_EQ(clone.predict_scores(test.x), trained.predict_scores(test.x));
 }

@@ -1,0 +1,385 @@
+// serve:: subsystem + AsyncPredictor: sharded async serving must be
+// bit-identical to the serial reference at any shard count, resolve
+// partial batches by deadline (no deferred-flush hang by construction),
+// serve cache hits bit-identically, backpressure cleanly, survive
+// destruction with requests in flight, and turn malformed requests into
+// future errors instead of wedging the pipeline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/async_predictor.hpp"
+#include "core/model.hpp"
+#include "core/serialization.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/score_cache.hpp"
+#include "serve/shard_pool.hpp"
+
+namespace sc = streambrain::core;
+namespace sv = streambrain::serve;
+namespace st = streambrain::tensor;
+
+using streambrain::AsyncPredictor;
+using streambrain::AsyncPredictorOptions;
+
+namespace {
+
+struct Serving {
+  std::shared_ptr<sc::Model> model;
+  st::MatrixF x_test;
+  std::vector<int> reference_labels;
+  std::vector<double> reference_scores;
+};
+
+const Serving& serving() {
+  static const Serving instance = [] {
+    streambrain::data::SyntheticHiggsGenerator generator;
+    const auto train = generator.generate(700);
+    streambrain::data::HiggsGeneratorOptions opts;
+    opts.seed = 555;
+    streambrain::data::SyntheticHiggsGenerator test_generator(opts);
+    const auto test = test_generator.generate(200);
+    streambrain::encode::OneHotEncoder encoder(10);
+
+    Serving s;
+    s.model = std::make_shared<sc::Model>();
+    s.model->input(28, 10)
+        .hidden(1, 40, 0.4)
+        .classifier(2)
+        .set_option("epochs", 3)
+        .compile("simd", 42);
+    s.model->fit(encoder.fit_transform(train.features), train.labels);
+    s.x_test = encoder.transform(test.features);
+    s.reference_labels = s.model->predict(s.x_test);
+    s.reference_scores = s.model->predict_scores(s.x_test);
+    return s;
+  }();
+  return instance;
+}
+
+st::MatrixF rows_slice(const st::MatrixF& x, std::size_t begin,
+                       std::size_t end) {
+  st::MatrixF out(end - begin, x.cols());
+  for (std::size_t r = begin; r < end; ++r) {
+    std::copy_n(x.row(r), x.cols(), out.row(r - begin));
+  }
+  return out;
+}
+
+/// An estimator that blocks in predict until released — for driving the
+/// queue into backpressure deterministically.
+class SlowEstimator final : public streambrain::Estimator {
+ public:
+  explicit SlowEstimator(std::shared_ptr<streambrain::Estimator> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return "slow(" + inner_->name() + ")"; }
+  void fit(const st::MatrixF& x, const std::vector<int>& labels) override {
+    inner_->fit(x, labels);
+  }
+  std::vector<int> predict(const st::MatrixF& x) override {
+    wait();
+    return inner_->predict(x);
+  }
+  std::vector<double> predict_scores(const st::MatrixF& x) override {
+    wait();
+    return inner_->predict_scores(x);
+  }
+  void release() { gate_.store(true, std::memory_order_release); }
+
+ private:
+  void wait() const {
+    while (!gate_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::shared_ptr<streambrain::Estimator> inner_;
+  std::atomic<bool> gate_{false};
+};
+
+}  // namespace
+
+// --- serve primitives -------------------------------------------------------
+
+TEST(RequestQueue, BoundedFifoWithCloseDrain) {
+  sv::RequestQueue queue(2, sv::OverflowPolicy::kReject);
+  auto a = std::make_shared<sv::ServeRequest>();
+  auto b = std::make_shared<sv::ServeRequest>();
+  auto c = std::make_shared<sv::ServeRequest>();
+  EXPECT_TRUE(queue.push(a));
+  EXPECT_TRUE(queue.push(b));
+  EXPECT_FALSE(queue.push(c));  // full -> rejected, not blocked
+  EXPECT_EQ(queue.rejected(), 1u);
+
+  queue.close();
+  EXPECT_THROW((void)queue.push(c), std::runtime_error);
+  EXPECT_EQ(queue.pop(), a);  // closed queues still drain in order
+  EXPECT_EQ(queue.pop(), b);
+  EXPECT_TRUE(queue.drained());
+  EXPECT_EQ(queue.pop(), nullptr);
+}
+
+TEST(RequestQueue, InterruptWakesABlockedPop) {
+  sv::RequestQueue queue(4, sv::OverflowPolicy::kBlock);
+  std::atomic<bool> woke{false};
+  std::thread popper([&] {
+    EXPECT_EQ(queue.pop(), nullptr);
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  queue.interrupt();
+  popper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ScoreCache, LruHitMissEvict) {
+  sv::ScoreCache cache(2);
+  const float row_a[3] = {1.0f, 2.0f, 3.0f};
+  const float row_b[3] = {4.0f, 5.0f, 6.0f};
+  const float row_c[3] = {7.0f, 8.0f, 9.0f};
+  double score = 0.0;
+
+  EXPECT_FALSE(cache.lookup(row_a, 3, score));
+  cache.insert(row_a, 3, 0.25);
+  cache.insert(row_b, 3, 0.75);
+  EXPECT_TRUE(cache.lookup(row_a, 3, score));  // promotes a to MRU
+  EXPECT_EQ(score, 0.25);
+  cache.insert(row_c, 3, 0.5);  // evicts b (LRU), not a
+  EXPECT_TRUE(cache.lookup(row_a, 3, score));
+  EXPECT_FALSE(cache.lookup(row_b, 3, score));
+  EXPECT_TRUE(cache.lookup(row_c, 3, score));
+  EXPECT_EQ(score, 0.5);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+
+  sv::ScoreCache disabled(0);
+  disabled.insert(row_a, 3, 0.25);
+  EXPECT_FALSE(disabled.lookup(row_a, 3, score));
+}
+
+TEST(ShardPool, ReplicasPredictBitIdentically) {
+  sv::ShardPool pool(serving().model, 3);
+  ASSERT_EQ(pool.size(), 3u);
+  for (std::size_t s = 1; s < pool.size(); ++s) {
+    EXPECT_EQ(pool.replica(s).predict(serving().x_test),
+              serving().reference_labels);
+    EXPECT_EQ(pool.replica(s).predict_scores(serving().x_test),
+              serving().reference_scores);
+  }
+}
+
+TEST(ShardPool, RefusesUncloneableMultiShard) {
+  std::shared_ptr<streambrain::Estimator> baseline =
+      streambrain::make_baseline_estimator("logistic");
+  EXPECT_THROW(sv::ShardPool(baseline, 2), std::invalid_argument);
+  sv::ShardPool single(baseline, 1);  // shards=1 needs no clone
+  EXPECT_EQ(single.size(), 1u);
+}
+
+// --- AsyncPredictor ---------------------------------------------------------
+
+TEST(AsyncPredictor, SingleShardMatchesSerialReference) {
+  AsyncPredictor server(serving().model, {/*shards=*/1,
+                                          /*max_batch_rows=*/32});
+  EXPECT_EQ(server.predict(serving().x_test), serving().reference_labels);
+  EXPECT_EQ(server.predict_scores(serving().x_test),
+            serving().reference_scores);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.rows, 2 * serving().x_test.rows());
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GE(stats.max_queue_wait_seconds, 0.0);
+}
+
+TEST(AsyncPredictor, ShardedConcurrentTrafficStaysBitIdentical) {
+  AsyncPredictorOptions options;
+  options.shards = 4;
+  options.max_batch_rows = 16;
+  options.max_batch_delay = std::chrono::microseconds(200);
+  AsyncPredictor server(serving().model, options);
+  ASSERT_EQ(server.shards(), 4u);
+
+  const std::size_t n = serving().x_test.rows();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const std::size_t width = 1 + (t * 11 + round * 7) % 29;
+        const std::size_t begin = (t * 17 + round * 31) % (n - width);
+        const st::MatrixF slice =
+            rows_slice(serving().x_test, begin, begin + width);
+        const std::vector<int> labels = server.predict(slice);
+        const std::vector<double> scores = server.predict_scores(slice);
+        for (std::size_t i = 0; i < width; ++i) {
+          if (labels[i] != serving().reference_labels[begin + i] ||
+              scores[i] != serving().reference_scores[begin + i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.stats().requests, kThreads * kRounds * 2);
+}
+
+TEST(AsyncPredictor, PartialBatchResolvesByDeadlineWithoutFlush) {
+  // 8 rows can never fill a 64-row batch and no other traffic arrives;
+  // the deadline flusher must still resolve the future promptly.
+  AsyncPredictorOptions options;
+  options.max_batch_rows = 64;
+  options.max_batch_delay = std::chrono::milliseconds(2);
+  AsyncPredictor server(serving().model, options);
+  auto future = server.submit(rows_slice(serving().x_test, 0, 8));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(),
+            std::vector<int>(serving().reference_labels.begin(),
+                             serving().reference_labels.begin() + 8));
+}
+
+TEST(AsyncPredictor, FlushTrimsTheDeadlineWait) {
+  AsyncPredictorOptions options;
+  options.max_batch_rows = 128;
+  options.max_batch_delay = std::chrono::seconds(10);  // effectively "never"
+  AsyncPredictor server(serving().model, options);
+  auto future = server.submit_scores(rows_slice(serving().x_test, 0, 4));
+  server.flush();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(),
+            std::vector<double>(serving().reference_scores.begin(),
+                                serving().reference_scores.begin() + 4));
+}
+
+TEST(AsyncPredictor, ZeroRowRequestResolvesEmpty) {
+  AsyncPredictor server(serving().model);
+  const st::MatrixF empty(0, serving().x_test.cols());
+  EXPECT_TRUE(server.predict(empty).empty());
+  EXPECT_TRUE(server.predict_scores(empty).empty());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.rows, 0u);
+}
+
+TEST(AsyncPredictor, MismatchedColumnsFailTheFutureNotThePipeline) {
+  AsyncPredictor server(serving().model, {/*shards=*/2});
+  const st::MatrixF wrong(3, serving().x_test.cols() + 1, 0.5f);
+  auto bad = server.submit(wrong);
+  EXPECT_THROW((void)bad.get(), std::invalid_argument);
+  // The pipeline survives and keeps serving correct answers.
+  EXPECT_EQ(server.predict(serving().x_test), serving().reference_labels);
+}
+
+TEST(AsyncPredictor, CachedScoresAreBitIdenticalToUncached) {
+  AsyncPredictorOptions cached_options;
+  cached_options.score_cache_rows = 4096;
+  AsyncPredictor cached(serving().model, cached_options);
+
+  const std::vector<double> first =
+      cached.predict_scores(serving().x_test);  // all misses
+  const std::vector<double> second =
+      cached.predict_scores(serving().x_test);  // all hits
+  EXPECT_EQ(first, serving().reference_scores);
+  EXPECT_EQ(second, serving().reference_scores);
+
+  const auto stats = cached.stats();
+  EXPECT_EQ(stats.cache_misses, serving().x_test.rows());
+  EXPECT_EQ(stats.cache_hits, serving().x_test.rows());
+
+  // A tiny cache that thrashes must still be bit-identical.
+  AsyncPredictorOptions tiny_options;
+  tiny_options.score_cache_rows = 3;
+  AsyncPredictor tiny(serving().model, tiny_options);
+  EXPECT_EQ(tiny.predict_scores(serving().x_test),
+            serving().reference_scores);
+}
+
+TEST(AsyncPredictor, RejectPolicyShedsLoadInsteadOfBlocking) {
+  auto trained = std::make_shared<SlowEstimator>(serving().model);
+  AsyncPredictorOptions options;
+  options.queue_capacity = 2;
+  options.overflow_policy = sv::OverflowPolicy::kReject;
+  options.max_batch_rows = 4;
+  options.max_batch_delay = std::chrono::microseconds(1);
+
+  std::vector<std::future<std::vector<int>>> accepted;
+  std::size_t rejections = 0;
+  {
+    AsyncPredictor server(trained, options);
+    for (int i = 0; i < 32; ++i) {
+      try {
+        accepted.push_back(server.submit(rows_slice(serving().x_test, 0, 4)));
+      } catch (const std::runtime_error&) {
+        ++rejections;
+      }
+    }
+    EXPECT_GT(rejections, 0u);  // the gate held the queue full
+    trained->release();
+  }  // destructor drains every accepted request
+  for (auto& future : accepted) {
+    EXPECT_EQ(future.get(),
+              std::vector<int>(serving().reference_labels.begin(),
+                               serving().reference_labels.begin() + 4));
+  }
+  EXPECT_EQ(accepted.size() + rejections, 32u);
+}
+
+TEST(AsyncPredictor, DestructionWithInFlightRequestsCompletesAllFutures) {
+  std::vector<std::future<std::vector<int>>> futures;
+  {
+    AsyncPredictorOptions options;
+    options.shards = 2;
+    options.max_batch_rows = 8;
+    options.max_batch_delay = std::chrono::milliseconds(50);
+    AsyncPredictor server(serving().model, options);
+    for (std::size_t i = 0; i < 24; ++i) {
+      futures.push_back(server.submit(rows_slice(serving().x_test, i, i + 5)));
+    }
+    // Destroy immediately: everything accepted must still resolve.
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(),
+              std::vector<int>(serving().reference_labels.begin() + i,
+                               serving().reference_labels.begin() + i + 5));
+  }
+}
+
+TEST(AsyncPredictor, LargeRequestSplitsAcrossShardsCorrectly) {
+  // One request far larger than max_batch_rows fans out over shards and
+  // reassembles in order.
+  AsyncPredictorOptions options;
+  options.shards = 4;
+  options.max_batch_rows = 8;
+  AsyncPredictor server(serving().model, options);
+  EXPECT_EQ(server.predict(serving().x_test), serving().reference_labels);
+  const auto stats = server.stats();
+  EXPECT_GE(stats.batches, serving().x_test.rows() / 8);
+}
+
+TEST(AsyncPredictor, RejectsBadConstruction) {
+  EXPECT_THROW(AsyncPredictor(nullptr), std::invalid_argument);
+  EXPECT_THROW(AsyncPredictor(serving().model, {/*shards=*/0}),
+               std::invalid_argument);
+  AsyncPredictorOptions zero_batch;
+  zero_batch.max_batch_rows = 0;
+  EXPECT_THROW(AsyncPredictor(serving().model, zero_batch),
+               std::invalid_argument);
+}
