@@ -7,6 +7,16 @@
 
 namespace streambrain::comm {
 
+const char* algorithm_name(AllreduceAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case AllreduceAlgorithm::kFlat:
+      return "flat";
+    case AllreduceAlgorithm::kRing:
+      return "ring";
+  }
+  return "?";
+}
+
 World::World(int size) : size_(size) {
   if (size <= 0) throw std::invalid_argument("World: size must be positive");
   deposit_.assign(static_cast<std::size_t>(size), nullptr);
@@ -54,7 +64,7 @@ void apply_reduce(T* acc, const T* other, std::size_t count,
 }  // namespace
 
 template <typename T>
-static void allreduce_impl(World& world, Communicator& comm, T* data,
+static void allreduce_flat(World& world, Communicator& comm, T* data,
                            std::size_t count, ReduceOp op,
                            std::vector<const void*>& deposit,
                            std::vector<std::uint64_t>& bytes_sent,
@@ -66,7 +76,8 @@ static void allreduce_impl(World& world, Communicator& comm, T* data,
 
   // Deterministic reduction: every rank walks buffers in rank order into a
   // private accumulator (rank 0's values first), so results are identical
-  // across ranks and across runs regardless of thread timing.
+  // across ranks and across runs regardless of thread timing — and
+  // bitwise equal to a serial left-to-right reduction over the ranks.
   std::vector<T> acc(static_cast<const T*>(deposit[0]),
                      static_cast<const T*>(deposit[0]) + count);
   for (int r = 1; r < size; ++r) {
@@ -77,36 +88,137 @@ static void allreduce_impl(World& world, Communicator& comm, T* data,
   comm.barrier();  // all reads done before anyone overwrites their buffer
   std::copy(acc.begin(), acc.end(), data);
 
-  // Ring-allreduce network cost model: 2*(P-1)/P * n elements per rank.
-  const std::uint64_t bytes = static_cast<std::uint64_t>(
-      2.0 * (size - 1) / static_cast<double>(size) *
-      static_cast<double>(count * sizeof(T)));
+  // Flat cost model: every rank's buffer must reach all P-1 peers, so
+  // each rank sends (P-1)*n elements.
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count * sizeof(T)) *
+      static_cast<std::uint64_t>(size - 1);
   bytes_sent[static_cast<std::size_t>(rank)] += bytes;
   total_bytes.fetch_add(bytes, std::memory_order_relaxed);
   comm.barrier();
   (void)world;
 }
 
-void Communicator::allreduce(float* data, std::size_t count, ReduceOp op) {
-  allreduce_impl(*world_, *this, data, count, op, world_->deposit_,
-                 world_->bytes_sent_, world_->total_bytes_);
+template <typename T>
+static void allreduce_ring(World& world, Communicator& comm, T* data,
+                           std::size_t count, ReduceOp op,
+                           std::vector<const void*>& deposit,
+                           std::vector<std::uint64_t>& bytes_sent,
+                           std::atomic<std::uint64_t>& total_bytes) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  if (size == 1) return;  // nothing crosses the (virtual) network
+
+  // Each rank reduces into a private working copy; the deposited pointer
+  // lets the downstream neighbor pull chunks, which is the shared-memory
+  // equivalent of the ring's send/recv pairs.
+  std::vector<T> work(data, data + count);
+  deposit[static_cast<std::size_t>(rank)] = work.data();
+  comm.barrier();
+
+  const auto chunk_begin = [count, size](int c) {
+    return count * static_cast<std::size_t>(c) /
+           static_cast<std::size_t>(size);
+  };
+
+  // Reduce-scatter phase: at step s, rank r pulls chunk (r-s-1) mod P
+  // from rank r-1 and accumulates it into its working copy. After P-1
+  // steps rank r holds the fully reduced chunk (r+1) mod P. The schedule
+  // is fixed, so the association per element is deterministic.
+  for (int step = 0; step < size - 1; ++step) {
+    const int src = (rank - 1 + size) % size;
+    const int c = ((rank - step - 1) % size + size) % size;
+    const T* neighbor = static_cast<const T*>(
+        deposit[static_cast<std::size_t>(src)]);
+    const std::size_t b0 = chunk_begin(c);
+    const std::size_t b1 = chunk_begin(c + 1);
+    apply_reduce(work.data() + b0, neighbor + b0, b1 - b0, op);
+    comm.barrier();  // chunk finished before the neighbor pulls it
+  }
+
+  // Allgather phase: every chunk c is complete on rank (c-1) mod P; pull
+  // each completed chunk straight from its owner.
+  for (int c = 0; c < size; ++c) {
+    const int owner = (c - 1 + size) % size;
+    const T* src = static_cast<const T*>(
+        deposit[static_cast<std::size_t>(owner)]);
+    const std::size_t b0 = chunk_begin(c);
+    const std::size_t b1 = chunk_begin(c + 1);
+    std::copy(src + b0, src + b1, data + b0);
+  }
+
+  // Ring cost model: reduce-scatter + allgather each move (P-1)/P * n
+  // elements per rank.
+  const std::uint64_t bytes = static_cast<std::uint64_t>(
+      2.0 * (size - 1) / static_cast<double>(size) *
+      static_cast<double>(count * sizeof(T)));
+  bytes_sent[static_cast<std::size_t>(rank)] += bytes;
+  total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  comm.barrier();  // all pulls done before `work` is destroyed
+  (void)world;
 }
 
-void Communicator::allreduce(double* data, std::size_t count, ReduceOp op) {
-  allreduce_impl(*world_, *this, data, count, op, world_->deposit_,
-                 world_->bytes_sent_, world_->total_bytes_);
+template <typename T>
+void Communicator::allreduce_dispatch(T* data, std::size_t count, ReduceOp op,
+                                      AllreduceAlgorithm algorithm) {
+  if (algorithm == AllreduceAlgorithm::kRing) {
+    allreduce_ring(*world_, *this, data, count, op, world_->deposit_,
+                   world_->bytes_sent_, world_->total_bytes_);
+  } else {
+    allreduce_flat(*world_, *this, data, count, op, world_->deposit_,
+                   world_->bytes_sent_, world_->total_bytes_);
+  }
 }
 
-void Communicator::allreduce_mean(float* data, std::size_t count) {
-  allreduce(data, count, ReduceOp::kSum);
+void Communicator::allreduce(float* data, std::size_t count, ReduceOp op,
+                             AllreduceAlgorithm algorithm) {
+  allreduce_dispatch(data, count, op, algorithm);
+}
+
+void Communicator::allreduce(double* data, std::size_t count, ReduceOp op,
+                             AllreduceAlgorithm algorithm) {
+  allreduce_dispatch(data, count, op, algorithm);
+}
+
+void Communicator::allreduce(std::uint64_t* data, std::size_t count,
+                             ReduceOp op, AllreduceAlgorithm algorithm) {
+  allreduce_dispatch(data, count, op, algorithm);
+}
+
+void Communicator::allreduce_mean(float* data, std::size_t count,
+                                  AllreduceAlgorithm algorithm) {
+  allreduce(data, count, ReduceOp::kSum, algorithm);
   const float inv = 1.0f / static_cast<float>(size());
   for (std::size_t i = 0; i < count; ++i) data[i] *= inv;
 }
 
-void Communicator::allreduce_mean(double* data, std::size_t count) {
-  allreduce(data, count, ReduceOp::kSum);
+void Communicator::allreduce_mean(double* data, std::size_t count,
+                                  AllreduceAlgorithm algorithm) {
+  allreduce(data, count, ReduceOp::kSum, algorithm);
   const double inv = 1.0 / static_cast<double>(size());
   for (std::size_t i = 0; i < count; ++i) data[i] *= inv;
+}
+
+Request Communicator::iallreduce(float* data, std::size_t count, ReduceOp op,
+                                 AllreduceAlgorithm algorithm) {
+  return Request([this, data, count, op, algorithm] {
+    allreduce(data, count, op, algorithm);
+  });
+}
+
+Request Communicator::iallreduce(double* data, std::size_t count, ReduceOp op,
+                                 AllreduceAlgorithm algorithm) {
+  return Request([this, data, count, op, algorithm] {
+    allreduce(data, count, op, algorithm);
+  });
+}
+
+void Request::wait() {
+  if (!complete_) return;
+  // Clear first so a throwing collective cannot be re-entered.
+  std::function<void()> complete = std::move(complete_);
+  complete_ = nullptr;
+  complete();
 }
 
 void Communicator::broadcast(float* data, std::size_t count, int root) {
@@ -239,7 +351,8 @@ std::uint64_t Communicator::bytes_sent() const noexcept {
   return world_->bytes_sent_[static_cast<std::size_t>(rank_)];
 }
 
-void run(int size, const std::function<void(Communicator&)>& body) {
+RunStats run_reported(int size,
+                      const std::function<void(Communicator&)>& body) {
   World world(size);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
@@ -258,6 +371,18 @@ void run(int size, const std::function<void(Communicator&)>& body) {
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+  RunStats stats;
+  stats.total_bytes = world.total_bytes_sent();
+  stats.bytes_per_rank.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    Communicator comm(world, r);
+    stats.bytes_per_rank.push_back(comm.bytes_sent());
+  }
+  return stats;
+}
+
+void run(int size, const std::function<void(Communicator&)>& body) {
+  (void)run_reported(size, body);
 }
 
 }  // namespace streambrain::comm

@@ -5,9 +5,21 @@
 // data-parallel training communication-light (one trace reduction per
 // batch). This substrate reproduces that communication pattern exactly:
 // ranks are threads, collectives have MPI semantics, reductions are
-// deterministic (fixed rank order), and every operation accounts the bytes
+// deterministic (fixed schedules), and every operation accounts the bytes
 // that would have crossed the network, so benchmarks can report
 // communication volume per epoch.
+//
+// Two allreduce algorithms are available, selectable per call so
+// benchmarks can compare them on the same payload:
+//   kFlat — every rank walks all deposited buffers in rank order into a
+//           private accumulator. Association is rank 0 first, so the
+//           result is bitwise identical to a serial left-to-right
+//           reduction. Logical cost: (P-1)*n elements sent per rank
+//           (each rank's buffer must reach every other rank).
+//   kRing — bandwidth-optimal chunked ring (reduce-scatter phase then
+//           allgather phase). Association differs from kFlat by floating-
+//           point rounding only. Logical cost: 2*(P-1)/P*n elements per
+//           rank.
 //
 // Usage:
 //   comm::run(4, [](comm::Communicator& comm) {
@@ -23,13 +35,46 @@
 #include <map>
 #include <mutex>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 namespace streambrain::comm {
 
 enum class ReduceOp { kSum, kMin, kMax };
 
+enum class AllreduceAlgorithm { kFlat, kRing };
+
+/// Short name for reports/benchmarks ("flat" / "ring").
+const char* algorithm_name(AllreduceAlgorithm algorithm) noexcept;
+
 class World;
+class Communicator;
+
+/// Handle for a nonblocking collective. The operation completes inside
+/// wait(), which every participating rank must call in the same relative
+/// order as the iallreduce that produced it (MPI nonblocking semantics).
+/// wait() is idempotent; destroying a pending Request without waiting
+/// leaves peers blocked, exactly like real MPI.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// Complete the collective (no-op when already completed or empty).
+  void wait();
+
+  /// True while the collective has not completed.
+  [[nodiscard]] bool pending() const noexcept { return bool(complete_); }
+
+ private:
+  friend class Communicator;
+  explicit Request(std::function<void()> complete)
+      : complete_(std::move(complete)) {}
+  std::function<void()> complete_;
+};
 
 /// Per-rank handle. Valid only inside the closure passed to run().
 class Communicator {
@@ -43,13 +88,32 @@ class Communicator {
   void barrier();
 
   /// Element-wise reduction across ranks; result replicated to all ranks.
-  /// Deterministic: accumulation is in rank order regardless of timing.
-  void allreduce(float* data, std::size_t count, ReduceOp op);
-  void allreduce(double* data, std::size_t count, ReduceOp op);
+  /// Deterministic: the schedule (and thus the floating-point
+  /// association) is fixed per algorithm regardless of thread timing.
+  void allreduce(float* data, std::size_t count, ReduceOp op,
+                 AllreduceAlgorithm algorithm = AllreduceAlgorithm::kFlat);
+  void allreduce(double* data, std::size_t count, ReduceOp op,
+                 AllreduceAlgorithm algorithm = AllreduceAlgorithm::kFlat);
+  void allreduce(std::uint64_t* data, std::size_t count, ReduceOp op,
+                 AllreduceAlgorithm algorithm = AllreduceAlgorithm::kFlat);
 
   /// allreduce(kSum) followed by division by world size.
-  void allreduce_mean(float* data, std::size_t count);
-  void allreduce_mean(double* data, std::size_t count);
+  void allreduce_mean(float* data, std::size_t count,
+                      AllreduceAlgorithm algorithm = AllreduceAlgorithm::kFlat);
+  void allreduce_mean(double* data, std::size_t count,
+                      AllreduceAlgorithm algorithm = AllreduceAlgorithm::kFlat);
+
+  /// Nonblocking allreduce: returns immediately; the reduction happens
+  /// collectively inside Request::wait() (progress-at-wait semantics, as
+  /// in MPI implementations without a progress thread). The caller may
+  /// compute on unrelated data between issue and wait; `data` must stay
+  /// untouched and alive until the wait returns.
+  [[nodiscard]] Request iallreduce(
+      float* data, std::size_t count, ReduceOp op,
+      AllreduceAlgorithm algorithm = AllreduceAlgorithm::kFlat);
+  [[nodiscard]] Request iallreduce(
+      double* data, std::size_t count, ReduceOp op,
+      AllreduceAlgorithm algorithm = AllreduceAlgorithm::kFlat);
 
   /// Copy `count` elements from `root`'s buffer to every rank.
   void broadcast(float* data, std::size_t count, int root);
@@ -78,6 +142,10 @@ class Communicator {
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
 
  private:
+  template <typename T>
+  void allreduce_dispatch(T* data, std::size_t count, ReduceOp op,
+                          AllreduceAlgorithm algorithm);
+
   World* world_;
   int rank_;
 };
@@ -120,8 +188,19 @@ class World {
   std::atomic<std::uint64_t> total_bytes_{0};
 };
 
+/// Per-run communication accounting, captured after all ranks joined.
+struct RunStats {
+  std::uint64_t total_bytes = 0;               ///< sum over all ranks
+  std::vector<std::uint64_t> bytes_per_rank;   ///< indexed by rank
+};
+
 /// Spawn `size` rank threads, invoke `body(comm)` on each, join them all.
 /// Exceptions thrown by any rank are rethrown (first rank wins).
 void run(int size, const std::function<void(Communicator&)>& body);
+
+/// Like run(), but returns the true per-rank byte counters so callers can
+/// report honest totals even when traffic is asymmetric across ranks.
+RunStats run_reported(int size,
+                      const std::function<void(Communicator&)>& body);
 
 }  // namespace streambrain::comm

@@ -38,6 +38,9 @@ class BcpnnClassifier {
       const tensor::MatrixF& hidden);
 
   [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+  /// Trace EMA rate — the distributed trainer replays the same update
+  /// from externally reduced batch statistics.
+  [[nodiscard]] float alpha() const noexcept { return alpha_; }
   [[nodiscard]] const ProbabilityTraces& traces() const noexcept {
     return traces_;
   }

@@ -73,6 +73,9 @@ class DeepBcpnn {
   /// Supervised head over the top hidden code (for checkpointing).
   [[nodiscard]] BcpnnClassifier& head() noexcept { return *head_; }
   [[nodiscard]] const BcpnnClassifier& head() const noexcept { return *head_; }
+  /// Compute backend shared by all layers (the distributed trainer drives
+  /// per-shard forwards through it).
+  [[nodiscard]] parallel::Engine& engine() noexcept { return *engine_; }
 
  private:
   void train_layer_unsupervised(std::size_t index, const tensor::MatrixF& x);

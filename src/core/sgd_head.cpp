@@ -99,6 +99,30 @@ double SgdHead::train_epoch(const tensor::MatrixF& features,
   return batches > 0 ? total_loss / static_cast<double>(n) : 0.0;
 }
 
+void SgdHead::apply_gradient(const tensor::MatrixF& grad,
+                             const std::vector<float>& bias_grad) {
+  if (grad.rows() != weights_.rows() || grad.cols() != weights_.cols() ||
+      bias_grad.size() != bias_.size()) {
+    throw std::invalid_argument("SgdHead::apply_gradient: shape mismatch");
+  }
+  tensor::momentum_update(config_.momentum, current_lr_, config_.l2,
+                          grad.data(), weights_.data(), velocity_.data(),
+                          weights_.size());
+  tensor::momentum_update(config_.momentum, current_lr_, 0.0f,
+                          bias_grad.data(), bias_.data(),
+                          bias_velocity_.data(), classes_);
+}
+
+void SgdHead::set_parameters(const tensor::MatrixF& weights,
+                             const std::vector<float>& bias) {
+  if (weights.rows() != weights_.rows() || weights.cols() != weights_.cols() ||
+      bias.size() != bias_.size()) {
+    throw std::invalid_argument("SgdHead::set_parameters: shape mismatch");
+  }
+  weights_ = weights;
+  bias_ = bias;
+}
+
 void SgdHead::set_state(const tensor::MatrixF& weights,
                         const std::vector<float>& bias) {
   if (weights.rows() != weights_.rows() || weights.cols() != weights_.cols() ||

@@ -39,6 +39,23 @@ class SgdHead {
       const tensor::MatrixF& features) const;
 
   [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+  [[nodiscard]] const SgdHeadConfig& config() const noexcept { return config_; }
+
+  // --- Distributed-training hooks ---------------------------------------
+  /// Apply one momentum step from an externally reduced mean gradient —
+  /// the same update train_epoch performs per batch, exposed so the
+  /// data-parallel trainer can reduce gradients across ranks first.
+  void apply_gradient(const tensor::MatrixF& grad,
+                      const std::vector<float>& bias_grad);
+
+  /// Per-epoch learning-rate decay (train_epoch applies this internally).
+  void end_epoch() noexcept { current_lr_ *= config_.learning_rate_decay; }
+
+  /// Overwrite parameters mid-training, keeping the momentum buffers
+  /// (unlike set_state, which zeroes them) — used by the cadence-mode
+  /// trainer when averaging replicated weights across ranks.
+  void set_parameters(const tensor::MatrixF& weights,
+                      const std::vector<float>& bias);
 
   // --- Checkpointing access ---------------------------------------------
   [[nodiscard]] const tensor::MatrixF& weights() const noexcept {

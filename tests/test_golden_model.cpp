@@ -18,93 +18,23 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/model.hpp"
 #include "data/higgs.hpp"
 #include "encode/one_hot.hpp"
+#include "golden_util.hpp"
 #include "tensor/kernel_set.hpp"
 
 namespace sc = streambrain::core;
 namespace st = streambrain::tensor;
-
-#ifndef STREAMBRAIN_GOLDEN_DIR
-#define STREAMBRAIN_GOLDEN_DIR "tests/golden"
-#endif
+namespace sg = streambrain::testing;
 
 namespace {
 
-struct Digest {
-  double accuracy = 0.0;
-  double log_loss = 0.0;
-  std::vector<int> labels;
-  std::vector<double> scores;
-};
-
-std::string golden_path(const std::string& name) {
-  return std::string(STREAMBRAIN_GOLDEN_DIR) + "/" + name + ".txt";
-}
-
-bool update_mode() {
-  const char* env = std::getenv("STREAMBRAIN_UPDATE_GOLDEN");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
-}
-
-void write_digest(const std::string& name, const Digest& digest) {
-  std::ofstream out(golden_path(name));
-  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
-  out.precision(12);
-  out << "# golden digest '" << name << "' — scalar-dispatch training;\n";
-  out << "# regenerate with STREAMBRAIN_UPDATE_GOLDEN=1 ./test_golden_model\n";
-  out << "accuracy " << digest.accuracy << "\n";
-  out << "log_loss " << digest.log_loss << "\n";
-  out << "labels " << digest.labels.size();
-  for (const int label : digest.labels) out << ' ' << label;
-  out << "\nscores " << digest.scores.size();
-  for (const double score : digest.scores) out << ' ' << score;
-  out << "\n";
-}
-
-bool read_digest(const std::string& name, Digest& digest) {
-  std::ifstream in(golden_path(name));
-  if (!in.good()) return false;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
-    std::string key;
-    fields >> key;
-    if (key == "accuracy") {
-      fields >> digest.accuracy;
-    } else if (key == "log_loss") {
-      fields >> digest.log_loss;
-    } else if (key == "labels") {
-      std::size_t count = 0;
-      fields >> count;
-      digest.labels.resize(count);
-      for (std::size_t i = 0; i < count; ++i) fields >> digest.labels[i];
-    } else if (key == "scores") {
-      std::size_t count = 0;
-      fields >> count;
-      digest.scores.resize(count);
-      for (std::size_t i = 0; i < count; ++i) fields >> digest.scores[i];
-    }
-  }
-  return true;
-}
-
-/// RAII dispatch pin so a failing assertion cannot leak the scalar tier
-/// into other tests of this binary.
-struct ScopedDispatch {
-  explicit ScopedDispatch(st::DispatchLevel level)
-      : previous(st::force_dispatch(level)) {}
-  ~ScopedDispatch() { st::force_dispatch(previous); }
-  st::DispatchLevel previous;
-};
+using sg::Digest;
+using sg::ScopedDispatch;
 
 struct FixtureData {
   st::MatrixF x_train;
@@ -167,14 +97,14 @@ void check_against_golden(const std::string& name, sc::HeadType head) {
     actual = run_model(head);
   }
 
-  if (update_mode()) {
-    write_digest(name, actual);
-    GTEST_SKIP() << "regenerated " << golden_path(name);
+  if (sg::update_mode()) {
+    sg::write_digest(name, actual);
+    GTEST_SKIP() << "regenerated " << sg::golden_path(name);
   }
 
   Digest expected;
-  ASSERT_TRUE(read_digest(name, expected))
-      << "missing golden digest " << golden_path(name)
+  ASSERT_TRUE(sg::read_digest(name, expected))
+      << "missing golden digest " << sg::golden_path(name)
       << " — run with STREAMBRAIN_UPDATE_GOLDEN=1 to create it";
 
   // Exact label digest; tight numeric tolerances (the stored text has 12
@@ -220,7 +150,7 @@ TEST(GoldenModel, SgdHeadMatchesCommittedDigest) {
 TEST(GoldenModel, UpdateModeIsOffInCommittedRuns) {
   // A committed tree must never run in regeneration mode by accident;
   // this test documents the env contract.
-  if (update_mode()) {
+  if (sg::update_mode()) {
     GTEST_SKIP() << "STREAMBRAIN_UPDATE_GOLDEN is set (regeneration run)";
   }
   SUCCEED();
