@@ -38,6 +38,7 @@
 #include "core/network.hpp"
 #include "core/pipeline.hpp"
 #include "core/plasticity.hpp"
+#include "core/pruning.hpp"
 #include "core/semi_supervised.hpp"
 #include "core/serialization.hpp"
 #include "core/sgd_head.hpp"
@@ -54,6 +55,7 @@
 
 // --- Tensor primitives ------------------------------------------------------
 #include "tensor/cpu_features.hpp"
+#include "tensor/csr.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/kernel_set.hpp"
 #include "tensor/kernels.hpp"

@@ -1,7 +1,9 @@
 #include "core/classifier.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "core/pruning.hpp"
 #include "tensor/kernels.hpp"
 
 namespace streambrain::core {
@@ -27,6 +29,7 @@ BcpnnClassifier::BcpnnClassifier(std::size_t inputs, std::size_t input_hcs,
 
 void BcpnnClassifier::train_batch(const tensor::MatrixF& hidden,
                                   const tensor::MatrixF& targets) {
+  require_mutable("train_batch");
   if (targets.cols() != classes_ || targets.rows() != hidden.rows()) {
     throw std::invalid_argument("BcpnnClassifier::train_batch: shape");
   }
@@ -35,15 +38,96 @@ void BcpnnClassifier::train_batch(const tensor::MatrixF& hidden,
 }
 
 void BcpnnClassifier::recompute_weights() {
+  require_mutable("recompute_weights");
   engine_->recompute_weights(traces_.pi().data(), traces_.pj().data(),
                              traces_.pij(), eps_, k_beta_, weights_,
                              bias_.data());
+  apply_prune_mask();
+}
+
+void BcpnnClassifier::apply_prune_mask() {
+  if (prune_keep_.empty()) return;
+  float* w = weights_.data();
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (prune_keep_[i] == 0) w[i] = 0.0f;
+  }
 }
 
 void BcpnnClassifier::predict(const tensor::MatrixF& hidden,
                               tensor::MatrixF& probs) {
-  engine_->support(hidden, weights_, bias_.data(), probs);
+  if (sparse_wt_) {
+    tensor::sparse_support(*sparse_wt_, hidden, bias_.data(), probs);
+  } else {
+    engine_->support(hidden, weights_, bias_.data(), probs);
+  }
   engine_->softmax_hcu(probs, classes_, 1.0f);
+}
+
+std::size_t BcpnnClassifier::prune_to_density(double density) {
+  require_mutable("prune_to_density");
+  prune_keep_ = magnitude_keep_mask(weights_.data(), weights_.size(), density);
+  std::size_t dropped = 0;
+  for (const std::uint8_t keep : prune_keep_) dropped += keep == 0;
+  apply_prune_mask();
+  return dropped;
+}
+
+void BcpnnClassifier::set_prune_mask(std::vector<std::uint8_t> mask) {
+  require_mutable("set_prune_mask");
+  if (!mask.empty() && mask.size() != weights_.size()) {
+    throw std::invalid_argument(
+        "BcpnnClassifier::set_prune_mask: size mismatch");
+  }
+  prune_keep_ = std::move(mask);
+  apply_prune_mask();
+}
+
+double BcpnnClassifier::weight_density() const noexcept {
+  if (sparse_wt_) return sparse_wt_->density();
+  if (weights_.empty()) return 1.0;
+  std::size_t nnz = 0;
+  for (const float w : weights_) nnz += w != 0.0f;
+  return static_cast<double>(nnz) / static_cast<double>(weights_.size());
+}
+
+void BcpnnClassifier::sparsify() {
+  if (sparse_wt_) return;  // idempotent
+  sparse_wt_ = std::make_unique<tensor::CsrMatrix>(
+      tensor::CsrMatrix::from_dense_transposed(weights_));
+  weights_ = tensor::MatrixF();
+  scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+const tensor::CsrMatrix& BcpnnClassifier::sparse_weights() const {
+  if (!sparse_wt_) {
+    throw std::logic_error("BcpnnClassifier::sparse_weights: head is dense");
+  }
+  return *sparse_wt_;
+}
+
+void BcpnnClassifier::adopt_sparse(tensor::CsrMatrix wt,
+                                   std::vector<float> bias) {
+  if (wt.rows() != classes_ || bias.size() != classes_ ||
+      (traces_.inputs() != 0 && wt.cols() != traces_.inputs())) {
+    throw std::invalid_argument("BcpnnClassifier::adopt_sparse: shape");
+  }
+  sparse_wt_ = std::make_unique<tensor::CsrMatrix>(std::move(wt));
+  bias_ = std::move(bias);
+  weights_ = tensor::MatrixF();
+  scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+void BcpnnClassifier::require_mutable(const char* what) const {
+  if (sparse_wt_) {
+    throw std::logic_error(std::string("BcpnnClassifier::") + what +
+                           ": head is in the read-only sparse form");
+  }
 }
 
 std::vector<int> BcpnnClassifier::predict_labels(

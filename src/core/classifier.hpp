@@ -7,10 +7,13 @@
 // classification layer").
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/traces.hpp"
 #include "parallel/engine.hpp"
+#include "tensor/csr.hpp"
 #include "tensor/matrix.hpp"
 
 namespace streambrain::core {
@@ -47,10 +50,51 @@ class BcpnnClassifier {
   [[nodiscard]] ProbabilityTraces& mutable_traces() noexcept {
     return traces_;
   }
+  /// Recomputed bias term (checkpointed directly for the sparse form,
+  /// where the traces it derives from are gone).
+  [[nodiscard]] const std::vector<float>& bias() const noexcept {
+    return bias_;
+  }
 
   void recompute_weights();
 
+  // --- Structural pruning -------------------------------------------------
+  /// Magnitude-based element pruning with a pinned keep-mask that
+  /// survives recompute_weights() (re-applied after every trace update).
+  /// Returns the number of zeroed entries.
+  std::size_t prune_to_density(double density);
+
+  [[nodiscard]] bool pruned() const noexcept { return !prune_keep_.empty(); }
+
+  /// Checkpointing access: the element keep-mask (empty when unpruned).
+  [[nodiscard]] const std::vector<std::uint8_t>& prune_mask() const noexcept {
+    return prune_keep_;
+  }
+
+  /// Adopt a checkpointed keep-mask (empty clears) and re-apply it.
+  void set_prune_mask(std::vector<std::uint8_t> mask);
+
+  /// Fraction of weight entries currently non-zero.
+  [[nodiscard]] double weight_density() const noexcept;
+
+  // --- Sparse inference form ------------------------------------------------
+  /// Convert to the compact read-only form: weights to CSR (transposed),
+  /// dense weights and traces freed. predict paths keep working
+  /// bit-identically at scalar dispatch; training throws afterwards.
+  void sparsify();
+
+  [[nodiscard]] bool sparse() const noexcept { return sparse_wt_ != nullptr; }
+
+  /// CSR of W^T (throws std::logic_error when dense).
+  [[nodiscard]] const tensor::CsrMatrix& sparse_weights() const;
+
+  /// Adopt a deserialized sparse form (checkpoint read path).
+  void adopt_sparse(tensor::CsrMatrix wt, std::vector<float> bias);
+
  private:
+  void apply_prune_mask();
+  void require_mutable(const char* what) const;
+
   std::size_t classes_;
   parallel::Engine* engine_;
   float alpha_;
@@ -60,6 +104,9 @@ class BcpnnClassifier {
   tensor::MatrixF weights_;
   std::vector<float> bias_;
   tensor::MatrixF scratch_;
+  /// Keep-mask from prune_to_density (empty = no pruning); 1 = keep.
+  std::vector<std::uint8_t> prune_keep_;
+  std::unique_ptr<tensor::CsrMatrix> sparse_wt_;
 };
 
 }  // namespace streambrain::core

@@ -139,4 +139,13 @@ std::vector<double> DeepBcpnn::predict_scores(const tensor::MatrixF& x) {
   return head_->predict_scores(transform(x));
 }
 
+void DeepBcpnn::sparsify() {
+  for (auto& layer : layers_) layer->sparsify();
+  head_->sparsify();
+}
+
+bool DeepBcpnn::sparse() const noexcept {
+  return !layers_.empty() && layers_.front()->sparse();
+}
+
 }  // namespace streambrain::core

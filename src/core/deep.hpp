@@ -60,6 +60,12 @@ class DeepBcpnn {
   [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x);
   [[nodiscard]] std::vector<double> predict_scores(const tensor::MatrixF& x);
 
+  /// Convert every hidden layer and the head to the compact read-only
+  /// sparse inference form. Irreversible; fit() throws afterwards.
+  void sparsify();
+
+  [[nodiscard]] bool sparse() const noexcept;
+
   [[nodiscard]] std::size_t depth() const noexcept { return layers_.size(); }
   [[nodiscard]] const BcpnnLayer& layer(std::size_t i) const {
     return *layers_.at(i);

@@ -32,6 +32,9 @@ void BcpnnConfig::apply(const util::Config& config) {
       config.get_int("batch_size", static_cast<long long>(batch_size)));
   plasticity_swaps = static_cast<std::size_t>(config.get_int(
       "plasticity_swaps", static_cast<long long>(plasticity_swaps)));
+  prune_density = config.get_double("prune_density", prune_density);
+  prune_cadence = static_cast<std::size_t>(config.get_int(
+      "prune_cadence", static_cast<long long>(prune_cadence)));
   engine = config.get_string("engine", engine);
   seed = static_cast<std::uint64_t>(
       config.get_int("seed", static_cast<long long>(seed)));
@@ -58,6 +61,9 @@ void BcpnnConfig::validate() const {
   if (eps <= 0.0f) throw std::invalid_argument("BcpnnConfig: eps must be > 0");
   if (batch_size == 0) {
     throw std::invalid_argument("BcpnnConfig: batch_size must be > 0");
+  }
+  if (prune_density <= 0.0 || prune_density > 1.0) {
+    throw std::invalid_argument("BcpnnConfig: prune_density not in (0,1]");
   }
 }
 

@@ -40,6 +40,17 @@ struct BcpnnConfig {
   std::size_t plasticity_swaps = 2;   ///< connection swaps per HCU per epoch
   double plasticity_hysteresis = 0.05;  ///< silent must beat active by 5%
 
+  // --- Structural pruning ------------------------------------------------
+  /// Fraction of hidden-layer weights the in-training prune/rewire
+  /// cadence keeps (magnitude-based, re-selected at every prune so a
+  /// connection that grows back in can displace a weaker one). 1 = dense.
+  double prune_density = 1.0;
+  /// Prune every this many epochs (after the plasticity step for the
+  /// hidden layer, after each supervised epoch for the head). 0 disables the
+  /// cadence; one-shot post-training pruning goes through
+  /// core::prune_model instead.
+  std::size_t prune_cadence = 0;
+
   // --- Training schedule -------------------------------------------------
   std::size_t epochs = 12;        ///< unsupervised epochs (hidden layer)
   std::size_t head_epochs = 24;   ///< supervised epochs (classifier head)
@@ -62,7 +73,8 @@ struct BcpnnConfig {
 
   /// Overlay values from a Config (keys: hcus, mcus, receptive_field,
   /// alpha, alpha_supervised, k_beta, inverse_temperature, noise_start,
-  /// epochs, head_epochs, batch_size, plasticity_swaps, engine, seed).
+  /// epochs, head_epochs, batch_size, plasticity_swaps, prune_density,
+  /// prune_cadence, engine, seed).
   void apply(const util::Config& config);
 
   /// Validate invariants; throws std::invalid_argument on violations.

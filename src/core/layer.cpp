@@ -1,6 +1,11 @@
 #include "core/layer.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "core/pruning.hpp"
+#include "tensor/csr.hpp"
 
 namespace streambrain::core {
 
@@ -24,7 +29,11 @@ void BcpnnLayer::forward(const tensor::MatrixF& x,
   if (x.cols() != input_units()) {
     throw std::invalid_argument("BcpnnLayer::forward: input width mismatch");
   }
-  engine_->support(x, weights_, bias_.data(), activations);
+  if (sparse_wt_) {
+    tensor::sparse_support(*sparse_wt_, x, bias_.data(), activations);
+  } else {
+    engine_->support(x, weights_, bias_.data(), activations);
+  }
   engine_->softmax_hcu(activations, config_.mcus, config_.inverse_temperature);
 }
 
@@ -34,6 +43,7 @@ void BcpnnLayer::forward_noisy(const tensor::MatrixF& x,
     forward(x, activations);
     return;
   }
+  require_mutable("forward_noisy");
   engine_->support(x, weights_, bias_.data(), activations);
   for (float& v : activations) {
     v += static_cast<float>(rng_.normal(0.0, noise_std));
@@ -66,12 +76,14 @@ void BcpnnLayer::forward_spiking(const tensor::MatrixF& x,
 }
 
 void BcpnnLayer::train_batch(const tensor::MatrixF& x, float noise_std) {
+  require_mutable("train_batch");
   forward_noisy(x, noise_scratch_, noise_std);
   traces_.update(*engine_, x, noise_scratch_, config_.alpha);
   recompute_weights();
 }
 
 void BcpnnLayer::recompute_weights() {
+  require_mutable("recompute_weights");
   engine_->recompute_weights(traces_.pi().data(), traces_.pj().data(),
                              traces_.pij(), config_.eps, config_.k_beta,
                              weights_, bias_.data());
@@ -95,9 +107,92 @@ void BcpnnLayer::apply_masks() {
       }
     }
   }
+  // Element-level magnitude pruning rides on top of the block masks: the
+  // keep-mask survives every weight recomputation until re-pruned.
+  if (!prune_keep_.empty()) {
+    float* w = weights_.data();
+    const std::size_t n = weights_.size();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (prune_keep_[i] == 0) w[i] = 0.0f;
+    }
+  }
+}
+
+std::size_t BcpnnLayer::prune_to_density(double density) {
+  require_mutable("prune_to_density");
+  prune_keep_ = magnitude_keep_mask(weights_.data(), weights_.size(), density);
+  std::size_t dropped = 0;
+  for (const std::uint8_t keep : prune_keep_) dropped += keep == 0;
+  apply_masks();
+  return dropped;
+}
+
+void BcpnnLayer::clear_pruning() {
+  require_mutable("clear_pruning");
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+  recompute_weights();
+}
+
+void BcpnnLayer::set_prune_mask(std::vector<std::uint8_t> mask) {
+  require_mutable("set_prune_mask");
+  if (!mask.empty() && mask.size() != weights_.size()) {
+    throw std::invalid_argument("BcpnnLayer::set_prune_mask: size mismatch");
+  }
+  prune_keep_ = std::move(mask);
+  apply_masks();
+}
+
+double BcpnnLayer::weight_density() const noexcept {
+  if (sparse_wt_) return sparse_wt_->density();
+  if (weights_.empty()) return 1.0;
+  std::size_t nnz = 0;
+  for (const float w : weights_) nnz += w != 0.0f;
+  return static_cast<double>(nnz) / static_cast<double>(weights_.size());
+}
+
+void BcpnnLayer::sparsify() {
+  if (sparse_wt_) return;  // idempotent
+  sparse_wt_ = std::make_unique<tensor::CsrMatrix>(
+      tensor::CsrMatrix::from_dense_transposed(weights_));
+  weights_ = tensor::MatrixF();
+  noise_scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+const tensor::CsrMatrix& BcpnnLayer::sparse_weights() const {
+  if (!sparse_wt_) {
+    throw std::logic_error("BcpnnLayer::sparse_weights: layer is dense");
+  }
+  return *sparse_wt_;
+}
+
+void BcpnnLayer::adopt_sparse(tensor::CsrMatrix wt, std::vector<float> bias) {
+  if (wt.rows() != hidden_units() || wt.cols() != input_units() ||
+      bias.size() != hidden_units()) {
+    throw std::invalid_argument("BcpnnLayer::adopt_sparse: shape mismatch");
+  }
+  sparse_wt_ = std::make_unique<tensor::CsrMatrix>(std::move(wt));
+  bias_ = std::move(bias);
+  weights_ = tensor::MatrixF();
+  noise_scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+void BcpnnLayer::require_mutable(const char* what) const {
+  if (sparse_wt_) {
+    throw std::logic_error(std::string("BcpnnLayer::") + what +
+                           ": layer is in the read-only sparse form");
+  }
 }
 
 std::size_t BcpnnLayer::plasticity_step() {
+  require_mutable("plasticity_step");
   PlasticityConfig plasticity;
   plasticity.swaps_per_hcu = config_.plasticity_swaps;
   plasticity.hysteresis = config_.plasticity_hysteresis;
@@ -110,6 +205,7 @@ std::size_t BcpnnLayer::plasticity_step() {
 
 void BcpnnLayer::set_state(const ProbabilityTraces& traces,
                            const ReceptiveFieldMasks& masks) {
+  require_mutable("set_state");
   if (traces.inputs() != traces_.inputs() ||
       traces.outputs() != traces_.outputs()) {
     throw std::invalid_argument("BcpnnLayer::set_state: trace shape mismatch");
@@ -120,6 +216,7 @@ void BcpnnLayer::set_state(const ProbabilityTraces& traces,
 }
 
 std::vector<std::vector<float>> BcpnnLayer::mi_map() const {
+  require_mutable("mi_map");
   return mutual_information_map(traces_, config_.input_bins, config_.hcus,
                                 config_.mcus, config_.eps);
 }

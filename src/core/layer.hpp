@@ -10,6 +10,7 @@
 // so minicolumns first explore and then commit to features.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "core/plasticity.hpp"
 #include "core/traces.hpp"
 #include "parallel/engine.hpp"
+#include "tensor/csr.hpp"
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -55,6 +57,53 @@ class BcpnnLayer {
   void set_plasticity_swaps(std::size_t swaps) noexcept {
     config_.plasticity_swaps = swaps;
   }
+
+  // --- Structural pruning --------------------------------------------------
+  /// Magnitude-based element pruning: keep the `density` fraction of
+  /// weight entries with the largest |w| (deterministic tie-break by
+  /// ascending index), zero the rest, and remember the keep-mask so it
+  /// survives every subsequent recompute_weights(). Calling it again
+  /// re-selects the mask from the current magnitudes (the "rewire" half
+  /// of the in-training prune/rewire cadence). Returns the number of
+  /// zeroed entries. density must be in (0, 1].
+  std::size_t prune_to_density(double density);
+
+  /// Drop the element keep-mask (the receptive-field masks stay).
+  void clear_pruning();
+
+  /// Checkpointing access: the element keep-mask (empty when unpruned).
+  [[nodiscard]] const std::vector<std::uint8_t>& prune_mask() const noexcept {
+    return prune_keep_;
+  }
+
+  /// Adopt a checkpointed keep-mask (empty clears) and re-apply it —
+  /// without this, loading a pruned model would silently regrow the
+  /// pruned weights from the traces. Throws on size mismatch.
+  void set_prune_mask(std::vector<std::uint8_t> mask);
+
+  /// True when an element keep-mask is active.
+  [[nodiscard]] bool pruned() const noexcept { return !prune_keep_.empty(); }
+
+  /// Fraction of weight entries currently non-zero.
+  [[nodiscard]] double weight_density() const noexcept;
+
+  // --- Sparse inference form -----------------------------------------------
+  /// Convert to the compact read-only inference form: compress the
+  /// (masked, pruned) weights to CSR (transposed: one sparse row per
+  /// hidden unit), then free the dense weights AND the probability
+  /// traces. forward()/forward_spiking() keep working bit-identically
+  /// (at scalar dispatch) through the sparse kernels; every training
+  /// entry point throws std::logic_error afterwards. Irreversible.
+  void sparsify();
+
+  [[nodiscard]] bool sparse() const noexcept { return sparse_wt_ != nullptr; }
+
+  /// CSR of W^T (throws std::logic_error when not sparsified).
+  [[nodiscard]] const tensor::CsrMatrix& sparse_weights() const;
+
+  /// Adopt a deserialized sparse form directly (checkpoint read path).
+  /// Shape-checked against the layer geometry; replaces any dense state.
+  void adopt_sparse(tensor::CsrMatrix wt, std::vector<float> bias);
 
   /// Spiking forward pass — BCPNN's spiking model of computation
   /// (Section II: "supports both spiking- and rate-based models").
@@ -97,6 +146,7 @@ class BcpnnLayer {
 
  private:
   void apply_masks();
+  void require_mutable(const char* what) const;
 
   BcpnnConfig config_;
   parallel::Engine* engine_;
@@ -106,6 +156,12 @@ class BcpnnLayer {
   tensor::MatrixF weights_;   // [input_units x hidden_units]
   std::vector<float> bias_;   // [hidden_units]
   tensor::MatrixF noise_scratch_;
+  /// Element keep-mask from prune_to_density (empty = no pruning);
+  /// weights_.size() bytes, 1 = keep. Re-applied by apply_masks().
+  std::vector<std::uint8_t> prune_keep_;
+  /// Non-null once sparsify()/adopt_sparse() ran: CSR of W^T, the only
+  /// weight storage of the read-only inference form.
+  std::unique_ptr<tensor::CsrMatrix> sparse_wt_;
 };
 
 }  // namespace streambrain::core

@@ -37,7 +37,8 @@ const std::vector<std::string>& Model::option_keys() {
       "alpha",       "alpha_supervised", "batch_size",
       "epochs",      "head_epochs",      "inverse_temperature",
       "k_beta",      "noise_end",        "noise_start",
-      "plasticity_swaps"};
+      "plasticity_swaps",                "prune_cadence",
+      "prune_density"};
   return keys;
 }
 
@@ -84,8 +85,9 @@ Model& Model::compile(const std::string& engine, std::uint64_t seed) {
 
   // The deep schedule only consumes a subset of the option keys; reject
   // the rest instead of silently dropping a validated option.
-  for (const char* key : {"alpha_supervised", "inverse_temperature", "k_beta",
-                          "noise_end", "plasticity_swaps"}) {
+  for (const char* key :
+       {"alpha_supervised", "inverse_temperature", "k_beta", "noise_end",
+        "plasticity_swaps", "prune_cadence", "prune_density"}) {
     if (options_.has(key)) {
       throw std::invalid_argument(
           std::string("Model: option '") + key +
@@ -129,8 +131,35 @@ std::string Model::name() const {
   return out.str();
 }
 
+Model Model::sparsify() const {
+  if (!compiled()) {
+    throw std::logic_error("Model: sparsify() before compile()");
+  }
+  Model replica = clone_model(*this);
+  if (!replica.sparse()) {
+    // Fresh dense clone (the checkpoint round-trip already made it an
+    // independent object); convert its components in place.
+    if (replica.network_) {
+      replica.network_->sparsify();
+    } else {
+      replica.deep_->sparsify();
+    }
+  }
+  return replica;
+}
+
+bool Model::sparse() const noexcept {
+  if (network_) return network_->sparse();
+  if (deep_) return deep_->sparse();
+  return false;
+}
+
 void Model::fit(const tensor::MatrixF& x, const std::vector<int>& labels) {
   if (!compiled()) throw std::logic_error("Model: fit() before compile()");
+  if (sparse()) {
+    throw std::logic_error(
+        "Model: fit() on a sparsified model (read-only inference form)");
+  }
   if (network_) {
     network_->fit(x, labels);
   } else {
@@ -195,7 +224,10 @@ const DeepBcpnn& Model::deep() const {
 
 std::string Model::summary() const {
   std::ostringstream out;
-  out << "Model (" << (compiled() ? "compiled" : "not compiled") << ")\n";
+  out << "Model ("
+      << (compiled() ? (sparse() ? "compiled, sparse read-only" : "compiled")
+                     : "not compiled")
+      << ")\n";
   out << "  input        : " << input_hypercolumns_ << " hypercolumns x "
       << input_bins_ << " units = " << input_hypercolumns_ * input_bins_
       << "\n";

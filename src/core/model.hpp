@@ -99,6 +99,25 @@ class Model final : public Estimator {
   /// bit-for-bit on the same engine.
   void load(const std::string& path) override;
 
+  // --- Sparse inference form ----------------------------------------------
+
+  /// Compact read-only sparse clone of this trained model: the clone's
+  /// weights are compressed to CSR (only the entries the receptive-field
+  /// masks and magnitude pruning left non-zero) and the probability
+  /// traces — as large as the dense weights — are dropped entirely, so a
+  /// serving replica costs a fraction of the dense clone and
+  /// serve::ShardPool fits more shards per host. The clone predicts
+  /// bit-identically (at scalar dispatch) to this model, serves through
+  /// Predictor / AsyncPredictor / ShardPool transparently, and
+  /// round-trips through save()/load() as a version-3 checkpoint.
+  /// fit()/load() on the clone throw std::logic_error. Prune first
+  /// (core::prune_model or the prune_density/prune_cadence options) —
+  /// sparsifying an unpruned model mostly stores the dense matrix as CSR.
+  [[nodiscard]] Model sparsify() const;
+
+  /// True when this model is a read-only sparse inference form.
+  [[nodiscard]] bool sparse() const noexcept;
+
   // --- Introspection ------------------------------------------------------
 
   /// Human-readable layer summary (Keras's model.summary()).

@@ -58,6 +58,13 @@ FitReport Network::fit_unsupervised(const tensor::MatrixF& x) {
     info.noise_std = noise;
     info.plasticity_swaps = hidden_->plasticity_step();
     report.total_plasticity_swaps += info.plasticity_swaps;
+    // In-training prune/rewire cadence: re-select the magnitude keep-mask
+    // right after the structural-plasticity step, so a swapped-in
+    // connection competes for survival on its fresh weights.
+    if (cfg.prune_cadence > 0 && cfg.prune_density < 1.0 &&
+        (epoch + 1) % cfg.prune_cadence == 0) {
+      hidden_->prune_to_density(cfg.prune_density);
+    }
     if (epoch_callback_) epoch_callback_(info, *hidden_);
   }
   report.unsupervised_seconds = unsup_watch.seconds();
@@ -85,9 +92,17 @@ double Network::fit_head(const tensor::MatrixF& x,
   const tensor::MatrixF targets =
       data::one_hot_labels(labels, config_.classes);
   double last_loss = 0.0;
+  const bool head_prune_cadence =
+      cfg.prune_cadence > 0 && cfg.prune_density < 1.0;
   if (config_.head == HeadType::kSgd) {
     for (std::size_t epoch = 0; epoch < cfg.head_epochs; ++epoch) {
       last_loss = sgd_head_->train_epoch(hidden_repr, targets);
+      // Same prune/rewire cadence as the hidden layer (applied to either
+      // head type): the mask pins pruned weights at zero between
+      // re-selections.
+      if (head_prune_cadence && (epoch + 1) % cfg.prune_cadence == 0) {
+        sgd_head_->prune_to_density(cfg.prune_density);
+      }
     }
     return last_loss;
   }
@@ -110,6 +125,9 @@ double Network::fit_head(const tensor::MatrixF& x,
                     batch_t.row(r - start));
       }
       bcpnn_head_->train_batch(batch_h, batch_t);
+    }
+    if (head_prune_cadence && (epoch + 1) % cfg.prune_cadence == 0) {
+      bcpnn_head_->prune_to_density(cfg.prune_density);
     }
   }
   return 0.0;
@@ -134,5 +152,16 @@ std::vector<double> Network::predict_scores(const tensor::MatrixF& x) {
              ? bcpnn_head_->predict_scores(hidden_repr)
              : sgd_head_->predict_scores(hidden_repr);
 }
+
+void Network::sparsify() {
+  hidden_->sparsify();
+  if (bcpnn_head_) {
+    bcpnn_head_->sparsify();
+  } else {
+    sgd_head_->sparsify();
+  }
+}
+
+bool Network::sparse() const noexcept { return hidden_->sparse(); }
 
 }  // namespace streambrain::core

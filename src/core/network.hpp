@@ -84,6 +84,13 @@ class Network {
   /// layer. Exposed so the distributed path reuses the head logic.
   double fit_head(const tensor::MatrixF& x, const std::vector<int>& labels);
 
+  /// Convert hidden layer + head to the compact read-only sparse
+  /// inference form (see BcpnnLayer::sparsify). Irreversible; training
+  /// entry points throw std::logic_error afterwards.
+  void sparsify();
+
+  [[nodiscard]] bool sparse() const noexcept;
+
   /// Head access for checkpointing; exactly one is non-null depending on
   /// the configured head type.
   [[nodiscard]] BcpnnClassifier* bcpnn_head() noexcept {

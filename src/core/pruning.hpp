@@ -1,0 +1,46 @@
+#pragma once
+// Magnitude-based structural pruning. Trained BCPNN weight matrices are
+// dominated by near-zero log-ratio entries (independent input/output
+// pairs have p_ij ~ p_i p_j, i.e. w ~ 0); dropping the smallest-|w|
+// entries barely moves the support sums but is what turns the sparse
+// inference path (tensor::CsrMatrix + spmv/spmm) into a real speedup
+// and a real memory win.
+//
+// Two ways in:
+//   - prune_model(model, density): one-shot post-training prune of every
+//     hidden layer and the read-out head;
+//   - set_option("prune_density", d) + set_option("prune_cadence", k)
+//     before compile(): in-training prune/rewire — the keep-mask is
+//     re-selected from fresh magnitudes every k epochs (hooked after the
+//     structural-plasticity step for the hidden layer and after each
+//     supervised epoch for the head, either type), so pruned-then-regrown
+//     connections can displace weaker survivors.
+//
+// Pruning keeps the model dense in memory (zeros in place, masks pinned
+// across weight recomputation); Model::sparsify() is the step that
+// compacts the zeros away.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace streambrain::core {
+
+class Model;
+
+/// Keep-mask (1 = keep) over `n` weights retaining the
+/// ceil(density * n) entries with the largest |w|. Deterministic: ties
+/// at the threshold magnitude resolve by ascending index. density must
+/// be in (0, 1]; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<std::uint8_t> magnitude_keep_mask(const float* w,
+                                                            std::size_t n,
+                                                            double density);
+
+/// Prune every hidden layer and the head of a compiled model to the
+/// given keep density (magnitude-based, per component). The model stays
+/// dense and trainable — further fit() calls keep the masks; call
+/// Model::sparsify() afterwards for the compact read-only form. Throws
+/// std::logic_error for un-compiled or already-sparsified models.
+void prune_model(Model& model, double density);
+
+}  // namespace streambrain::core

@@ -5,6 +5,10 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "tensor/csr.hpp"
 
 namespace streambrain::core {
 
@@ -27,9 +31,12 @@ using detail::checked_u32;
 
 constexpr char kMagic[4] = {'S', 'B', 'R', 'N'};
 // Version 2 widened float-array counts from u32 to u64 (a >= 4 GiB trace
-// array silently truncated its count under version 1). Version 1 files
-// are still read.
-constexpr std::uint32_t kVersion = 2;
+// array silently truncated its count under version 1). Version 3 added
+// the sparse section tags (CSR weights + bias for a Model::sparsify()'d
+// component) AND appended a prune keep-mask field to every dense
+// layer/classifier/sgd_head section — dense v3 payloads are NOT
+// byte-compatible with v2. Version 1 and 2 files are still read.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kOldestReadableVersion = 1;
 
 enum class Section : std::uint32_t {
@@ -37,6 +44,9 @@ enum class Section : std::uint32_t {
   kClassifier = 2,
   kSgdHead = 3,
   kModel = 4,
+  kSparseLayer = 5,
+  kSparseClassifier = 6,
+  kSparseSgdHead = 7,
 };
 
 // --- Primitive IO ---------------------------------------------------------
@@ -142,6 +152,114 @@ void expect_section(std::istream& in, Section expected) {
   }
 }
 
+/// A u32 field with a plausibility ceiling. Corrupt bytes in a count or
+/// geometry field must fail here with a clean error, not turn into a
+/// multi-GB allocation or a four-billion-iteration loop downstream (the
+/// checkpoint fuzz suite drives exactly these mutations). The limits are
+/// generous for every model this codebase builds.
+std::uint32_t read_u32_bounded(std::istream& in, std::uint32_t limit,
+                               const char* what) {
+  const std::uint32_t value = read_u32(in);
+  if (value > limit) {
+    throw std::runtime_error(std::string("checkpoint: implausible ") + what +
+                             " " + std::to_string(value));
+  }
+  return value;
+}
+
+// --- Sparse (CSR) payloads -------------------------------------------------
+// Wire format: u64 rows | u64 cols | u64 nnz | row_ptr[rows+1] u64 |
+// col_idx[nnz] u32 | values[nnz] f32. The reader validates shape against
+// the enclosing section's geometry BEFORE allocating, and the full CSR
+// invariants (monotone row_ptr, ascending in-range columns) afterwards.
+
+void write_csr(std::ostream& out, const tensor::CsrMatrix& csr) {
+  write_u64(out, csr.rows());
+  write_u64(out, csr.cols());
+  write_u64(out, csr.nnz());
+  out.write(reinterpret_cast<const char*>(csr.row_ptr().data()),
+            static_cast<std::streamsize>(csr.row_ptr().size() *
+                                         sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(csr.col_idx().data()),
+            static_cast<std::streamsize>(csr.col_idx().size() *
+                                         sizeof(std::uint32_t)));
+  out.write(reinterpret_cast<const char*>(csr.values().data()),
+            static_cast<std::streamsize>(csr.values().size() * sizeof(float)));
+}
+
+// --- Prune keep-masks ------------------------------------------------------
+// Version 3 appends an element keep-mask field to the dense layer /
+// classifier / sgd_head sections: u8 flag (0 = unpruned), then one byte
+// per weight when set. Without it, loading a magnitude-pruned model
+// would silently regrow the pruned weights (BCPNN weights are a pure
+// function of the traces), breaking the bit-for-bit load guarantee.
+
+void write_prune_mask(std::ostream& out,
+                      const std::vector<std::uint8_t>& mask) {
+  out.put(mask.empty() ? 0 : 1);
+  if (!mask.empty()) {
+    out.write(reinterpret_cast<const char*>(mask.data()),
+              static_cast<std::streamsize>(mask.size()));
+  }
+}
+
+/// Returns an empty vector when the flag byte is 0. Only format
+/// version >= 3 carries the field; callers must gate on that.
+std::vector<std::uint8_t> read_prune_mask(std::istream& in,
+                                          std::size_t expected_size) {
+  const int flag = in.get();
+  if (flag == std::char_traits<char>::eof()) {
+    throw std::runtime_error("checkpoint: truncated prune-mask flag");
+  }
+  if (flag == 0) return {};
+  if (flag != 1) {
+    throw std::runtime_error("checkpoint: bad prune-mask flag " +
+                             std::to_string(flag));
+  }
+  std::vector<std::uint8_t> mask(expected_size);
+  in.read(reinterpret_cast<char*>(mask.data()),
+          static_cast<std::streamsize>(expected_size));
+  if (!in) throw std::runtime_error("checkpoint: truncated prune mask");
+  for (const std::uint8_t bit : mask) {
+    if (bit > 1) {
+      throw std::runtime_error("checkpoint: corrupt prune-mask byte");
+    }
+  }
+  return mask;
+}
+
+tensor::CsrMatrix read_csr(std::istream& in, std::size_t expected_rows,
+                           std::size_t expected_cols) {
+  const std::uint64_t rows = read_u64(in);
+  const std::uint64_t cols = read_u64(in);
+  const std::uint64_t nnz = read_u64(in);
+  if (rows != expected_rows || cols != expected_cols) {
+    throw std::runtime_error("checkpoint: sparse matrix shape mismatch");
+  }
+  if (nnz > rows * cols) {
+    throw std::runtime_error("checkpoint: implausible sparse entry count " +
+                             std::to_string(nnz));
+  }
+  std::vector<std::uint64_t> row_ptr(rows + 1);
+  in.read(reinterpret_cast<char*>(row_ptr.data()),
+          static_cast<std::streamsize>(row_ptr.size() *
+                                       sizeof(std::uint64_t)));
+  std::vector<std::uint32_t> col_idx(nnz);
+  in.read(reinterpret_cast<char*>(col_idx.data()),
+          static_cast<std::streamsize>(col_idx.size() *
+                                       sizeof(std::uint32_t)));
+  std::vector<float> values(nnz);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("checkpoint: truncated sparse matrix");
+  try {
+    return tensor::CsrMatrix::adopt(rows, cols, std::move(row_ptr),
+                                    std::move(col_idx), std::move(values));
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error(std::string("checkpoint: ") + error.what());
+  }
+}
+
 // --- Sections --------------------------------------------------------------
 
 void write_traces(std::ostream& out, const ProbabilityTraces& traces) {
@@ -158,8 +276,20 @@ void read_traces(std::istream& in, ProbabilityTraces& traces,
 }
 
 void write_layer_section(std::ostream& out, const BcpnnLayer& layer) {
-  write_u32(out, static_cast<std::uint32_t>(Section::kLayer));
   const auto& config = layer.config();
+  if (layer.sparse()) {
+    // Sparse inference form: geometry, bias, CSR of W^T. No traces, no
+    // masks — the CSR *is* the learned state of a read-only layer.
+    write_u32(out, static_cast<std::uint32_t>(Section::kSparseLayer));
+    write_u32(out, checked_u32(config.input_hypercolumns, "hypercolumn"));
+    write_u32(out, checked_u32(config.input_bins, "bin"));
+    write_u32(out, checked_u32(config.hcus, "hcu"));
+    write_u32(out, checked_u32(config.mcus, "mcu"));
+    write_floats(out, layer.bias().data(), layer.bias().size());
+    write_csr(out, layer.sparse_weights());
+    return;
+  }
+  write_u32(out, static_cast<std::uint32_t>(Section::kLayer));
   write_u32(out, checked_u32(config.input_hypercolumns, "hypercolumn"));
   write_u32(out, checked_u32(config.input_bins, "bin"));
   write_u32(out, checked_u32(config.hcus, "hcu"));
@@ -171,11 +301,35 @@ void write_layer_section(std::ostream& out, const BcpnnLayer& layer) {
       out.put(mask[i] ? 1 : 0);
     }
   }
+  write_prune_mask(out, layer.prune_mask());
+}
+
+void read_sparse_layer_body(std::istream& in, BcpnnLayer& layer,
+                            std::uint32_t version) {
+  const auto& config = layer.config();
+  if (read_u32(in) != config.input_hypercolumns ||
+      read_u32(in) != config.input_bins || read_u32(in) != config.hcus ||
+      read_u32(in) != config.mcus) {
+    throw std::runtime_error("checkpoint: layer geometry mismatch");
+  }
+  std::vector<float> bias(config.hidden_units());
+  read_floats(in, bias.data(), bias.size(), version);
+  tensor::CsrMatrix wt =
+      read_csr(in, config.hidden_units(), config.input_units());
+  layer.adopt_sparse(std::move(wt), std::move(bias));
 }
 
 void read_layer_section(std::istream& in, BcpnnLayer& layer,
                         std::uint32_t version) {
-  expect_section(in, Section::kLayer);
+  const std::uint32_t tag = read_u32(in);
+  if (tag == static_cast<std::uint32_t>(Section::kSparseLayer)) {
+    read_sparse_layer_body(in, layer, version);
+    return;
+  }
+  if (tag != static_cast<std::uint32_t>(Section::kLayer)) {
+    throw std::runtime_error("checkpoint: unexpected section tag " +
+                             std::to_string(tag));
+  }
   const auto& config = layer.config();
   if (read_u32(in) != config.input_hypercolumns ||
       read_u32(in) != config.input_bins || read_u32(in) != config.hcus ||
@@ -203,35 +357,91 @@ void read_layer_section(std::istream& in, BcpnnLayer& layer,
       throw std::runtime_error("checkpoint: mask cardinality mismatch");
     }
   }
+  std::vector<std::uint8_t> prune;
+  if (version >= 3) {
+    prune =
+        read_prune_mask(in, config.input_units() * config.hidden_units());
+  }
   layer.set_state(traces, masks);
+  layer.set_prune_mask(std::move(prune));
 }
 
 void write_classifier_section(std::ostream& out, const BcpnnClassifier& head) {
+  if (head.sparse()) {
+    write_u32(out, static_cast<std::uint32_t>(Section::kSparseClassifier));
+    write_u32(out, checked_u32(head.classes(), "class"));
+    write_floats(out, head.bias().data(), head.bias().size());
+    write_csr(out, head.sparse_weights());
+    return;
+  }
   write_u32(out, static_cast<std::uint32_t>(Section::kClassifier));
   write_u32(out, checked_u32(head.classes(), "class"));
   write_traces(out, head.traces());
+  write_prune_mask(out, head.prune_mask());
 }
 
 void read_classifier_section(std::istream& in, BcpnnClassifier& head,
                              std::uint32_t version) {
-  expect_section(in, Section::kClassifier);
+  const std::uint32_t tag = read_u32(in);
+  if (tag == static_cast<std::uint32_t>(Section::kSparseClassifier)) {
+    if (read_u32(in) != head.classes()) {
+      throw std::runtime_error("checkpoint: class count mismatch");
+    }
+    std::vector<float> bias(head.classes());
+    read_floats(in, bias.data(), bias.size(), version);
+    const std::size_t inputs = head.traces().inputs();
+    tensor::CsrMatrix wt = read_csr(in, head.classes(), inputs);
+    head.adopt_sparse(std::move(wt), std::move(bias));
+    return;
+  }
+  if (tag != static_cast<std::uint32_t>(Section::kClassifier)) {
+    throw std::runtime_error("checkpoint: unexpected section tag " +
+                             std::to_string(tag));
+  }
   if (read_u32(in) != head.classes()) {
     throw std::runtime_error("checkpoint: class count mismatch");
   }
   read_traces(in, head.mutable_traces(), version);
   head.recompute_weights();
+  if (version >= 3) {
+    head.set_prune_mask(
+        read_prune_mask(in, head.traces().inputs() * head.classes()));
+  }
 }
 
 void write_sgd_section(std::ostream& out, const SgdHead& head) {
+  if (head.sparse()) {
+    write_u32(out, static_cast<std::uint32_t>(Section::kSparseSgdHead));
+    write_u32(out, checked_u32(head.classes(), "class"));
+    write_floats(out, head.bias().data(), head.bias().size());
+    write_csr(out, head.sparse_weights());
+    return;
+  }
   write_u32(out, static_cast<std::uint32_t>(Section::kSgdHead));
   write_u32(out, checked_u32(head.classes(), "class"));
   write_floats(out, head.weights().data(), head.weights().size());
   write_floats(out, head.bias().data(), head.bias().size());
+  write_prune_mask(out, head.prune_mask());
 }
 
 void read_sgd_section(std::istream& in, SgdHead& head,
                       std::uint32_t version) {
-  expect_section(in, Section::kSgdHead);
+  const std::uint32_t tag = read_u32(in);
+  if (tag == static_cast<std::uint32_t>(Section::kSparseSgdHead)) {
+    if (read_u32(in) != head.classes()) {
+      throw std::runtime_error("checkpoint: class count mismatch");
+    }
+    std::vector<float> bias(head.bias().size());
+    read_floats(in, bias.data(), bias.size(), version);
+    tensor::CsrMatrix wt =
+        read_csr(in, head.classes(), head.weights().rows());
+    head.adopt_sparse(std::move(wt), std::move(bias));
+    return;
+  }
+  if (tag != static_cast<std::uint32_t>(Section::kSgdHead)) {
+    throw std::runtime_error("checkpoint: unexpected section tag " +
+                             std::to_string(tag));
+  }
   if (read_u32(in) != head.classes()) {
     throw std::runtime_error("checkpoint: class count mismatch");
   }
@@ -240,6 +450,9 @@ void read_sgd_section(std::istream& in, SgdHead& head,
   read_floats(in, weights.data(), weights.size(), version);
   read_floats(in, bias.data(), bias.size(), version);
   head.set_state(weights, bias);
+  if (version >= 3) {
+    head.set_prune_mask(read_prune_mask(in, weights.size()));
+  }
 }
 
 /// Hidden layer + head of a compiled three-layer network.
@@ -354,26 +567,45 @@ void load_model(std::istream& in, Model& model) {
 
   // Stage into a scratch Model so a failure at any point (truncated
   // weights, geometry mismatch) leaves the caller's object untouched
-  // instead of compiled-with-random-weights.
+  // instead of compiled-with-random-weights. Geometry fields are
+  // plausibility-bounded: compile() allocates traces from them before
+  // any weight bytes are validated, so a corrupt field must be rejected
+  // here rather than turn into a runaway allocation.
+  constexpr std::uint32_t kMaxGeometry = 1u << 20;
+  constexpr std::uint64_t kMaxLayerWeights = 1ull << 26;  // floats per layer
   Model staging;
-  const std::uint32_t input_hypercolumns = read_u32(in);
-  const std::uint32_t input_bins = read_u32(in);
+  const std::uint32_t input_hypercolumns =
+      read_u32_bounded(in, kMaxGeometry, "hypercolumn count");
+  const std::uint32_t input_bins =
+      read_u32_bounded(in, kMaxGeometry, "bin count");
   staging.input(input_hypercolumns, input_bins);
-  const std::uint32_t depth = read_u32(in);
+  const std::uint32_t depth = read_u32_bounded(in, 256, "hidden depth");
   if (depth == 0) throw std::runtime_error("load_model: no hidden layers");
+  const std::uint64_t input_units =
+      static_cast<std::uint64_t>(input_hypercolumns) * input_bins;
+  std::uint64_t below_units = input_units;
   for (std::uint32_t l = 0; l < depth; ++l) {
-    const std::uint32_t hcus = read_u32(in);
-    const std::uint32_t mcus = read_u32(in);
+    const std::uint32_t hcus = read_u32_bounded(in, kMaxGeometry, "hcu count");
+    const std::uint32_t mcus = read_u32_bounded(in, kMaxGeometry, "mcu count");
     const double receptive_field = read_f64(in);
+    const std::uint64_t units = static_cast<std::uint64_t>(hcus) * mcus;
+    if (units > kMaxGeometry || below_units * units > kMaxLayerWeights) {
+      throw std::runtime_error(
+          "checkpoint: implausible layer geometry (weight matrix over " +
+          std::to_string(kMaxLayerWeights) + " entries)");
+    }
+    below_units = units;
     staging.hidden(hcus, mcus, receptive_field);
   }
-  const std::uint32_t classes = read_u32(in);
+  const std::uint32_t classes =
+      read_u32_bounded(in, kMaxGeometry, "class count");
   const std::uint32_t head_tag = read_u32(in);
   if (head_tag > 1) throw std::runtime_error("load_model: bad head tag");
   staging.classifier(classes, static_cast<HeadType>(head_tag));
   const std::string engine = read_string(in);
   const std::uint64_t seed = read_u64(in);
-  const std::uint32_t option_count = read_u32(in);
+  const std::uint32_t option_count =
+      read_u32_bounded(in, 4096, "option count");
   for (std::uint32_t i = 0; i < option_count; ++i) {
     const std::string key = read_string(in);
     const double value = read_f64(in);

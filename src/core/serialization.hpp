@@ -5,14 +5,20 @@
 // checkpoints are small and exact — loading reproduces the saved model's
 // predictions bit-for-bit on the same engine.
 //
-// Format (little-endian, version 2):
+// Format (little-endian, version 3):
 //   magic "SBRN" | u32 version | u32 section tag | section payload ...
 // Sections: layer (geometry, traces, masks), classifier (traces),
-// sgd_head (weights, bias). Network files chain hidden + head sections.
+// sgd_head (weights, bias), and — for Model::sparsify()'d components —
+// sparse_layer / sparse_classifier / sparse_sgd_head (geometry, bias,
+// CSR weight payload: the traces are gone by design, the CSR is the
+// learned state). Network files chain hidden + head sections.
 // Version 2 widened float-array counts from u32 to u64 (version 1
-// silently truncated counts >= 2^32); version-1 files are still read.
-// Every other count field that stays u32 is now overflow-checked on
-// write instead of narrowing silently.
+// silently truncated counts >= 2^32); version 3 added the sparse
+// section tags and appended a prune keep-mask field to the dense
+// sections (so pruned models load bit-for-bit). Version 1 and 2 files
+// are still read. Every count field that stays u32 is overflow-checked on
+// write and plausibility-bounded on read — corrupt or fuzzed bytes fail
+// with std::runtime_error, never a crash or a runaway allocation.
 
 #include <cstddef>
 #include <cstdint>

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
+#include "core/pruning.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/kernels.hpp"
 
@@ -30,15 +32,20 @@ SgdHead::SgdHead(std::size_t inputs, std::size_t classes, SgdHeadConfig config)
 
 void SgdHead::forward(const tensor::MatrixF& features,
                       tensor::MatrixF& probs) const {
-  probs.resize(features.rows(), classes_);
-  tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f, features,
-               weights_, 0.0f, probs);
-  tensor::add_row_bias(probs, bias_.data());
+  if (sparse_wt_) {
+    tensor::sparse_support(*sparse_wt_, features, bias_.data(), probs);
+  } else {
+    probs.resize(features.rows(), classes_);
+    tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f,
+                 features, weights_, 0.0f, probs);
+    tensor::add_row_bias(probs, bias_.data());
+  }
   tensor::softmax_blocks(probs, classes_);
 }
 
 double SgdHead::train_epoch(const tensor::MatrixF& features,
                             const tensor::MatrixF& targets) {
+  require_mutable("train_epoch");
   if (features.rows() != targets.rows() || targets.cols() != classes_) {
     throw std::invalid_argument("SgdHead::train_epoch: shape mismatch");
   }
@@ -94,6 +101,7 @@ double SgdHead::train_epoch(const tensor::MatrixF& features,
     tensor::scale(1.0f / static_cast<float>(b), bias_grad.data(), classes_);
     tensor::momentum_update(mu, lr, 0.0f, bias_grad.data(), bias_.data(),
                             bias_velocity_.data(), classes_);
+    apply_prune_mask();
   }
   current_lr_ *= config_.learning_rate_decay;
   return batches > 0 ? total_loss / static_cast<double>(n) : 0.0;
@@ -101,6 +109,7 @@ double SgdHead::train_epoch(const tensor::MatrixF& features,
 
 void SgdHead::apply_gradient(const tensor::MatrixF& grad,
                              const std::vector<float>& bias_grad) {
+  require_mutable("apply_gradient");
   if (grad.rows() != weights_.rows() || grad.cols() != weights_.cols() ||
       bias_grad.size() != bias_.size()) {
     throw std::invalid_argument("SgdHead::apply_gradient: shape mismatch");
@@ -111,20 +120,24 @@ void SgdHead::apply_gradient(const tensor::MatrixF& grad,
   tensor::momentum_update(config_.momentum, current_lr_, 0.0f,
                           bias_grad.data(), bias_.data(),
                           bias_velocity_.data(), classes_);
+  apply_prune_mask();
 }
 
 void SgdHead::set_parameters(const tensor::MatrixF& weights,
                              const std::vector<float>& bias) {
+  require_mutable("set_parameters");
   if (weights.rows() != weights_.rows() || weights.cols() != weights_.cols() ||
       bias.size() != bias_.size()) {
     throw std::invalid_argument("SgdHead::set_parameters: shape mismatch");
   }
   weights_ = weights;
   bias_ = bias;
+  apply_prune_mask();
 }
 
 void SgdHead::set_state(const tensor::MatrixF& weights,
                         const std::vector<float>& bias) {
+  require_mutable("set_state");
   if (weights.rows() != weights_.rows() || weights.cols() != weights_.cols() ||
       bias.size() != bias_.size()) {
     throw std::invalid_argument("SgdHead::set_state: shape mismatch");
@@ -133,6 +146,86 @@ void SgdHead::set_state(const tensor::MatrixF& weights,
   bias_ = bias;
   velocity_.fill(0.0f);
   std::fill(bias_velocity_.begin(), bias_velocity_.end(), 0.0f);
+  apply_prune_mask();
+}
+
+std::size_t SgdHead::prune_to_density(double density) {
+  require_mutable("prune_to_density");
+  prune_keep_ = magnitude_keep_mask(weights_.data(), weights_.size(), density);
+  std::size_t dropped = 0;
+  for (const std::uint8_t keep : prune_keep_) dropped += keep == 0;
+  apply_prune_mask();
+  return dropped;
+}
+
+void SgdHead::set_prune_mask(std::vector<std::uint8_t> mask) {
+  require_mutable("set_prune_mask");
+  if (!mask.empty() && mask.size() != weights_.size()) {
+    throw std::invalid_argument("SgdHead::set_prune_mask: size mismatch");
+  }
+  prune_keep_ = std::move(mask);
+  apply_prune_mask();
+}
+
+double SgdHead::weight_density() const noexcept {
+  if (sparse_wt_) return sparse_wt_->density();
+  if (weights_.empty()) return 1.0;
+  std::size_t nnz = 0;
+  for (const float w : weights_) nnz += w != 0.0f;
+  return static_cast<double>(nnz) / static_cast<double>(weights_.size());
+}
+
+void SgdHead::sparsify() {
+  if (sparse_wt_) return;  // idempotent
+  sparse_wt_ = std::make_unique<tensor::CsrMatrix>(
+      tensor::CsrMatrix::from_dense_transposed(weights_));
+  weights_ = tensor::MatrixF();
+  velocity_ = tensor::MatrixF();
+  bias_velocity_.clear();
+  bias_velocity_.shrink_to_fit();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+const tensor::CsrMatrix& SgdHead::sparse_weights() const {
+  if (!sparse_wt_) {
+    throw std::logic_error("SgdHead::sparse_weights: head is dense");
+  }
+  return *sparse_wt_;
+}
+
+void SgdHead::adopt_sparse(tensor::CsrMatrix wt, std::vector<float> bias) {
+  if (wt.rows() != classes_ || bias.size() != classes_ ||
+      (weights_.size() != 0 && wt.cols() != weights_.rows())) {
+    throw std::invalid_argument("SgdHead::adopt_sparse: shape mismatch");
+  }
+  sparse_wt_ = std::make_unique<tensor::CsrMatrix>(std::move(wt));
+  bias_ = std::move(bias);
+  weights_ = tensor::MatrixF();
+  velocity_ = tensor::MatrixF();
+  bias_velocity_.clear();
+  bias_velocity_.shrink_to_fit();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+void SgdHead::apply_prune_mask() {
+  if (prune_keep_.empty()) return;
+  float* w = weights_.data();
+  float* v = velocity_.data();
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (prune_keep_[i] == 0) {
+      w[i] = 0.0f;
+      v[i] = 0.0f;
+    }
+  }
+}
+
+void SgdHead::require_mutable(const char* what) const {
+  if (sparse_wt_) {
+    throw std::logic_error(std::string("SgdHead::") + what +
+                           ": head is in the read-only sparse form");
+  }
 }
 
 void SgdHead::predict(const tensor::MatrixF& features,

@@ -5,8 +5,11 @@
 // 76.4% AUC on the Higgs task).
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "tensor/csr.hpp"
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +60,45 @@ class SgdHead {
   void set_parameters(const tensor::MatrixF& weights,
                       const std::vector<float>& bias);
 
+  // --- Structural pruning -------------------------------------------------
+  /// Magnitude-based element pruning: keep the `density` fraction of
+  /// weights with the largest |w| (deterministic tie-break), zero the
+  /// rest together with their momentum, and pin the mask — subsequent
+  /// train_epoch()/apply_gradient() updates cannot regrow a pruned
+  /// weight until the next prune re-selects the mask ("rewire").
+  /// Returns the number of zeroed entries.
+  std::size_t prune_to_density(double density);
+
+  [[nodiscard]] bool pruned() const noexcept { return !prune_keep_.empty(); }
+
+  /// Checkpointing access: the element keep-mask (empty when unpruned).
+  [[nodiscard]] const std::vector<std::uint8_t>& prune_mask() const noexcept {
+    return prune_keep_;
+  }
+
+  /// Adopt a checkpointed keep-mask (empty clears) and re-apply it, so
+  /// training resumed from a pruned checkpoint keeps the pruned weights
+  /// pinned at zero. Throws on size mismatch.
+  void set_prune_mask(std::vector<std::uint8_t> mask);
+
+  /// Fraction of weight entries currently non-zero.
+  [[nodiscard]] double weight_density() const noexcept;
+
+  // --- Sparse inference form ------------------------------------------------
+  /// Convert to the compact read-only inference form: weights compressed
+  /// to CSR (transposed: one sparse row per class), dense weights and
+  /// momentum freed. predict paths keep working bit-identically at
+  /// scalar dispatch; training entry points throw std::logic_error.
+  void sparsify();
+
+  [[nodiscard]] bool sparse() const noexcept { return sparse_wt_ != nullptr; }
+
+  /// CSR of W^T (throws std::logic_error when dense).
+  [[nodiscard]] const tensor::CsrMatrix& sparse_weights() const;
+
+  /// Adopt a deserialized sparse form (checkpoint read path).
+  void adopt_sparse(tensor::CsrMatrix wt, std::vector<float> bias);
+
   // --- Checkpointing access ---------------------------------------------
   [[nodiscard]] const tensor::MatrixF& weights() const noexcept {
     return weights_;
@@ -70,6 +112,8 @@ class SgdHead {
 
  private:
   void forward(const tensor::MatrixF& features, tensor::MatrixF& probs) const;
+  void apply_prune_mask();
+  void require_mutable(const char* what) const;
 
   std::size_t classes_;
   SgdHeadConfig config_;
@@ -79,6 +123,9 @@ class SgdHead {
   tensor::MatrixF velocity_;   // momentum buffer, same shape as weights
   std::vector<float> bias_velocity_;
   util::Rng rng_;
+  /// Keep-mask from prune_to_density (empty = dense training); 1 = keep.
+  std::vector<std::uint8_t> prune_keep_;
+  std::unique_ptr<tensor::CsrMatrix> sparse_wt_;
 };
 
 }  // namespace streambrain::core

@@ -42,6 +42,18 @@ class ProbabilityTraces {
   [[nodiscard]] std::vector<float>& mutable_pj() noexcept { return pj_; }
   [[nodiscard]] tensor::MatrixF& mutable_pij() noexcept { return pij_; }
 
+  /// Free all trace storage (inputs()/outputs() become 0). Called when a
+  /// layer enters the read-only sparse inference form: p_ij is as large
+  /// as the dense weight matrix, and dropping it is most of the memory
+  /// win of Model::sparsify(). Irreversible for this object.
+  void release() noexcept {
+    pi_.clear();
+    pi_.shrink_to_fit();
+    pj_.clear();
+    pj_.shrink_to_fit();
+    pij_ = tensor::MatrixF();
+  }
+
   /// Sum of p_i within each input hypercolumn (should stay ~1 for one-hot
   /// inputs) — used by property tests.
   [[nodiscard]] std::vector<double> input_hypercolumn_mass() const;

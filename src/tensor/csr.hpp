@@ -1,0 +1,101 @@
+#pragma once
+// Compressed-sparse-row float matrix — the storage format of the sparse
+// inference path. Trained BCPNN weight matrices are dominated by exact
+// zeros once receptive-field masks and magnitude pruning have run;
+// storing only the surviving entries shrinks a serving replica by
+// roughly the keep density (more serve::ShardPool shards per host) and
+// lets spmv/spmm skip the dead multiplies entirely.
+//
+// Layout is the textbook one: `row_ptr` (rows + 1 entries, u64) brackets
+// each row's slice of `col_idx` (u32, strictly ascending within a row)
+// and `values` (float, never stored zeros). Ascending column order is a
+// class invariant, not a convention: it is what makes the scalar-tier
+// spmv/spmm bit-identical to the dense kernels on the same (zero-masked)
+// matrix, which the sparse serving equivalence tests assert.
+//
+// Kernels live in the runtime-dispatched tensor::KernelSet (spmv /
+// spmm); the drivers below add shape handling and — for batched spmm —
+// row-panel fan-out over parallel::ThreadPool, mirroring the dense GEMM
+// driver.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace streambrain::tensor {
+
+class CsrMatrix {
+ public:
+  /// An empty 0 x 0 matrix.
+  CsrMatrix() = default;
+
+  /// Compress `dense`, keeping every entry that is not exactly 0.0f.
+  [[nodiscard]] static CsrMatrix from_dense(const MatrixF& dense);
+
+  /// Compress the TRANSPOSE of `dense` (the common case: weights are
+  /// stored [inputs x outputs] but inference wants one sparse row per
+  /// output unit). Equivalent to from_dense of the transposed matrix
+  /// without materializing it.
+  [[nodiscard]] static CsrMatrix from_dense_transposed(const MatrixF& dense);
+
+  /// Adopt raw arrays (the checkpoint read path). Validates the CSR
+  /// invariants — row_ptr starts at 0, is non-decreasing and ends at
+  /// nnz; col_idx in range and strictly ascending within each row —
+  /// and throws std::invalid_argument naming the violation otherwise.
+  [[nodiscard]] static CsrMatrix adopt(std::size_t rows, std::size_t cols,
+                                       std::vector<std::uint64_t> row_ptr,
+                                       std::vector<std::uint32_t> col_idx,
+                                       std::vector<float> values);
+
+  /// Expand back to dense (missing entries become +0.0f).
+  [[nodiscard]] MatrixF to_dense() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+  /// Stored fraction: nnz / (rows * cols); 1.0 for an empty matrix.
+  [[nodiscard]] double density() const noexcept;
+  /// Bytes of the three arrays (the compact-replica accounting the
+  /// sparse bench reports against rows * cols * sizeof(float)).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  [[nodiscard]] const std::vector<float>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint64_t> row_ptr_ = {0};  // always rows_ + 1 entries
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+/// y = A x for CSR A [m x k]; y must hold m floats, x k floats. Output
+/// is overwritten (assignment, not accumulation). Runs on the calling
+/// thread — one vector is too little work to amortize a pool submit.
+void spmv(const CsrMatrix& a, const float* x, float* y);
+
+/// C = B * A^T for CSR A [m x k] and dense B [batch x k]:
+///   C(r, i) = dot(A row i, B row r)
+/// C is resized to [batch x m]. Batch row panels are fanned over
+/// parallel::ThreadPool exactly like the dense GEMM driver (and skip the
+/// fan-out when already on a pool worker, for the same deadlock reason).
+void spmm_bt(const CsrMatrix& a, const MatrixF& b, MatrixF& c);
+
+/// Sparse analogue of Engine::support: S = X * W + bias_row, where `wt`
+/// is the CSR of W^T ([n_out x n_in]). S is resized to
+/// [x.rows() x wt.rows()]. At scalar dispatch the result is bit-identical
+/// to the dense support path on the densified W (for x >= 0).
+void sparse_support(const CsrMatrix& wt, const MatrixF& x, const float* bias,
+                    MatrixF& s);
+
+}  // namespace streambrain::tensor

@@ -73,23 +73,6 @@ constexpr std::size_t kBlockK = 256;
 // the parallelism.
 constexpr std::size_t kMinRowsPerTask = 32;
 
-// Upper bound on concurrent GEMM tasks, resolved once. The old OpenMP
-// path honored OMP_NUM_THREADS; the pool fan-out keeps that contract
-// (STREAMBRAIN_THREADS wins, then OMP_NUM_THREADS, then the pool size),
-// so embedders and CI can still pin or disable GEMM threading.
-std::size_t max_gemm_tasks() {
-  static const std::size_t limit = [] {
-    for (const char* name : {"STREAMBRAIN_THREADS", "OMP_NUM_THREADS"}) {
-      if (const char* env = std::getenv(name)) {
-        const long value = std::atol(env);
-        if (value > 0) return static_cast<std::size_t>(value);
-      }
-    }
-    return parallel::global_pool().size();
-  }();
-  return limit;
-}
-
 // Rows [r0, r1) of C, all K panels, on the calling thread. Per C element
 // the accumulation order is fixed (ascending k), so results are
 // independent of how rows are partitioned across tasks.
@@ -104,6 +87,27 @@ void run_row_range(const KernelSet& kernels, float alpha, const float* a,
 }
 
 }  // namespace
+
+namespace detail {
+
+// Resolved once. The old OpenMP path honored OMP_NUM_THREADS; the pool
+// fan-out keeps that contract (STREAMBRAIN_THREADS wins, then
+// OMP_NUM_THREADS, then the pool size), so embedders and CI can still
+// pin or disable compute threading.
+std::size_t max_compute_tasks() {
+  static const std::size_t limit = [] {
+    for (const char* name : {"STREAMBRAIN_THREADS", "OMP_NUM_THREADS"}) {
+      if (const char* env = std::getenv(name)) {
+        const long value = std::atol(env);
+        if (value > 0) return static_cast<std::size_t>(value);
+      }
+    }
+    return parallel::global_pool().size();
+  }();
+  return limit;
+}
+
+}  // namespace detail
 
 void gemm_naive(Transpose trans_a, Transpose trans_b, float alpha,
                 const MatrixF& a, const MatrixF& b, float beta, MatrixF& c) {
@@ -137,7 +141,9 @@ void gemm_blocked(Transpose trans_a, Transpose trans_b, float alpha,
   // pool) or the matrix is too small to amortize the submits.
   parallel::ThreadPool& pool = parallel::global_pool();
   const std::size_t max_tasks = std::max<std::size_t>(
-      1, std::min({pool.size(), max_gemm_tasks(), m / kMinRowsPerTask}));
+      1,
+      std::min({pool.size(), detail::max_compute_tasks(),
+                m / kMinRowsPerTask}));
   if (max_tasks <= 1 || parallel::ThreadPool::in_worker()) {
     run_row_range(kernels, alpha, a_ptr, b_ptr, c, 0, m, n, k);
     return;

@@ -19,6 +19,48 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace streambrain::tensor {
+namespace avx2_impl {
+
+// Gather+FMA sparse dot, declared ahead of the shared bodies because
+// k_spmv/k_spmm in kernel_impl.inl call it. Two 8-lane accumulators hide
+// part of the gather latency; the scalar tail keeps ascending-column
+// order so the tolerance analysis matches the other reductions.
+inline float k_spdot(const float* values, const std::uint32_t* col_idx,
+                     std::size_t nnz, const float* x) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t p = 0;
+  for (; p + 16 <= nnz; p += 16) {
+    const __m256i idx0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col_idx + p));
+    const __m256i idx1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col_idx + p + 8));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(values + p),
+                           _mm256_i32gather_ps(x, idx0, 4), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(values + p + 8),
+                           _mm256_i32gather_ps(x, idx1, 4), acc1);
+  }
+  for (; p + 8 <= nnz; p += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col_idx + p));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(values + p),
+                           _mm256_i32gather_ps(x, idx, 4), acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 half = _mm_add_ps(_mm256_castps256_ps128(acc0),
+                           _mm256_extractf128_ps(acc0, 1));
+  half = _mm_hadd_ps(half, half);
+  half = _mm_hadd_ps(half, half);
+  float acc = _mm_cvtss_f32(half);
+  for (; p < nnz; ++p) acc += values[p] * x[col_idx[p]];
+  return acc;
+}
+
+}  // namespace avx2_impl
+}  // namespace streambrain::tensor
+
+#define SB_KERNEL_CUSTOM_SPDOT
 #define SB_KERNEL_CUSTOM_GEMM_BLOCK
 #define SB_KERNEL_NS avx2_impl
 #define SB_SIMD_LOOP _Pragma("omp simd")
@@ -30,6 +72,7 @@
 #undef SB_SIMD_REDUCE
 #undef SB_PRAGMA_STR
 #undef SB_KERNEL_CUSTOM_GEMM_BLOCK
+#undef SB_KERNEL_CUSTOM_SPDOT
 
 namespace streambrain::tensor {
 namespace avx2_impl {
@@ -164,6 +207,8 @@ const KernelSet* kernel_set_avx2() noexcept {
       &k_gemv,
       &k_gemm_block,
       &k_momentum_update,
+      &k_spmv,
+      &k_spmm,
   };
   return &set;
 }

@@ -173,6 +173,40 @@ inline void k_momentum_update(float mu, float lr, float l2, const float* g,
   }
 }
 
+#if !defined(SB_KERNEL_CUSTOM_SPDOT)
+// Sparse dot of one CSR row against a dense vector: the entries ascend
+// by column and the scalar tier accumulates them strictly in that order,
+// which makes scalar spmv/spmm bit-compatible with the dense kernels on
+// matrices whose missing entries are exact +0.0 (the pruned-model case).
+// The AVX2 tier replaces this with a gather+FMA kernel.
+inline float k_spdot(const float* values, const std::uint32_t* col_idx,
+                     std::size_t nnz, const float* x) {
+  float acc = 0.0f;
+  SB_SIMD_REDUCE(+ : acc)
+  for (std::size_t p = 0; p < nnz; ++p) acc += values[p] * x[col_idx[p]];
+  return acc;
+}
+#endif  // !SB_KERNEL_CUSTOM_SPDOT
+
+inline void k_spmv(const float* values, const std::uint32_t* col_idx,
+                   const std::uint64_t* row_ptr, std::size_t m,
+                   const float* x, float* y) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t begin = row_ptr[i];
+    y[i] = k_spdot(values + begin, col_idx + begin,
+                   static_cast<std::size_t>(row_ptr[i + 1] - begin), x);
+  }
+}
+
+inline void k_spmm(const float* values, const std::uint32_t* col_idx,
+                   const std::uint64_t* row_ptr, std::size_t m,
+                   const float* b, std::size_t ldb, std::size_t rb, float* c,
+                   std::size_t ldc) {
+  for (std::size_t r = 0; r < rb; ++r) {
+    k_spmv(values, col_idx, row_ptr, m, b + r * ldb, c + r * ldc);
+  }
+}
+
 #if !defined(SB_KERNEL_CUSTOM_GEMM_BLOCK)
 // C[mr x n] += alpha * A[mr x k] * B[k x n] as an ikj saxpy sweep; the
 // AVX2 tier replaces this with a hand-tiled FMA micro-kernel. k ascends

@@ -42,6 +42,8 @@ const KernelSet* kernel_set_scalar() noexcept {
       &k_gemv,
       &k_gemm_block,
       &k_momentum_update,
+      &k_spmv,
+      &k_spmm,
   };
   return &set;
 }

@@ -23,6 +23,7 @@
 // bit-identical concurrent serving.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "tensor/cpu_features.hpp"
 
@@ -76,6 +77,26 @@ struct KernelSet {
   ///   v[i] = mu * v[i] - lr * (g[i] + l2 * w[i]);  w[i] += v[i]
   void (*momentum_update)(float mu, float lr, float l2, const float* g,
                           float* w, float* v, std::size_t n);
+  /// Sparse mat-vec over a CSR matrix [m x k]:
+  ///   y[i] = sum_{p in [row_ptr[i], row_ptr[i+1])} values[p] * x[col_idx[p]]
+  /// Stored entries ascend by column within each row, and the scalar tier
+  /// accumulates them strictly in that order — so at scalar dispatch the
+  /// result is bit-identical to a dense gemv over the same matrix with
+  /// the missing entries as explicit +0.0 weights (given x >= 0, the
+  /// serving case). The AVX2 tier uses 8-lane gathers + FMA.
+  void (*spmv)(const float* values, const std::uint32_t* col_idx,
+               const std::uint64_t* row_ptr, std::size_t m, const float* x,
+               float* y);
+  /// Row panel of sparse products against a dense batch: for each of the
+  /// rb dense rows b (leading dimension ldb) compute
+  ///   c[r*ldc + i] = spdot(CSR row i, b + r*ldb)   for i in [0, m)
+  /// i.e. C = B * A^T with A in CSR form. This is batched inference with
+  /// A = W^T; the cache-friendly unit is one dense row streamed against
+  /// all CSR rows (the dense row stays L1/L2-resident). The blocked
+  /// driver (tensor::spmm_bt) fans row panels over the ThreadPool.
+  void (*spmm)(const float* values, const std::uint32_t* col_idx,
+               const std::uint64_t* row_ptr, std::size_t m, const float* b,
+               std::size_t ldb, std::size_t rb, float* c, std::size_t ldc);
 };
 
 /// The set selected at startup (CPUID probe, then the STREAMBRAIN_DISPATCH

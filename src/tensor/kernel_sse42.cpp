@@ -48,6 +48,8 @@ const KernelSet* kernel_set_sse42() noexcept {
       &k_gemv,
       &k_gemm_block,
       &k_momentum_update,
+      &k_spmv,
+      &k_spmm,
   };
   return &set;
 }

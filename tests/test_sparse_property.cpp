@@ -1,0 +1,377 @@
+// Property tests for the sparse inference subsystem: CsrMatrix
+// compression round-trips, and the spmv/spmm kernels against the dense
+// reference within 1e-5 across densities {0, 0.01, 0.1, 0.5, 1.0},
+// ragged/empty rows, dirty or read-aliased buffers, and every dispatch
+// tier the host can run (via force_dispatch, mirroring
+// test_kernels_property). The scalar tier carries a stronger contract:
+// bit-identity with the dense kernels on the same zero-masked matrix for
+// non-negative inputs — the foundation of the sparse serving
+// equivalence guarantee.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/cpu_features.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/kernel_set.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace st = streambrain::tensor;
+namespace su = streambrain::util;
+
+namespace {
+
+constexpr float kRelTol = 1e-5f;
+constexpr float kAbsTol = 1e-6f;
+
+/// Cancellation-aware comparison (see test_kernels_property): the
+/// rounding error of a reordered reduction scales with the magnitude of
+/// the accumulated terms, not the possibly-tiny result.
+::testing::AssertionResult near_reduced(float reference, float actual,
+                                        float mag) {
+  const float bound = kAbsTol + kRelTol * (std::abs(reference) + mag);
+  if (std::abs(reference - actual) <= bound) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "reference=" << reference << " actual=" << actual
+         << " |diff|=" << std::abs(reference - actual) << " > " << bound
+         << " (mag=" << mag << ")";
+}
+
+const std::vector<double>& probe_densities() {
+  static const std::vector<double> densities = {0.0, 0.01, 0.1, 0.5, 1.0};
+  return densities;
+}
+
+/// Every tier this host can run, scalar first.
+std::vector<const st::KernelSet*> all_tiers() {
+  std::vector<const st::KernelSet*> tiers;
+  for (const st::DispatchLevel level :
+       {st::DispatchLevel::kScalar, st::DispatchLevel::kSse42,
+        st::DispatchLevel::kAvx2}) {
+    if (const st::KernelSet* set = st::kernel_set_for(level)) {
+      tiers.push_back(set);
+    }
+  }
+  return tiers;
+}
+
+/// Random dense matrix where each entry survives with probability
+/// `density` (0 = all-zero, 1 = fully dense). Surviving values avoid 0
+/// so density is exact.
+st::MatrixF random_sparse_dense(std::size_t rows, std::size_t cols,
+                                double density, su::Rng& rng) {
+  st::MatrixF m(rows, cols, 0.0f);
+  for (float& v : m) {
+    if (rng.uniform(0.0, 1.0) < density) {
+      const double mag = rng.uniform(0.1, 2.0);
+      v = static_cast<float>(rng.uniform(0.0, 1.0) < 0.5 ? -mag : mag);
+    }
+  }
+  return m;
+}
+
+std::vector<float> random_vector(std::size_t n, su::Rng& rng, float lo,
+                                 float hi) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return v;
+}
+
+/// Dense reference for y = A x in strict ascending-column order — the
+/// same accumulation sequence the scalar spmv performs (zero terms are
+/// exact no-ops for x >= 0).
+std::vector<float> dense_reference_spmv(const st::MatrixF& a,
+                                        const std::vector<float>& x) {
+  std::vector<float> y(a.rows(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace
+
+TEST(SparseProperty, CsrRoundTripsAcrossDensities) {
+  for (const double density : probe_densities()) {
+    for (const auto& [rows, cols] :
+         std::vector<std::pair<std::size_t, std::size_t>>{
+             {0, 0}, {1, 1}, {1, 17}, {16, 1}, {7, 33}, {40, 64}}) {
+      su::Rng rng(rows * 100 + cols + static_cast<std::uint64_t>(density * 97));
+      const st::MatrixF dense = random_sparse_dense(rows, cols, density, rng);
+      const st::CsrMatrix csr = st::CsrMatrix::from_dense(dense);
+      EXPECT_EQ(csr.rows(), rows);
+      EXPECT_EQ(csr.cols(), cols);
+      std::size_t expected_nnz = 0;
+      for (const float v : dense) expected_nnz += v != 0.0f;
+      EXPECT_EQ(csr.nnz(), expected_nnz);
+      // Round trip is exact: compression only drops exact zeros.
+      EXPECT_EQ(csr.to_dense(), dense) << "rows=" << rows << " cols=" << cols
+                                       << " density=" << density;
+
+      // Transposed construction == transposing then compressing.
+      const st::CsrMatrix csr_t = st::CsrMatrix::from_dense_transposed(dense);
+      EXPECT_EQ(csr_t.rows(), cols);
+      EXPECT_EQ(csr_t.cols(), rows);
+      const st::MatrixF back = csr_t.to_dense();
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          ASSERT_EQ(back(c, r), dense(r, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseProperty, CsrColumnIndicesAscendAndMemoryShrinks) {
+  su::Rng rng(1234);
+  const st::MatrixF dense = random_sparse_dense(64, 96, 0.1, rng);
+  const st::CsrMatrix csr = st::CsrMatrix::from_dense(dense);
+  for (std::size_t i = 0; i < csr.rows(); ++i) {
+    for (std::uint64_t p = csr.row_ptr()[i] + 1; p < csr.row_ptr()[i + 1];
+         ++p) {
+      ASSERT_LT(csr.col_idx()[p - 1], csr.col_idx()[p]);
+    }
+  }
+  EXPECT_NEAR(csr.density(), 0.1, 0.03);
+  EXPECT_LT(csr.memory_bytes(), dense.size() * sizeof(float));
+}
+
+TEST(SparseProperty, CsrAdoptRejectsInvalidStructure) {
+  // A valid 2x3 CSR to perturb: [[1, 0, 2], [0, 3, 0]].
+  const std::vector<std::uint64_t> row_ptr = {0, 2, 3};
+  const std::vector<std::uint32_t> col_idx = {0, 2, 1};
+  const std::vector<float> values = {1.0f, 2.0f, 3.0f};
+  EXPECT_NO_THROW(st::CsrMatrix::adopt(2, 3, row_ptr, col_idx, values));
+
+  EXPECT_THROW(st::CsrMatrix::adopt(2, 3, {0, 2}, col_idx, values),
+               std::invalid_argument);  // row_ptr too short
+  EXPECT_THROW(st::CsrMatrix::adopt(2, 3, {1, 2, 3}, col_idx, values),
+               std::invalid_argument);  // does not start at 0
+  EXPECT_THROW(st::CsrMatrix::adopt(2, 3, {0, 2, 4}, col_idx, values),
+               std::invalid_argument);  // end != nnz
+  EXPECT_THROW(st::CsrMatrix::adopt(2, 3, {0, 3, 2}, col_idx, values),
+               std::invalid_argument);  // decreasing
+  // Huge middle entry: must be rejected by the row_ptr validation pass,
+  // never used to index col_idx (the fuzz suite found exactly this as a
+  // heap overflow when validation was interleaved with access).
+  EXPECT_THROW(
+      st::CsrMatrix::adopt(2, 3, {0, ~std::uint64_t{0} / 2, 3}, col_idx,
+                           values),
+      std::invalid_argument);
+  EXPECT_THROW(st::CsrMatrix::adopt(2, 3, row_ptr, {0, 3, 1}, values),
+               std::invalid_argument);  // column out of range
+  EXPECT_THROW(st::CsrMatrix::adopt(2, 3, row_ptr, {2, 0, 1}, values),
+               std::invalid_argument);  // not ascending within row
+  EXPECT_THROW(st::CsrMatrix::adopt(2, 3, row_ptr, {0, 2}, values),
+               std::invalid_argument);  // col_idx/values mismatch
+}
+
+TEST(SparseProperty, SpmvMatchesDenseReferenceAllTiersAllDensities) {
+  for (const st::KernelSet* tier : all_tiers()) {
+    for (const double density : probe_densities()) {
+      for (const auto& [m, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+               {0, 5}, {1, 1}, {3, 7}, {17, 33}, {40, 129}}) {
+        su::Rng rng(m * 1000 + k * 7 +
+                    static_cast<std::uint64_t>(density * 1000));
+        const st::MatrixF a = random_sparse_dense(m, k, density, rng);
+        const st::CsrMatrix csr = st::CsrMatrix::from_dense(a);
+        const auto x = random_vector(k, rng, -2.0f, 2.0f);
+        const auto y_ref = dense_reference_spmv(a, x);
+        // Dirty output buffer: spmv must fully overwrite.
+        std::vector<float> y(m, -777.0f);
+        tier->spmv(csr.values().data(), csr.col_idx().data(),
+                   csr.row_ptr().data(), m, x.data(), y.data());
+        for (std::size_t i = 0; i < m; ++i) {
+          float mag = 0.0f;
+          for (std::size_t j = 0; j < k; ++j) mag += std::abs(a(i, j) * x[j]);
+          ASSERT_TRUE(near_reduced(y_ref[i], y[i], mag))
+              << tier->name << " m=" << m << " k=" << k
+              << " density=" << density << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseProperty, SpmvHandlesRaggedEmptyAndFullRows) {
+  // Hand-built shape stressing the row extremes: empty rows at the
+  // start, middle and end, one full row, one singleton.
+  const std::size_t k = 21;
+  st::MatrixF a(5, k, 0.0f);
+  for (std::size_t j = 0; j < k; ++j) a(1, j) = 0.5f + static_cast<float>(j);
+  a(3, 17) = -2.5f;
+  const st::CsrMatrix csr = st::CsrMatrix::from_dense(a);
+  EXPECT_EQ(csr.nnz(), k + 1);
+  std::vector<float> x(k);
+  for (std::size_t j = 0; j < k; ++j) x[j] = 0.1f * static_cast<float>(j + 1);
+  for (const st::KernelSet* tier : all_tiers()) {
+    std::vector<float> y(5, 99.0f);
+    tier->spmv(csr.values().data(), csr.col_idx().data(),
+               csr.row_ptr().data(), 5, x.data(), y.data());
+    EXPECT_EQ(y[0], 0.0f) << tier->name;  // empty row -> exact zero
+    EXPECT_EQ(y[2], 0.0f) << tier->name;
+    EXPECT_EQ(y[4], 0.0f) << tier->name;
+    EXPECT_EQ(y[3], -2.5f * x[17]) << tier->name;  // singleton row
+    const auto y_ref = dense_reference_spmv(a, x);
+    float mag = 0.0f;
+    for (std::size_t j = 0; j < k; ++j) mag += std::abs(a(1, j) * x[j]);
+    EXPECT_TRUE(near_reduced(y_ref[1], y[1], mag)) << tier->name;
+  }
+}
+
+TEST(SparseProperty, SpmvReadAliasedInputsMatch) {
+  // x aliasing the values array is legal (both are read-only): build a
+  // square matrix whose values array length equals its column count and
+  // feed the values back in as x.
+  su::Rng rng(555);
+  const std::size_t n = 24;
+  st::MatrixF a(n, n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, (i * 7) % n) = static_cast<float>(rng.uniform(0.5, 1.5));
+  }
+  const st::CsrMatrix csr = st::CsrMatrix::from_dense(a);
+  ASSERT_EQ(csr.nnz(), n);
+  std::vector<float> expected(n);
+  {
+    std::vector<float> x(csr.values());
+    st::spmv(csr, x.data(), expected.data());
+  }
+  for (const st::KernelSet* tier : all_tiers()) {
+    std::vector<float> y(n, -1.0f);
+    tier->spmv(csr.values().data(), csr.col_idx().data(),
+               csr.row_ptr().data(), n, csr.values().data(), y.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      float mag = 0.0f;
+      for (std::size_t j = 0; j < n; ++j) {
+        mag += std::abs(a(i, j) * csr.values()[j]);
+      }
+      ASSERT_TRUE(near_reduced(expected[i], y[i], mag))
+          << tier->name << " row=" << i;
+    }
+  }
+}
+
+TEST(SparseProperty, SpmmMatchesDenseGemmAllTiersAllDensities) {
+  for (const st::KernelSet* tier : all_tiers()) {
+    for (const double density : probe_densities()) {
+      for (const auto& [batch, n_in, n_out] :
+           std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+               {0, 9, 4}, {1, 1, 1}, {5, 33, 17}, {64, 80, 48}}) {
+        su::Rng rng(batch * 31 + n_in * 7 + n_out +
+                    static_cast<std::uint64_t>(density * 500));
+        // W [n_in x n_out] sparse, X [batch x n_in] dense non-negative
+        // (the serving case: activations are probabilities).
+        const st::MatrixF w = random_sparse_dense(n_in, n_out, density, rng);
+        const st::CsrMatrix wt = st::CsrMatrix::from_dense_transposed(w);
+        st::MatrixF x(batch, n_in, 0.0f);
+        for (float& v : x) v = static_cast<float>(rng.uniform(0.0, 1.0));
+
+        st::MatrixF s_ref(batch, n_out, 0.0f);
+        st::gemm_naive(st::Transpose::kNo, st::Transpose::kNo, 1.0f, x, w,
+                       0.0f, s_ref);
+        st::MatrixF s(batch, n_out, -5.0f);  // dirty: must be overwritten
+        tier->spmm(wt.values().data(), wt.col_idx().data(),
+                   wt.row_ptr().data(), wt.rows(), x.data(), n_in, batch,
+                   s.data(), n_out);
+        for (std::size_t r = 0; r < batch; ++r) {
+          for (std::size_t c = 0; c < n_out; ++c) {
+            float mag = 0.0f;
+            for (std::size_t j = 0; j < n_in; ++j) {
+              mag += std::abs(x(r, j) * w(j, c));
+            }
+            ASSERT_TRUE(near_reduced(s_ref(r, c), s(r, c), mag))
+                << tier->name << " batch=" << batch << " n_in=" << n_in
+                << " n_out=" << n_out << " density=" << density;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseProperty, ScalarTierSpmmBitIdenticalToDenseGemmForNonNegativeX) {
+  // The serving contract: at scalar dispatch, the sparse path on a
+  // zero-masked matrix is BITWISE the dense path — including through the
+  // public blocked drivers (sparse_support vs gemm + add_row_bias).
+  const st::DispatchLevel original = st::active_kernels().level;
+  st::force_dispatch(st::DispatchLevel::kScalar);
+  for (const double density : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+    su::Rng rng(static_cast<std::uint64_t>(density * 1000) + 11);
+    const std::size_t batch = 40, n_in = 70, n_out = 36;
+    const st::MatrixF w = random_sparse_dense(n_in, n_out, density, rng);
+    const st::CsrMatrix wt = st::CsrMatrix::from_dense_transposed(w);
+    st::MatrixF x(batch, n_in, 0.0f);
+    for (float& v : x) v = static_cast<float>(rng.uniform(0.0, 1.0));
+    const auto bias = random_vector(n_out, rng, -1.0f, 1.0f);
+
+    st::MatrixF s_dense(batch, n_out, 0.0f);
+    st::gemm(st::Transpose::kNo, st::Transpose::kNo, 1.0f, x, w, 0.0f,
+             s_dense);
+    st::add_row_bias(s_dense, bias.data());
+
+    st::MatrixF s_sparse;
+    st::sparse_support(wt, x, bias.data(), s_sparse);
+    ASSERT_EQ(s_sparse.rows(), batch);
+    ASSERT_EQ(s_sparse.cols(), n_out);
+    for (std::size_t i = 0; i < s_dense.size(); ++i) {
+      ASSERT_EQ(s_dense.data()[i], s_sparse.data()[i])
+          << "density=" << density << " elem=" << i;
+    }
+  }
+  st::force_dispatch(original);
+}
+
+TEST(SparseProperty, BlockedSpmmDriverMatchesUnderEveryForcedTier) {
+  // End-to-end through spmm_bt (ThreadPool fan-out) under force_dispatch,
+  // mirroring DispatchedGemmMatchesNaiveUnderEveryTier.
+  const st::DispatchLevel original = st::active_kernels().level;
+  for (const st::DispatchLevel level :
+       {st::DispatchLevel::kScalar, st::DispatchLevel::kSse42,
+        st::DispatchLevel::kAvx2}) {
+    if (st::kernel_set_for(level) == nullptr) continue;
+    st::force_dispatch(level);
+    su::Rng rng(static_cast<std::uint64_t>(level) * 101 + 3);
+    const std::size_t batch = 130, n_in = 96, n_out = 50;
+    const st::MatrixF w = random_sparse_dense(n_in, n_out, 0.15, rng);
+    const st::CsrMatrix wt = st::CsrMatrix::from_dense_transposed(w);
+    st::MatrixF x(batch, n_in, 0.0f);
+    for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    st::MatrixF s_ref(batch, n_out, 0.0f);
+    st::gemm_naive(st::Transpose::kNo, st::Transpose::kNo, 1.0f, x, w, 0.0f,
+                   s_ref);
+    st::MatrixF s;
+    st::spmm_bt(wt, x, s);
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t c = 0; c < n_out; ++c) {
+        float mag = 0.0f;
+        for (std::size_t j = 0; j < n_in; ++j) {
+          mag += std::abs(x(r, j) * w(j, c));
+        }
+        ASSERT_TRUE(near_reduced(s_ref(r, c), s(r, c), mag))
+            << st::dispatch_level_name(level) << " r=" << r << " c=" << c;
+      }
+    }
+  }
+  st::force_dispatch(original);
+}
+
+TEST(SparseProperty, SpmmBtRejectsDimensionMismatch) {
+  su::Rng rng(9);
+  const st::CsrMatrix wt =
+      st::CsrMatrix::from_dense(random_sparse_dense(4, 8, 0.5, rng));
+  st::MatrixF x(3, 9, 1.0f);  // 9 != wt.cols()
+  st::MatrixF s;
+  EXPECT_THROW(st::spmm_bt(wt, x, s), std::invalid_argument);
+}
