@@ -60,6 +60,7 @@
 #include "tensor/kernel_set.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/vecmath.hpp"
 
 // --- Data loading & encoding ------------------------------------------------

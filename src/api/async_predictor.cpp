@@ -87,7 +87,7 @@ void AsyncPredictor::enqueue(
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       stats_.requests += 1;
     }
-    request->complete_chunk();
+    finish_chunk(*request);
     return;
   }
 
@@ -129,6 +129,8 @@ AsyncPredictorStats AsyncPredictor::stats() const {
   const serve::ScoreCache::Stats cache_stats = cache_.stats();
   snapshot.cache_hits = cache_stats.hits;
   snapshot.cache_misses = cache_stats.misses;
+  snapshot.p50_latency_seconds = latency_.quantile(0.50);
+  snapshot.p99_latency_seconds = latency_.quantile(0.99);
   return snapshot;
 }
 
@@ -141,7 +143,7 @@ void AsyncPredictor::dispatcher_loop() {
         batch.chunks.empty() ? queue_.pop() : queue_.pop_until(batch.deadline);
     if (request != nullptr) {
       absorb(request, batch);
-      request->complete_chunk();  // drop the guard chunk
+      finish_chunk(*request);  // drop the guard chunk
     }
     const bool flush_now = flush_requested_.exchange(false);
     if (!batch.chunks.empty() &&
@@ -312,7 +314,13 @@ void AsyncPredictor::run_batch(Estimator& model,
     stats_.model_seconds += model_seconds;
     stats_.model_rows += model_rows;
   }
-  for (const Chunk& chunk : chunks) chunk.request->complete_chunk();
+  for (const Chunk& chunk : chunks) finish_chunk(*chunk.request);
+}
+
+void AsyncPredictor::finish_chunk(serve::ServeRequest& request) {
+  if (request.complete_chunk()) {
+    latency_.record(seconds_between(request.enqueued_at, Clock::now()));
+  }
 }
 
 }  // namespace streambrain

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "api/estimator.hpp"
+#include "serve/latency_histogram.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/score_cache.hpp"
 #include "serve/shard_pool.hpp"
@@ -79,6 +80,12 @@ struct AsyncPredictorStats {
   /// request counted once, at its first chunk's execution).
   double total_queue_wait_seconds = 0.0;
   double max_queue_wait_seconds = 0.0;
+  /// End-to-end (enqueue -> promise fulfilled) latency percentiles over
+  /// completed requests, from a lock-free power-of-two-microsecond
+  /// histogram: bucket-upper-edge estimates, within 2x of the true
+  /// order statistic and never below it. 0 until a request completes.
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
 
   [[nodiscard]] double mean_queue_wait_seconds() const noexcept {
     return requests == 0 ? 0.0
@@ -154,6 +161,11 @@ class AsyncPredictor {
   /// Shared submit path: stats, zero-row fast path, backpressure.
   void enqueue(const std::shared_ptr<serve::ServeRequest>& request);
 
+  /// Drop one chunk; when it was the request's last, record the
+  /// end-to-end latency. Every completion site routes through here so
+  /// each request is counted exactly once.
+  void finish_chunk(serve::ServeRequest& request);
+
   void dispatcher_loop();
   /// Split `request` into chunks, closing batches as they fill.
   void absorb(const std::shared_ptr<serve::ServeRequest>& request,
@@ -171,6 +183,7 @@ class AsyncPredictor {
 
   mutable std::mutex stats_mutex_;
   AsyncPredictorStats stats_;
+  serve::LatencyHistogram latency_;
 
   std::atomic<bool> flush_requested_{false};
   std::atomic<std::size_t> inflight_batches_{0};

@@ -55,7 +55,12 @@ void BcpnnClassifier::apply_prune_mask() {
 
 void BcpnnClassifier::predict(const tensor::MatrixF& hidden,
                               tensor::MatrixF& probs) {
-  if (sparse_wt_) {
+  if (quant_wt_) {
+    tensor::quant_support(*quant_wt_, hidden, bias_.data(), probs);
+  } else if (quant_sparse_wt_) {
+    tensor::quant_sparse_support(*quant_sparse_wt_, hidden, bias_.data(),
+                                 probs);
+  } else if (sparse_wt_) {
     tensor::sparse_support(*sparse_wt_, hidden, bias_.data(), probs);
   } else {
     engine_->support(hidden, weights_, bias_.data(), probs);
@@ -83,6 +88,15 @@ void BcpnnClassifier::set_prune_mask(std::vector<std::uint8_t> mask) {
 }
 
 double BcpnnClassifier::weight_density() const noexcept {
+  if (quant_sparse_wt_) return quant_sparse_wt_->density();
+  if (quant_wt_) {
+    std::size_t nnz = 0;
+    for (const std::int8_t code : quant_wt_->codes()) nnz += code != 0;
+    return quant_wt_->codes().empty()
+               ? 1.0
+               : static_cast<double>(nnz) /
+                     static_cast<double>(quant_wt_->codes().size());
+  }
   if (sparse_wt_) return sparse_wt_->density();
   if (weights_.empty()) return 1.0;
   std::size_t nnz = 0;
@@ -91,6 +105,11 @@ double BcpnnClassifier::weight_density() const noexcept {
 }
 
 void BcpnnClassifier::sparsify() {
+  if (quantized()) {
+    throw std::logic_error(
+        "BcpnnClassifier::sparsify: head is already quantized (sparsify "
+        "before quantize, not after)");
+  }
   if (sparse_wt_) return;  // idempotent
   sparse_wt_ = std::make_unique<tensor::CsrMatrix>(
       tensor::CsrMatrix::from_dense_transposed(weights_));
@@ -123,10 +142,81 @@ void BcpnnClassifier::adopt_sparse(tensor::CsrMatrix wt,
   prune_keep_.shrink_to_fit();
 }
 
+void BcpnnClassifier::quantize(std::size_t block_size) {
+  if (quantized()) return;  // idempotent
+  if (sparse_wt_) {
+    quant_sparse_wt_ = std::make_unique<tensor::QuantCsr>(
+        tensor::QuantCsr::from_csr(*sparse_wt_));
+    sparse_wt_.reset();
+    return;
+  }
+  quant_wt_ = std::make_unique<tensor::QuantBlockMatrix>(
+      tensor::QuantBlockMatrix::from_dense_transposed(weights_, block_size));
+  weights_ = tensor::MatrixF();
+  scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+const tensor::QuantBlockMatrix& BcpnnClassifier::quant_weights() const {
+  if (!quant_wt_) {
+    throw std::logic_error(
+        "BcpnnClassifier::quant_weights: head is not dense-quantized");
+  }
+  return *quant_wt_;
+}
+
+const tensor::QuantCsr& BcpnnClassifier::quant_sparse_weights() const {
+  if (!quant_sparse_wt_) {
+    throw std::logic_error(
+        "BcpnnClassifier::quant_sparse_weights: head is not sparse-quantized");
+  }
+  return *quant_sparse_wt_;
+}
+
+void BcpnnClassifier::adopt_quant(tensor::QuantBlockMatrix wt,
+                                  std::vector<float> bias) {
+  if (wt.rows() != classes_ || bias.size() != classes_ ||
+      (traces_.inputs() != 0 && wt.cols() != traces_.inputs())) {
+    throw std::invalid_argument("BcpnnClassifier::adopt_quant: shape");
+  }
+  quant_wt_ = std::make_unique<tensor::QuantBlockMatrix>(std::move(wt));
+  quant_sparse_wt_.reset();
+  bias_ = std::move(bias);
+  sparse_wt_.reset();
+  weights_ = tensor::MatrixF();
+  scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+void BcpnnClassifier::adopt_quant_sparse(tensor::QuantCsr wt,
+                                         std::vector<float> bias) {
+  if (wt.rows() != classes_ || bias.size() != classes_ ||
+      (traces_.inputs() != 0 && wt.cols() != traces_.inputs())) {
+    throw std::invalid_argument("BcpnnClassifier::adopt_quant_sparse: shape");
+  }
+  quant_sparse_wt_ = std::make_unique<tensor::QuantCsr>(std::move(wt));
+  quant_wt_.reset();
+  bias_ = std::move(bias);
+  sparse_wt_.reset();
+  weights_ = tensor::MatrixF();
+  scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
 void BcpnnClassifier::require_mutable(const char* what) const {
   if (sparse_wt_) {
     throw std::logic_error(std::string("BcpnnClassifier::") + what +
                            ": head is in the read-only sparse form");
+  }
+  if (quantized()) {
+    throw std::logic_error(std::string("BcpnnClassifier::") + what +
+                           ": head is in the read-only quantized form");
   }
 }
 

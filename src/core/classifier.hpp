@@ -15,6 +15,7 @@
 #include "parallel/engine.hpp"
 #include "tensor/csr.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/quant.hpp"
 
 namespace streambrain::core {
 
@@ -83,13 +84,31 @@ class BcpnnClassifier {
   /// bit-identically at scalar dispatch; training throws afterwards.
   void sparsify();
 
-  [[nodiscard]] bool sparse() const noexcept { return sparse_wt_ != nullptr; }
+  [[nodiscard]] bool sparse() const noexcept {
+    return sparse_wt_ != nullptr || quant_sparse_wt_ != nullptr;
+  }
 
   /// CSR of W^T (throws std::logic_error when dense).
   [[nodiscard]] const tensor::CsrMatrix& sparse_weights() const;
 
   /// Adopt a deserialized sparse form (checkpoint read path).
   void adopt_sparse(tensor::CsrMatrix wt, std::vector<float> bias);
+
+  // --- Quantized inference form ---------------------------------------------
+  /// Int8 read-only form (per-block over dense weights, per-row over an
+  /// existing CSR form); same contract as BcpnnLayer::quantize.
+  void quantize(std::size_t block_size);
+
+  [[nodiscard]] bool quantized() const noexcept {
+    return quant_wt_ != nullptr || quant_sparse_wt_ != nullptr;
+  }
+
+  [[nodiscard]] const tensor::QuantBlockMatrix& quant_weights() const;
+  [[nodiscard]] const tensor::QuantCsr& quant_sparse_weights() const;
+
+  /// Adopt a deserialized quantized form (checkpoint read path).
+  void adopt_quant(tensor::QuantBlockMatrix wt, std::vector<float> bias);
+  void adopt_quant_sparse(tensor::QuantCsr wt, std::vector<float> bias);
 
  private:
   void apply_prune_mask();
@@ -107,6 +126,8 @@ class BcpnnClassifier {
   /// Keep-mask from prune_to_density (empty = no pruning); 1 = keep.
   std::vector<std::uint8_t> prune_keep_;
   std::unique_ptr<tensor::CsrMatrix> sparse_wt_;
+  std::unique_ptr<tensor::QuantBlockMatrix> quant_wt_;
+  std::unique_ptr<tensor::QuantCsr> quant_sparse_wt_;
 };
 
 }  // namespace streambrain::core

@@ -148,4 +148,13 @@ bool DeepBcpnn::sparse() const noexcept {
   return !layers_.empty() && layers_.front()->sparse();
 }
 
+void DeepBcpnn::quantize(std::size_t block_size) {
+  for (auto& layer : layers_) layer->quantize(block_size);
+  head_->quantize(block_size);
+}
+
+bool DeepBcpnn::quantized() const noexcept {
+  return !layers_.empty() && layers_.front()->quantized();
+}
+
 }  // namespace streambrain::core

@@ -66,6 +66,12 @@ class DeepBcpnn {
 
   [[nodiscard]] bool sparse() const noexcept;
 
+  /// Convert every hidden layer and the head to the int8 read-only
+  /// quantized form — composable after sparsify(). fit() throws after.
+  void quantize(std::size_t block_size);
+
+  [[nodiscard]] bool quantized() const noexcept;
+
   [[nodiscard]] std::size_t depth() const noexcept { return layers_.size(); }
   [[nodiscard]] const BcpnnLayer& layer(std::size_t i) const {
     return *layers_.at(i);

@@ -29,7 +29,12 @@ void BcpnnLayer::forward(const tensor::MatrixF& x,
   if (x.cols() != input_units()) {
     throw std::invalid_argument("BcpnnLayer::forward: input width mismatch");
   }
-  if (sparse_wt_) {
+  if (quant_wt_) {
+    tensor::quant_support(*quant_wt_, x, bias_.data(), activations);
+  } else if (quant_sparse_wt_) {
+    tensor::quant_sparse_support(*quant_sparse_wt_, x, bias_.data(),
+                                 activations);
+  } else if (sparse_wt_) {
     tensor::sparse_support(*sparse_wt_, x, bias_.data(), activations);
   } else {
     engine_->support(x, weights_, bias_.data(), activations);
@@ -145,6 +150,15 @@ void BcpnnLayer::set_prune_mask(std::vector<std::uint8_t> mask) {
 }
 
 double BcpnnLayer::weight_density() const noexcept {
+  if (quant_sparse_wt_) return quant_sparse_wt_->density();
+  if (quant_wt_) {
+    std::size_t nnz = 0;
+    for (const std::int8_t code : quant_wt_->codes()) nnz += code != 0;
+    return quant_wt_->codes().empty()
+               ? 1.0
+               : static_cast<double>(nnz) /
+                     static_cast<double>(quant_wt_->codes().size());
+  }
   if (sparse_wt_) return sparse_wt_->density();
   if (weights_.empty()) return 1.0;
   std::size_t nnz = 0;
@@ -153,6 +167,11 @@ double BcpnnLayer::weight_density() const noexcept {
 }
 
 void BcpnnLayer::sparsify() {
+  if (quantized()) {
+    throw std::logic_error(
+        "BcpnnLayer::sparsify: layer is already quantized (sparsify before "
+        "quantize, not after)");
+  }
   if (sparse_wt_) return;  // idempotent
   sparse_wt_ = std::make_unique<tensor::CsrMatrix>(
       tensor::CsrMatrix::from_dense_transposed(weights_));
@@ -184,10 +203,82 @@ void BcpnnLayer::adopt_sparse(tensor::CsrMatrix wt, std::vector<float> bias) {
   prune_keep_.shrink_to_fit();
 }
 
+void BcpnnLayer::quantize(std::size_t block_size) {
+  if (quantized()) return;  // idempotent
+  if (sparse_wt_) {
+    quant_sparse_wt_ =
+        std::make_unique<tensor::QuantCsr>(tensor::QuantCsr::from_csr(*sparse_wt_));
+    sparse_wt_.reset();
+    return;
+  }
+  quant_wt_ = std::make_unique<tensor::QuantBlockMatrix>(
+      tensor::QuantBlockMatrix::from_dense_transposed(weights_, block_size));
+  weights_ = tensor::MatrixF();
+  noise_scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+const tensor::QuantBlockMatrix& BcpnnLayer::quant_weights() const {
+  if (!quant_wt_) {
+    throw std::logic_error("BcpnnLayer::quant_weights: layer is not in the "
+                           "dense-quantized form");
+  }
+  return *quant_wt_;
+}
+
+const tensor::QuantCsr& BcpnnLayer::quant_sparse_weights() const {
+  if (!quant_sparse_wt_) {
+    throw std::logic_error("BcpnnLayer::quant_sparse_weights: layer is not "
+                           "in the sparse-quantized form");
+  }
+  return *quant_sparse_wt_;
+}
+
+void BcpnnLayer::adopt_quant(tensor::QuantBlockMatrix wt,
+                             std::vector<float> bias) {
+  if (wt.rows() != hidden_units() || wt.cols() != input_units() ||
+      bias.size() != hidden_units()) {
+    throw std::invalid_argument("BcpnnLayer::adopt_quant: shape mismatch");
+  }
+  quant_wt_ = std::make_unique<tensor::QuantBlockMatrix>(std::move(wt));
+  quant_sparse_wt_.reset();
+  bias_ = std::move(bias);
+  sparse_wt_.reset();
+  weights_ = tensor::MatrixF();
+  noise_scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+void BcpnnLayer::adopt_quant_sparse(tensor::QuantCsr wt,
+                                    std::vector<float> bias) {
+  if (wt.rows() != hidden_units() || wt.cols() != input_units() ||
+      bias.size() != hidden_units()) {
+    throw std::invalid_argument(
+        "BcpnnLayer::adopt_quant_sparse: shape mismatch");
+  }
+  quant_sparse_wt_ = std::make_unique<tensor::QuantCsr>(std::move(wt));
+  quant_wt_.reset();
+  bias_ = std::move(bias);
+  sparse_wt_.reset();
+  weights_ = tensor::MatrixF();
+  noise_scratch_ = tensor::MatrixF();
+  traces_.release();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
 void BcpnnLayer::require_mutable(const char* what) const {
   if (sparse_wt_) {
     throw std::logic_error(std::string("BcpnnLayer::") + what +
                            ": layer is in the read-only sparse form");
+  }
+  if (quantized()) {
+    throw std::logic_error(std::string("BcpnnLayer::") + what +
+                           ": layer is in the read-only quantized form");
   }
 }
 

@@ -20,6 +20,7 @@
 #include "parallel/engine.hpp"
 #include "tensor/csr.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/quant.hpp"
 #include "util/rng.hpp"
 
 namespace streambrain::core {
@@ -96,7 +97,11 @@ class BcpnnLayer {
   /// entry point throws std::logic_error afterwards. Irreversible.
   void sparsify();
 
-  [[nodiscard]] bool sparse() const noexcept { return sparse_wt_ != nullptr; }
+  /// True for both the fp32-CSR and the quantized-CSR forms (either way
+  /// the weights live on the CSR index structure).
+  [[nodiscard]] bool sparse() const noexcept {
+    return sparse_wt_ != nullptr || quant_sparse_wt_ != nullptr;
+  }
 
   /// CSR of W^T (throws std::logic_error when not sparsified).
   [[nodiscard]] const tensor::CsrMatrix& sparse_weights() const;
@@ -104,6 +109,30 @@ class BcpnnLayer {
   /// Adopt a deserialized sparse form directly (checkpoint read path).
   /// Shape-checked against the layer geometry; replaces any dense state.
   void adopt_sparse(tensor::CsrMatrix wt, std::vector<float> bias);
+
+  // --- Quantized inference form --------------------------------------------
+  /// Convert to the int8 read-only inference form: per-block symmetric
+  /// quantization of the dense weights (QuantBlockMatrix of W^T), or of
+  /// the CSR values (QuantCsr, per-row scales) when the layer already
+  /// sparsified — quantization composes AFTER sparsify(). Frees the
+  /// replaced weight storage and the traces; every training entry point
+  /// throws std::logic_error afterwards. Irreversible and idempotent.
+  void quantize(std::size_t block_size);
+
+  [[nodiscard]] bool quantized() const noexcept {
+    return quant_wt_ != nullptr || quant_sparse_wt_ != nullptr;
+  }
+
+  /// Block-quantized W^T (throws std::logic_error unless dense-quantized).
+  [[nodiscard]] const tensor::QuantBlockMatrix& quant_weights() const;
+
+  /// Quantized CSR of W^T (throws std::logic_error unless sparse-quantized).
+  [[nodiscard]] const tensor::QuantCsr& quant_sparse_weights() const;
+
+  /// Adopt a deserialized quantized form (checkpoint read path); shape
+  /// checked against the layer geometry, replaces any other weight form.
+  void adopt_quant(tensor::QuantBlockMatrix wt, std::vector<float> bias);
+  void adopt_quant_sparse(tensor::QuantCsr wt, std::vector<float> bias);
 
   /// Spiking forward pass — BCPNN's spiking model of computation
   /// (Section II: "supports both spiking- and rate-based models").
@@ -162,6 +191,9 @@ class BcpnnLayer {
   /// Non-null once sparsify()/adopt_sparse() ran: CSR of W^T, the only
   /// weight storage of the read-only inference form.
   std::unique_ptr<tensor::CsrMatrix> sparse_wt_;
+  /// At most one non-null: the int8 forms of quantize()/adopt_quant*().
+  std::unique_ptr<tensor::QuantBlockMatrix> quant_wt_;
+  std::unique_ptr<tensor::QuantCsr> quant_sparse_wt_;
 };
 
 }  // namespace streambrain::core

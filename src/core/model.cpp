@@ -4,8 +4,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/pruning.hpp"
 #include "core/serialization.hpp"
 #include "metrics/classification.hpp"
+#include "util/log.hpp"
 
 namespace streambrain::core {
 
@@ -131,12 +133,49 @@ std::string Model::name() const {
   return out.str();
 }
 
+namespace {
+
+/// Largest weight density across the model's components — the value the
+/// sparsify guardrail judges, since the densest matrix dominates the
+/// sparse path's throughput.
+double max_component_density(const Network* network, const DeepBcpnn* deep) {
+  double density = 0.0;
+  if (network != nullptr) {
+    density = network->hidden().weight_density();
+    const double head_density = network->bcpnn_head() != nullptr
+                                    ? network->bcpnn_head()->weight_density()
+                                    : network->sgd_head()->weight_density();
+    density = std::max(density, head_density);
+  } else if (deep != nullptr) {
+    for (std::size_t l = 0; l < deep->depth(); ++l) {
+      density = std::max(density, deep->layer(l).weight_density());
+    }
+    density = std::max(density, deep->head().weight_density());
+  }
+  return density;
+}
+
+}  // namespace
+
 Model Model::sparsify() const {
   if (!compiled()) {
     throw std::logic_error("Model: sparsify() before compile()");
   }
   Model replica = clone_model(*this);
   if (!replica.sparse()) {
+    // Guardrail: at >= 25% density the CSR kernels measurably LOSE to
+    // the dense GEMM path (BENCH_sparse.json) — proceed (the memory win
+    // may still be the point) but say so. Prune first to go faster.
+    const double density = max_component_density(network_.get(), deep_.get());
+    if (sparsify_is_pessimization(density)) {
+      SB_LOG_WARN() << "Model::sparsify: weight density "
+                    << static_cast<int>(100.0 * density)
+                    << "% is at or above the "
+                    << static_cast<int>(100.0 * kSparsePessimizationDensity)
+                    << "% threshold where sparse kernels are slower than "
+                       "dense GEMM; prune_model() first (sparse replicas "
+                       "still save memory)";
+    }
     // Fresh dense clone (the checkpoint round-trip already made it an
     // independent object); convert its components in place.
     if (replica.network_) {
@@ -154,8 +193,33 @@ bool Model::sparse() const noexcept {
   return false;
 }
 
+Model Model::quantize(QuantOptions options) const {
+  if (!compiled()) {
+    throw std::logic_error("Model: quantize() before compile()");
+  }
+  Model replica = clone_model(*this);
+  if (!replica.quantized()) {
+    if (replica.network_) {
+      replica.network_->quantize(options.block_size);
+    } else {
+      replica.deep_->quantize(options.block_size);
+    }
+  }
+  return replica;
+}
+
+bool Model::quantized() const noexcept {
+  if (network_) return network_->quantized();
+  if (deep_) return deep_->quantized();
+  return false;
+}
+
 void Model::fit(const tensor::MatrixF& x, const std::vector<int>& labels) {
   if (!compiled()) throw std::logic_error("Model: fit() before compile()");
+  if (quantized()) {
+    throw std::logic_error(
+        "Model: fit() on a quantized model (read-only inference form)");
+  }
   if (sparse()) {
     throw std::logic_error(
         "Model: fit() on a sparsified model (read-only inference form)");
@@ -224,10 +288,14 @@ const DeepBcpnn& Model::deep() const {
 
 std::string Model::summary() const {
   std::ostringstream out;
-  out << "Model ("
-      << (compiled() ? (sparse() ? "compiled, sparse read-only" : "compiled")
-                     : "not compiled")
-      << ")\n";
+  const char* state = "compiled";
+  if (quantized()) {
+    state = sparse() ? "compiled, quantized sparse read-only"
+                     : "compiled, quantized read-only";
+  } else if (sparse()) {
+    state = "compiled, sparse read-only";
+  }
+  out << "Model (" << (compiled() ? state : "not compiled") << ")\n";
   out << "  input        : " << input_hypercolumns_ << " hypercolumns x "
       << input_bins_ << " units = " << input_hypercolumns_ * input_bins_
       << "\n";

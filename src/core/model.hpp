@@ -34,6 +34,16 @@
 
 namespace streambrain::core {
 
+/// Knobs of Model::quantize().
+struct QuantOptions {
+  /// Weights per fp32 scale block of the dense int8 form, in
+  /// [1, tensor::kMaxQuantBlock]. Smaller blocks track local weight
+  /// magnitude more tightly (lower reconstruction error, more scale
+  /// overhead: 4 bytes per block per output unit). Ignored by already-
+  /// sparsified models, whose codes carry one scale per CSR row.
+  std::size_t block_size = 32;
+};
+
 class Model final : public Estimator {
  public:
   /// Compatibility alias — the head enum is core::HeadType everywhere.
@@ -117,6 +127,26 @@ class Model final : public Estimator {
 
   /// True when this model is a read-only sparse inference form.
   [[nodiscard]] bool sparse() const noexcept;
+
+  // --- Quantized inference form ---------------------------------------------
+
+  /// Compact read-only int8 clone of this trained model: weights become
+  /// per-block symmetric int8 codes (tensor::QuantBlockMatrix of W^T),
+  /// another ~4x replica shrink on top of the trace drop — or, when this
+  /// model is already a sparse clone, int8 codes with per-row scales on
+  /// the CSR index structure (tensor::QuantCsr), composing both wins:
+  ///   model -> prune_model -> sparsify() -> quantize()
+  /// The clone serves bit-stably through Predictor / AsyncPredictor /
+  /// ShardPool (the quantized kernels are bit-identical across dispatch
+  /// tiers, so replica cloning and batch splits can never change
+  /// results) and round-trips through save()/load() as a version-4
+  /// checkpoint. fit()/load() on the clone throw std::logic_error;
+  /// sparsify() after quantize() throws — order is prune, sparsify,
+  /// quantize.
+  [[nodiscard]] Model quantize(QuantOptions options = {}) const;
+
+  /// True when this model is a read-only quantized inference form.
+  [[nodiscard]] bool quantized() const noexcept;
 
   // --- Introspection ------------------------------------------------------
 

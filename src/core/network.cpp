@@ -164,4 +164,15 @@ void Network::sparsify() {
 
 bool Network::sparse() const noexcept { return hidden_->sparse(); }
 
+void Network::quantize(std::size_t block_size) {
+  hidden_->quantize(block_size);
+  if (bcpnn_head_) {
+    bcpnn_head_->quantize(block_size);
+  } else {
+    sgd_head_->quantize(block_size);
+  }
+}
+
+bool Network::quantized() const noexcept { return hidden_->quantized(); }
+
 }  // namespace streambrain::core

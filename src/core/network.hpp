@@ -91,6 +91,12 @@ class Network {
 
   [[nodiscard]] bool sparse() const noexcept;
 
+  /// Convert hidden layer + head to the int8 read-only quantized form
+  /// (see BcpnnLayer::quantize) — composable after sparsify().
+  void quantize(std::size_t block_size);
+
+  [[nodiscard]] bool quantized() const noexcept;
+
   /// Head access for checkpointing; exactly one is non-null depending on
   /// the configured head type.
   [[nodiscard]] BcpnnClassifier* bcpnn_head() noexcept {

@@ -51,6 +51,11 @@ void prune_model(Model& model, double density) {
   if (!model.compiled()) {
     throw std::logic_error("prune_model: model is not compiled");
   }
+  if (model.quantized()) {
+    throw std::logic_error(
+        "prune_model: model is already in the quantized form; prune before "
+        "quantize()");
+  }
   if (model.sparse()) {
     throw std::logic_error(
         "prune_model: model is already in the sparse form; prune before "

@@ -43,4 +43,18 @@ class Model;
 /// std::logic_error for un-compiled or already-sparsified models.
 void prune_model(Model& model, double density);
 
+/// Density at and above which the sparse kernels measurably LOSE to the
+/// dense GEMM path. BENCH_sparse.json: at 25% density spmm reaches only
+/// 0.70x (scalar) / 0.47x (AVX2) of the dense throughput, and every
+/// tier loses from 50% up — the gather/index overhead needs enough
+/// skipped multiplies to pay for itself.
+inline constexpr double kSparsePessimizationDensity = 0.25;
+
+/// True when sparsifying at this weight density is expected to be a
+/// throughput pessimization (Model::sparsify() warns through util::log
+/// when it proceeds anyway — the memory win may still be worth it).
+[[nodiscard]] inline bool sparsify_is_pessimization(double density) noexcept {
+  return density >= kSparsePessimizationDensity;
+}
+
 }  // namespace streambrain::core

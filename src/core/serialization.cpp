@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "tensor/csr.hpp"
+#include "tensor/quant.hpp"
 
 namespace streambrain::core {
 
@@ -35,8 +36,12 @@ constexpr char kMagic[4] = {'S', 'B', 'R', 'N'};
 // the sparse section tags (CSR weights + bias for a Model::sparsify()'d
 // component) AND appended a prune keep-mask field to every dense
 // layer/classifier/sgd_head section — dense v3 payloads are NOT
-// byte-compatible with v2. Version 1 and 2 files are still read.
-constexpr std::uint32_t kVersion = 3;
+// byte-compatible with v2. Version 4 added the quantized section tags
+// (int8 block-scaled weights for a Model::quantize()'d component, dense
+// or CSR) without changing any existing section's bytes — a v4 file
+// with no quantized component is byte-identical to v3 except for the
+// version word. Version 1 through 3 files are still read.
+constexpr std::uint32_t kVersion = 4;
 constexpr std::uint32_t kOldestReadableVersion = 1;
 
 enum class Section : std::uint32_t {
@@ -47,6 +52,12 @@ enum class Section : std::uint32_t {
   kSparseLayer = 5,
   kSparseClassifier = 6,
   kSparseSgdHead = 7,
+  kQuantLayer = 8,
+  kQuantClassifier = 9,
+  kQuantSgdHead = 10,
+  kQuantSparseLayer = 11,
+  kQuantSparseClassifier = 12,
+  kQuantSparseSgdHead = 13,
 };
 
 // --- Primitive IO ---------------------------------------------------------
@@ -260,6 +271,114 @@ tensor::CsrMatrix read_csr(std::istream& in, std::size_t expected_rows,
   }
 }
 
+// --- Quantized payloads -----------------------------------------------------
+// Dense wire format: u64 rows | u64 cols | u64 block_size |
+// codes[rows*cols] i8 | scales[rows*blocks_per_row] f32. Sparse wire
+// format: u64 rows | u64 cols | u64 nnz | row_ptr[rows+1] u64 |
+// col_idx[nnz] u32 | codes[nnz] i8 | row_scales[rows] f32. Array sizes
+// are derived from the geometry fields, which the readers validate
+// against the enclosing section's expected shape (and the block-size /
+// nnz plausibility ceilings) BEFORE allocating; the adopt() calls then
+// re-validate the full container invariants (code range, finite scales,
+// CSR index ordering).
+
+void write_quant(std::ostream& out, const tensor::QuantBlockMatrix& wt) {
+  write_u64(out, wt.rows());
+  write_u64(out, wt.cols());
+  write_u64(out, wt.block_size());
+  out.write(reinterpret_cast<const char*>(wt.codes().data()),
+            static_cast<std::streamsize>(wt.codes().size()));
+  out.write(reinterpret_cast<const char*>(wt.scales().data()),
+            static_cast<std::streamsize>(wt.scales().size() * sizeof(float)));
+}
+
+tensor::QuantBlockMatrix read_quant(std::istream& in,
+                                    std::size_t expected_rows,
+                                    std::size_t expected_cols) {
+  const std::uint64_t rows = read_u64(in);
+  const std::uint64_t cols = read_u64(in);
+  const std::uint64_t block_size = read_u64(in);
+  if (rows != expected_rows || cols != expected_cols) {
+    throw std::runtime_error("checkpoint: quantized matrix shape mismatch");
+  }
+  if (block_size == 0 || block_size > tensor::kMaxQuantBlock) {
+    throw std::runtime_error("checkpoint: implausible quant block size " +
+                             std::to_string(block_size));
+  }
+  const std::uint64_t blocks =
+      cols == 0 ? 0 : (cols + block_size - 1) / block_size;
+  std::vector<std::int8_t> codes(rows * cols);
+  in.read(reinterpret_cast<char*>(codes.data()),
+          static_cast<std::streamsize>(codes.size()));
+  std::vector<float> scales(rows * blocks);
+  in.read(reinterpret_cast<char*>(scales.data()),
+          static_cast<std::streamsize>(scales.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("checkpoint: truncated quantized matrix");
+  try {
+    return tensor::QuantBlockMatrix::adopt(rows, cols, block_size,
+                                           std::move(codes),
+                                           std::move(scales));
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error(std::string("checkpoint: ") + error.what());
+  }
+}
+
+void write_quant_csr(std::ostream& out, const tensor::QuantCsr& wt) {
+  write_u64(out, wt.rows());
+  write_u64(out, wt.cols());
+  write_u64(out, wt.nnz());
+  out.write(reinterpret_cast<const char*>(wt.row_ptr().data()),
+            static_cast<std::streamsize>(wt.row_ptr().size() *
+                                         sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(wt.col_idx().data()),
+            static_cast<std::streamsize>(wt.col_idx().size() *
+                                         sizeof(std::uint32_t)));
+  out.write(reinterpret_cast<const char*>(wt.codes().data()),
+            static_cast<std::streamsize>(wt.codes().size()));
+  out.write(reinterpret_cast<const char*>(wt.row_scales().data()),
+            static_cast<std::streamsize>(wt.row_scales().size() *
+                                         sizeof(float)));
+}
+
+tensor::QuantCsr read_quant_csr(std::istream& in, std::size_t expected_rows,
+                                std::size_t expected_cols) {
+  const std::uint64_t rows = read_u64(in);
+  const std::uint64_t cols = read_u64(in);
+  const std::uint64_t nnz = read_u64(in);
+  if (rows != expected_rows || cols != expected_cols) {
+    throw std::runtime_error(
+        "checkpoint: quantized-sparse matrix shape mismatch");
+  }
+  if (nnz > rows * cols) {
+    throw std::runtime_error("checkpoint: implausible sparse entry count " +
+                             std::to_string(nnz));
+  }
+  std::vector<std::uint64_t> row_ptr(rows + 1);
+  in.read(reinterpret_cast<char*>(row_ptr.data()),
+          static_cast<std::streamsize>(row_ptr.size() *
+                                       sizeof(std::uint64_t)));
+  std::vector<std::uint32_t> col_idx(nnz);
+  in.read(reinterpret_cast<char*>(col_idx.data()),
+          static_cast<std::streamsize>(col_idx.size() *
+                                       sizeof(std::uint32_t)));
+  std::vector<std::int8_t> codes(nnz);
+  in.read(reinterpret_cast<char*>(codes.data()),
+          static_cast<std::streamsize>(codes.size()));
+  std::vector<float> row_scales(rows);
+  in.read(reinterpret_cast<char*>(row_scales.data()),
+          static_cast<std::streamsize>(row_scales.size() * sizeof(float)));
+  if (!in) {
+    throw std::runtime_error("checkpoint: truncated quantized-sparse matrix");
+  }
+  try {
+    return tensor::QuantCsr::adopt(rows, cols, std::move(row_ptr),
+                                   std::move(col_idx), std::move(codes),
+                                   std::move(row_scales));
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error(std::string("checkpoint: ") + error.what());
+  }
+}
+
 // --- Sections --------------------------------------------------------------
 
 void write_traces(std::ostream& out, const ProbabilityTraces& traces) {
@@ -275,25 +394,43 @@ void read_traces(std::istream& in, ProbabilityTraces& traces,
   read_floats(in, traces.mutable_pij().data(), traces.pij().size(), version);
 }
 
+/// Geometry prefix shared by every layer section variant.
+void write_layer_geometry(std::ostream& out, const BcpnnConfig& config) {
+  write_u32(out, checked_u32(config.input_hypercolumns, "hypercolumn"));
+  write_u32(out, checked_u32(config.input_bins, "bin"));
+  write_u32(out, checked_u32(config.hcus, "hcu"));
+  write_u32(out, checked_u32(config.mcus, "mcu"));
+}
+
 void write_layer_section(std::ostream& out, const BcpnnLayer& layer) {
   const auto& config = layer.config();
+  if (layer.quantized()) {
+    // Quantized inference form: geometry, bias, int8 codes of W^T —
+    // dense block-scaled or CSR per-row-scaled depending on whether the
+    // model was sparsified before quantize().
+    const bool sparse = layer.sparse();
+    write_u32(out, static_cast<std::uint32_t>(sparse ? Section::kQuantSparseLayer
+                                                     : Section::kQuantLayer));
+    write_layer_geometry(out, config);
+    write_floats(out, layer.bias().data(), layer.bias().size());
+    if (sparse) {
+      write_quant_csr(out, layer.quant_sparse_weights());
+    } else {
+      write_quant(out, layer.quant_weights());
+    }
+    return;
+  }
   if (layer.sparse()) {
     // Sparse inference form: geometry, bias, CSR of W^T. No traces, no
     // masks — the CSR *is* the learned state of a read-only layer.
     write_u32(out, static_cast<std::uint32_t>(Section::kSparseLayer));
-    write_u32(out, checked_u32(config.input_hypercolumns, "hypercolumn"));
-    write_u32(out, checked_u32(config.input_bins, "bin"));
-    write_u32(out, checked_u32(config.hcus, "hcu"));
-    write_u32(out, checked_u32(config.mcus, "mcu"));
+    write_layer_geometry(out, config);
     write_floats(out, layer.bias().data(), layer.bias().size());
     write_csr(out, layer.sparse_weights());
     return;
   }
   write_u32(out, static_cast<std::uint32_t>(Section::kLayer));
-  write_u32(out, checked_u32(config.input_hypercolumns, "hypercolumn"));
-  write_u32(out, checked_u32(config.input_bins, "bin"));
-  write_u32(out, checked_u32(config.hcus, "hcu"));
-  write_u32(out, checked_u32(config.mcus, "mcu"));
+  write_layer_geometry(out, config);
   write_traces(out, layer.traces());
   for (std::size_t h = 0; h < config.hcus; ++h) {
     const auto& mask = layer.masks().mask(h);
@@ -304,19 +441,40 @@ void write_layer_section(std::ostream& out, const BcpnnLayer& layer) {
   write_prune_mask(out, layer.prune_mask());
 }
 
-void read_sparse_layer_body(std::istream& in, BcpnnLayer& layer,
-                            std::uint32_t version) {
-  const auto& config = layer.config();
+void check_layer_geometry(std::istream& in, const BcpnnConfig& config) {
   if (read_u32(in) != config.input_hypercolumns ||
       read_u32(in) != config.input_bins || read_u32(in) != config.hcus ||
       read_u32(in) != config.mcus) {
     throw std::runtime_error("checkpoint: layer geometry mismatch");
   }
+}
+
+void read_sparse_layer_body(std::istream& in, BcpnnLayer& layer,
+                            std::uint32_t version) {
+  const auto& config = layer.config();
+  check_layer_geometry(in, config);
   std::vector<float> bias(config.hidden_units());
   read_floats(in, bias.data(), bias.size(), version);
   tensor::CsrMatrix wt =
       read_csr(in, config.hidden_units(), config.input_units());
   layer.adopt_sparse(std::move(wt), std::move(bias));
+}
+
+void read_quant_layer_body(std::istream& in, BcpnnLayer& layer,
+                           std::uint32_t version, bool sparse) {
+  const auto& config = layer.config();
+  check_layer_geometry(in, config);
+  std::vector<float> bias(config.hidden_units());
+  read_floats(in, bias.data(), bias.size(), version);
+  if (sparse) {
+    layer.adopt_quant_sparse(
+        read_quant_csr(in, config.hidden_units(), config.input_units()),
+        std::move(bias));
+  } else {
+    layer.adopt_quant(
+        read_quant(in, config.hidden_units(), config.input_units()),
+        std::move(bias));
+  }
 }
 
 void read_layer_section(std::istream& in, BcpnnLayer& layer,
@@ -326,16 +484,19 @@ void read_layer_section(std::istream& in, BcpnnLayer& layer,
     read_sparse_layer_body(in, layer, version);
     return;
   }
+  if (tag == static_cast<std::uint32_t>(Section::kQuantLayer) ||
+      tag == static_cast<std::uint32_t>(Section::kQuantSparseLayer)) {
+    read_quant_layer_body(
+        in, layer, version,
+        tag == static_cast<std::uint32_t>(Section::kQuantSparseLayer));
+    return;
+  }
   if (tag != static_cast<std::uint32_t>(Section::kLayer)) {
     throw std::runtime_error("checkpoint: unexpected section tag " +
                              std::to_string(tag));
   }
   const auto& config = layer.config();
-  if (read_u32(in) != config.input_hypercolumns ||
-      read_u32(in) != config.input_bins || read_u32(in) != config.hcus ||
-      read_u32(in) != config.mcus) {
-    throw std::runtime_error("checkpoint: layer geometry mismatch");
-  }
+  check_layer_geometry(in, config);
   ProbabilityTraces traces(config.input_units(), config.input_bins,
                            config.hidden_units(), config.mcus);
   read_traces(in, traces, version);
@@ -367,6 +528,20 @@ void read_layer_section(std::istream& in, BcpnnLayer& layer,
 }
 
 void write_classifier_section(std::ostream& out, const BcpnnClassifier& head) {
+  if (head.quantized()) {
+    const bool sparse = head.sparse();
+    write_u32(out,
+              static_cast<std::uint32_t>(sparse ? Section::kQuantSparseClassifier
+                                                : Section::kQuantClassifier));
+    write_u32(out, checked_u32(head.classes(), "class"));
+    write_floats(out, head.bias().data(), head.bias().size());
+    if (sparse) {
+      write_quant_csr(out, head.quant_sparse_weights());
+    } else {
+      write_quant(out, head.quant_weights());
+    }
+    return;
+  }
   if (head.sparse()) {
     write_u32(out, static_cast<std::uint32_t>(Section::kSparseClassifier));
     write_u32(out, checked_u32(head.classes(), "class"));
@@ -383,6 +558,23 @@ void write_classifier_section(std::ostream& out, const BcpnnClassifier& head) {
 void read_classifier_section(std::istream& in, BcpnnClassifier& head,
                              std::uint32_t version) {
   const std::uint32_t tag = read_u32(in);
+  if (tag == static_cast<std::uint32_t>(Section::kQuantClassifier) ||
+      tag == static_cast<std::uint32_t>(Section::kQuantSparseClassifier)) {
+    if (read_u32(in) != head.classes()) {
+      throw std::runtime_error("checkpoint: class count mismatch");
+    }
+    std::vector<float> bias(head.classes());
+    read_floats(in, bias.data(), bias.size(), version);
+    const std::size_t inputs = head.traces().inputs();
+    if (tag == static_cast<std::uint32_t>(Section::kQuantSparseClassifier)) {
+      head.adopt_quant_sparse(read_quant_csr(in, head.classes(), inputs),
+                              std::move(bias));
+    } else {
+      head.adopt_quant(read_quant(in, head.classes(), inputs),
+                       std::move(bias));
+    }
+    return;
+  }
   if (tag == static_cast<std::uint32_t>(Section::kSparseClassifier)) {
     if (read_u32(in) != head.classes()) {
       throw std::runtime_error("checkpoint: class count mismatch");
@@ -410,6 +602,20 @@ void read_classifier_section(std::istream& in, BcpnnClassifier& head,
 }
 
 void write_sgd_section(std::ostream& out, const SgdHead& head) {
+  if (head.quantized()) {
+    const bool sparse = head.sparse();
+    write_u32(out,
+              static_cast<std::uint32_t>(sparse ? Section::kQuantSparseSgdHead
+                                                : Section::kQuantSgdHead));
+    write_u32(out, checked_u32(head.classes(), "class"));
+    write_floats(out, head.bias().data(), head.bias().size());
+    if (sparse) {
+      write_quant_csr(out, head.quant_sparse_weights());
+    } else {
+      write_quant(out, head.quant_weights());
+    }
+    return;
+  }
   if (head.sparse()) {
     write_u32(out, static_cast<std::uint32_t>(Section::kSparseSgdHead));
     write_u32(out, checked_u32(head.classes(), "class"));
@@ -427,6 +633,23 @@ void write_sgd_section(std::ostream& out, const SgdHead& head) {
 void read_sgd_section(std::istream& in, SgdHead& head,
                       std::uint32_t version) {
   const std::uint32_t tag = read_u32(in);
+  if (tag == static_cast<std::uint32_t>(Section::kQuantSgdHead) ||
+      tag == static_cast<std::uint32_t>(Section::kQuantSparseSgdHead)) {
+    if (read_u32(in) != head.classes()) {
+      throw std::runtime_error("checkpoint: class count mismatch");
+    }
+    std::vector<float> bias(head.bias().size());
+    read_floats(in, bias.data(), bias.size(), version);
+    const std::size_t inputs = head.weights().rows();
+    if (tag == static_cast<std::uint32_t>(Section::kQuantSparseSgdHead)) {
+      head.adopt_quant_sparse(read_quant_csr(in, head.classes(), inputs),
+                              std::move(bias));
+    } else {
+      head.adopt_quant(read_quant(in, head.classes(), inputs),
+                       std::move(bias));
+    }
+    return;
+  }
   if (tag == static_cast<std::uint32_t>(Section::kSparseSgdHead)) {
     if (read_u32(in) != head.classes()) {
       throw std::runtime_error("checkpoint: class count mismatch");

@@ -5,20 +5,25 @@
 // checkpoints are small and exact — loading reproduces the saved model's
 // predictions bit-for-bit on the same engine.
 //
-// Format (little-endian, version 3):
+// Format (little-endian, version 4):
 //   magic "SBRN" | u32 version | u32 section tag | section payload ...
 // Sections: layer (geometry, traces, masks), classifier (traces),
-// sgd_head (weights, bias), and — for Model::sparsify()'d components —
+// sgd_head (weights, bias); for Model::sparsify()'d components —
 // sparse_layer / sparse_classifier / sparse_sgd_head (geometry, bias,
 // CSR weight payload: the traces are gone by design, the CSR is the
-// learned state). Network files chain hidden + head sections.
+// learned state); and for Model::quantize()'d components — quant_* /
+// quant_sparse_* (geometry, bias, int8 codes + fp32 scales, dense
+// block-scaled or CSR per-row-scaled). Network files chain hidden +
+// head sections.
 // Version 2 widened float-array counts from u32 to u64 (version 1
 // silently truncated counts >= 2^32); version 3 added the sparse
 // section tags and appended a prune keep-mask field to the dense
-// sections (so pruned models load bit-for-bit). Version 1 and 2 files
-// are still read. Every count field that stays u32 is overflow-checked on
-// write and plausibility-bounded on read — corrupt or fuzzed bytes fail
-// with std::runtime_error, never a crash or a runaway allocation.
+// sections (so pruned models load bit-for-bit); version 4 added the
+// quantized section tags without changing any existing section's bytes.
+// Version 1 through 3 files are still read. Every count field that stays
+// u32 is overflow-checked on write and plausibility-bounded on read —
+// corrupt or fuzzed bytes fail with std::runtime_error, never a crash
+// or a runaway allocation.
 
 #include <cstddef>
 #include <cstdint>

@@ -32,7 +32,12 @@ SgdHead::SgdHead(std::size_t inputs, std::size_t classes, SgdHeadConfig config)
 
 void SgdHead::forward(const tensor::MatrixF& features,
                       tensor::MatrixF& probs) const {
-  if (sparse_wt_) {
+  if (quant_wt_) {
+    tensor::quant_support(*quant_wt_, features, bias_.data(), probs);
+  } else if (quant_sparse_wt_) {
+    tensor::quant_sparse_support(*quant_sparse_wt_, features, bias_.data(),
+                                 probs);
+  } else if (sparse_wt_) {
     tensor::sparse_support(*sparse_wt_, features, bias_.data(), probs);
   } else {
     probs.resize(features.rows(), classes_);
@@ -168,6 +173,15 @@ void SgdHead::set_prune_mask(std::vector<std::uint8_t> mask) {
 }
 
 double SgdHead::weight_density() const noexcept {
+  if (quant_sparse_wt_) return quant_sparse_wt_->density();
+  if (quant_wt_) {
+    std::size_t nnz = 0;
+    for (const std::int8_t code : quant_wt_->codes()) nnz += code != 0;
+    return quant_wt_->codes().empty()
+               ? 1.0
+               : static_cast<double>(nnz) /
+                     static_cast<double>(quant_wt_->codes().size());
+  }
   if (sparse_wt_) return sparse_wt_->density();
   if (weights_.empty()) return 1.0;
   std::size_t nnz = 0;
@@ -176,6 +190,11 @@ double SgdHead::weight_density() const noexcept {
 }
 
 void SgdHead::sparsify() {
+  if (quantized()) {
+    throw std::logic_error(
+        "SgdHead::sparsify: head is already quantized (sparsify before "
+        "quantize, not after)");
+  }
   if (sparse_wt_) return;  // idempotent
   sparse_wt_ = std::make_unique<tensor::CsrMatrix>(
       tensor::CsrMatrix::from_dense_transposed(weights_));
@@ -221,10 +240,84 @@ void SgdHead::apply_prune_mask() {
   }
 }
 
+void SgdHead::quantize(std::size_t block_size) {
+  if (quantized()) return;  // idempotent
+  if (sparse_wt_) {
+    quant_sparse_wt_ = std::make_unique<tensor::QuantCsr>(
+        tensor::QuantCsr::from_csr(*sparse_wt_));
+    sparse_wt_.reset();
+    return;
+  }
+  quant_wt_ = std::make_unique<tensor::QuantBlockMatrix>(
+      tensor::QuantBlockMatrix::from_dense_transposed(weights_, block_size));
+  weights_ = tensor::MatrixF();
+  velocity_ = tensor::MatrixF();
+  bias_velocity_.clear();
+  bias_velocity_.shrink_to_fit();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+const tensor::QuantBlockMatrix& SgdHead::quant_weights() const {
+  if (!quant_wt_) {
+    throw std::logic_error(
+        "SgdHead::quant_weights: head is not dense-quantized");
+  }
+  return *quant_wt_;
+}
+
+const tensor::QuantCsr& SgdHead::quant_sparse_weights() const {
+  if (!quant_sparse_wt_) {
+    throw std::logic_error(
+        "SgdHead::quant_sparse_weights: head is not sparse-quantized");
+  }
+  return *quant_sparse_wt_;
+}
+
+void SgdHead::adopt_quant(tensor::QuantBlockMatrix wt,
+                          std::vector<float> bias) {
+  if (wt.rows() != classes_ || bias.size() != classes_ ||
+      (weights_.size() != 0 && wt.cols() != weights_.rows())) {
+    throw std::invalid_argument("SgdHead::adopt_quant: shape mismatch");
+  }
+  quant_wt_ = std::make_unique<tensor::QuantBlockMatrix>(std::move(wt));
+  quant_sparse_wt_.reset();
+  bias_ = std::move(bias);
+  sparse_wt_.reset();
+  weights_ = tensor::MatrixF();
+  velocity_ = tensor::MatrixF();
+  bias_velocity_.clear();
+  bias_velocity_.shrink_to_fit();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
+void SgdHead::adopt_quant_sparse(tensor::QuantCsr wt,
+                                 std::vector<float> bias) {
+  if (wt.rows() != classes_ || bias.size() != classes_ ||
+      (weights_.size() != 0 && wt.cols() != weights_.rows())) {
+    throw std::invalid_argument("SgdHead::adopt_quant_sparse: shape mismatch");
+  }
+  quant_sparse_wt_ = std::make_unique<tensor::QuantCsr>(std::move(wt));
+  quant_wt_.reset();
+  bias_ = std::move(bias);
+  sparse_wt_.reset();
+  weights_ = tensor::MatrixF();
+  velocity_ = tensor::MatrixF();
+  bias_velocity_.clear();
+  bias_velocity_.shrink_to_fit();
+  prune_keep_.clear();
+  prune_keep_.shrink_to_fit();
+}
+
 void SgdHead::require_mutable(const char* what) const {
   if (sparse_wt_) {
     throw std::logic_error(std::string("SgdHead::") + what +
                            ": head is in the read-only sparse form");
+  }
+  if (quantized()) {
+    throw std::logic_error(std::string("SgdHead::") + what +
+                           ": head is in the read-only quantized form");
   }
 }
 

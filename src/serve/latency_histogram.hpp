@@ -1,0 +1,89 @@
+#pragma once
+// Lock-free end-to-end latency histogram for the async serving path.
+// Request completions land on shard workers and the dispatcher thread
+// concurrently, and the record path must not serialize them — so the
+// histogram is a fixed array of atomic counters over geometric
+// (power-of-two microsecond) buckets: record() is one relaxed
+// fetch_add, and percentiles are computed only when a stats() snapshot
+// asks for them.
+//
+// Bucket b counts latencies in [2^(b-1), 2^b) microseconds (bucket 0:
+// anything under 1 us), so the quantile estimate returns a bucket UPPER
+// edge — at most 2x the true value, never an underestimate. That
+// resolution is plenty for the p50/p99 serving dashboards this feeds;
+// exact order statistics would need per-request storage and a lock.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace streambrain::serve {
+
+class LatencyHistogram {
+ public:
+  /// 2^39 us ~= 6.4 days in the top bucket — effectively unbounded.
+  static constexpr std::size_t kBuckets = 40;
+
+  /// Count one completed request. Thread-safe and lock-free; negative
+  /// durations (clock weirdness) count into the lowest bucket.
+  void record(double seconds) noexcept {
+    counts_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Upper-edge estimate of the q-quantile (q in [0, 1]) in seconds over
+  /// everything recorded so far; 0 when nothing was recorded. Reads are
+  /// relaxed: concurrent record() calls may or may not be included,
+  /// which is the usual monitoring-snapshot contract.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    std::array<std::uint64_t, kBuckets> counts;
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      counts[b] = counts_[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    if (total == 0) return 0.0;
+    // Rank of the quantile observation, 1-based, clamped to [1, total].
+    const auto rank = static_cast<std::uint64_t>(
+        q <= 0.0 ? 1
+                 : (q >= 1.0 ? total
+                             : static_cast<std::uint64_t>(
+                                   q * static_cast<double>(total)) +
+                                   1));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= rank) return bucket_upper_seconds(b);
+    }
+    return bucket_upper_seconds(kBuckets - 1);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& bucket : counts_) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Bucket for a latency: floor(log2(us)) + 1, i.e. [2^(b-1), 2^b) us.
+  [[nodiscard]] static std::size_t bucket_index(double seconds) noexcept {
+    if (!(seconds > 0.0)) return 0;
+    const double micros = seconds * 1e6;
+    if (micros < 1.0) return 0;
+    constexpr double kHuge = 9e18;  // below 2^63, far above any bucket
+    const auto us = static_cast<std::uint64_t>(micros < kHuge ? micros : kHuge);
+    const std::size_t index = std::bit_width(us);
+    return index < kBuckets ? index : kBuckets - 1;
+  }
+
+  /// The upper edge 2^b us of bucket b, in seconds.
+  [[nodiscard]] static double bucket_upper_seconds(std::size_t bucket) noexcept {
+    return static_cast<double>(std::uint64_t{1} << bucket) * 1e-6;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+};
+
+}  // namespace streambrain::serve

@@ -11,17 +11,21 @@ void ServeRequest::add_chunks(std::size_t count) {
   chunks_remaining_.fetch_add(count, std::memory_order_acq_rel);
 }
 
-void ServeRequest::complete_chunk() {
+bool ServeRequest::complete_chunk() {
   // acq_rel: the release publishes this chunk's result rows, the acquire
   // on the final decrement makes every chunk's rows visible before the
   // promise is fulfilled.
-  if (chunks_remaining_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
-  if (failed_.load(std::memory_order_acquire)) return;
-  if (kind == RequestKind::kLabels) {
-    labels_promise_.set_value(std::move(labels));
-  } else {
-    scores_promise_.set_value(std::move(scores));
+  if (chunks_remaining_.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return false;
   }
+  if (!failed_.load(std::memory_order_acquire)) {
+    if (kind == RequestKind::kLabels) {
+      labels_promise_.set_value(std::move(labels));
+    } else {
+      scores_promise_.set_value(std::move(scores));
+    }
+  }
+  return true;
 }
 
 void ServeRequest::fail(std::exception_ptr error) {

@@ -63,8 +63,11 @@ class ServeRequest {
   void add_chunks(std::size_t count);
 
   /// Mark one chunk finished; the last one fulfills the promise with the
-  /// accumulated result (unless the request already failed).
-  void complete_chunk();
+  /// accumulated result (unless the request already failed). Returns
+  /// true when THIS call retired the final chunk — the request is now
+  /// complete, and exactly one caller observes it (the latency-
+  /// accounting hook).
+  bool complete_chunk();
 
   /// Fail the request (first failure wins; later chunks still count
   /// down normally but the promise already holds `error`).

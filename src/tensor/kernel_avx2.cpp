@@ -57,10 +57,43 @@ inline float k_spdot(const float* values, const std::uint32_t* col_idx,
   return acc;
 }
 
+// Widening int8 block dot for the quantized kernels, declared ahead of
+// the shared bodies because k_qgemv in kernel_impl.inl calls it. One
+// maddubs (u8 x i8 -> pairwise i16 sums; the driver caps activation
+// codes at 127, so 2 * 127 * 127 = 32258 never saturates) feeds one
+// madd-by-ones widen to i32 per 32 codes — 4x the elements per vector
+// of the fp32 dot. Integer accumulation is exact, so the horizontal
+// reduction order is free and the result is bit-identical to the
+// scalar tier's ordered loop.
+inline std::int32_t k_qblock_dot(const std::int8_t* qa,
+                                 const std::uint8_t* qx, std::size_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(qa + j));
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(qx + j));
+    const __m256i pairs = _mm256_maddubs_epi16(x, a);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+  }
+  __m128i half = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                               _mm256_extracti128_si256(acc, 1));
+  half = _mm_add_epi32(half, _mm_shuffle_epi32(half, _MM_SHUFFLE(1, 0, 3, 2)));
+  half = _mm_add_epi32(half, _mm_shuffle_epi32(half, _MM_SHUFFLE(2, 3, 0, 1)));
+  std::int32_t total = _mm_cvtsi128_si32(half);
+  for (; j < n; ++j) {
+    total += static_cast<std::int32_t>(qa[j]) * static_cast<std::int32_t>(qx[j]);
+  }
+  return total;
+}
+
 }  // namespace avx2_impl
 }  // namespace streambrain::tensor
 
 #define SB_KERNEL_CUSTOM_SPDOT
+#define SB_KERNEL_CUSTOM_QBLOCK_DOT
 #define SB_KERNEL_CUSTOM_GEMM_BLOCK
 #define SB_KERNEL_NS avx2_impl
 #define SB_SIMD_LOOP _Pragma("omp simd")
@@ -72,6 +105,7 @@ inline float k_spdot(const float* values, const std::uint32_t* col_idx,
 #undef SB_SIMD_REDUCE
 #undef SB_PRAGMA_STR
 #undef SB_KERNEL_CUSTOM_GEMM_BLOCK
+#undef SB_KERNEL_CUSTOM_QBLOCK_DOT
 #undef SB_KERNEL_CUSTOM_SPDOT
 
 namespace streambrain::tensor {
@@ -209,6 +243,9 @@ const KernelSet* kernel_set_avx2() noexcept {
       &k_momentum_update,
       &k_spmv,
       &k_spmm,
+      &k_qgemv,
+      &k_qgemm,
+      &k_qspmv,
   };
   return &set;
 }

@@ -207,6 +207,76 @@ inline void k_spmm(const float* values, const std::uint32_t* col_idx,
   }
 }
 
+#if !defined(SB_KERNEL_CUSTOM_QBLOCK_DOT)
+// Integer dot of one weight-code block against the activation codes.
+// i32 accumulation is exact (every product fits 15 bits, block lengths
+// are capped at 4096), so reassociation by the vectorizer cannot change
+// the result — all tiers return the same i32 and the quantized kernels
+// are bit-identical across tiers. The AVX2 tier replaces this with a
+// maddubs widening kernel (32 codes per vector).
+inline std::int32_t k_qblock_dot(const std::int8_t* qa,
+                                 const std::uint8_t* qx, std::size_t n) {
+  std::int32_t acc = 0;
+  SB_SIMD_REDUCE(+ : acc)
+  for (std::size_t j = 0; j < n; ++j) {
+    acc += static_cast<std::int32_t>(qa[j]) * static_cast<std::int32_t>(qx[j]);
+  }
+  return acc;
+}
+#endif  // !SB_KERNEL_CUSTOM_QBLOCK_DOT
+
+inline void k_qgemv(const std::int8_t* qa, const float* scales,
+                    std::size_t block_size, const std::uint8_t* qx, float sx,
+                    float* y, std::size_t m, std::size_t k) {
+  const std::size_t blocks =
+      block_size == 0 ? 0 : (k + block_size - 1) / block_size;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* row = qa + i * k;
+    const float* row_scales = scales + i * blocks;
+    float acc = 0.0f;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t begin = b * block_size;
+      const std::size_t remain = k - begin;
+      const std::size_t len = remain < block_size ? remain : block_size;
+      const std::int32_t block = k_qblock_dot(row + begin, qx + begin, len);
+      // Explicit fmaf, not `acc += s * b`: the tiers are compiled under
+      // different FP-contraction regimes (-mfma in the avx2 TU), and a
+      // contracted mul+add rounds differently from a separate pair. The
+      // correctly-rounded fused form is the same bit pattern everywhere,
+      // which keeps the quantized kernels bit-identical across tiers.
+      acc = std::fmaf(row_scales[b] * sx, static_cast<float>(block), acc);
+    }
+    y[i] = acc;
+  }
+}
+
+inline void k_qgemm(const std::int8_t* qa, const float* scales,
+                    std::size_t block_size, const std::uint8_t* qb,
+                    std::size_t ldb, const float* sb, std::size_t rb,
+                    float* c, std::size_t ldc, std::size_t m, std::size_t k) {
+  for (std::size_t r = 0; r < rb; ++r) {
+    k_qgemv(qa, scales, block_size, qb + r * ldb, sb[r], c + r * ldc, m, k);
+  }
+}
+
+// Shared by all tiers on purpose (no custom SIMD body): the sparse rows
+// accumulate exactly in int64, so a vectorized variant could only match
+// bit-for-bit anyway, and the quantized-CSR form's win is memory, not
+// arithmetic throughput.
+inline void k_qspmv(const std::int8_t* values, const float* row_scale,
+                    const std::uint32_t* col_idx,
+                    const std::uint64_t* row_ptr, std::size_t m,
+                    const std::uint8_t* qx, float sx, float* y) {
+  for (std::size_t i = 0; i < m; ++i) {
+    std::int64_t acc = 0;
+    for (std::uint64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      acc += static_cast<std::int64_t>(values[p]) *
+             static_cast<std::int64_t>(qx[col_idx[p]]);
+    }
+    y[i] = (row_scale[i] * sx) * static_cast<float>(acc);
+  }
+}
+
 #if !defined(SB_KERNEL_CUSTOM_GEMM_BLOCK)
 // C[mr x n] += alpha * A[mr x k] * B[k x n] as an ikj saxpy sweep; the
 // AVX2 tier replaces this with a hand-tiled FMA micro-kernel. k ascends

@@ -44,6 +44,9 @@ const KernelSet* kernel_set_scalar() noexcept {
       &k_momentum_update,
       &k_spmv,
       &k_spmm,
+      &k_qgemv,
+      &k_qgemm,
+      &k_qspmv,
   };
   return &set;
 }

@@ -97,6 +97,46 @@ struct KernelSet {
   void (*spmm)(const float* values, const std::uint32_t* col_idx,
                const std::uint64_t* row_ptr, std::size_t m, const float* b,
                std::size_t ldb, std::size_t rb, float* c, std::size_t ldc);
+  /// Quantized mat-vec over per-block symmetric int8 weights. qa is a
+  /// row-major [m x k] int8 code matrix; each row is cut into
+  /// ceil(k / block_size) column blocks, and scales holds one fp32
+  /// dequantization factor per (row, block), row-major. qx are unsigned
+  /// activation codes in [0, 127] with one shared fp32 factor sx
+  /// (x[j] ~= sx * qx[j]). Each block is accumulated EXACTLY in int32
+  /// (order-free — integer addition is associative) and the per-block
+  /// partial sums are combined in float, ascending block order via
+  /// correctly-rounded fused multiply-adds:
+  ///   y[i] = fold_b fmaf(scales[i * blocks + b] * sx, blockdot_b, acc)
+  /// Because the integer part is exact and the float combine is ordered
+  /// with IEEE-pinned rounding at every step, every tier produces
+  /// BIT-identical results — stronger than the fp32 kernels' tolerance
+  /// contract. Preconditions: block_size in [1, 4096]
+  /// (keeps the i32 accumulators far from overflow: 4096 * 127 * 127 <
+  /// 2^31) and qx codes <= 127 (keeps the AVX2 maddubs i16 pair sums,
+  /// at most 2 * 127 * 127 = 32258, below saturation). The AVX2 tier
+  /// moves 32 int8 codes per vector — 4x the elements of the fp32 gemv.
+  void (*qgemv)(const std::int8_t* qa, const float* scales,
+                std::size_t block_size, const std::uint8_t* qx, float sx,
+                float* y, std::size_t m, std::size_t k);
+  /// Batched qgemv: rb rows of quantized activations (leading dimension
+  /// ldb, per-row factors sb[r]) against the same code matrix:
+  ///   c[r * ldc + i] = qgemv(qa, scales, qb + r * ldb, sb[r])[i]
+  /// Each output row depends only on its own activation row, so batch
+  /// splits cannot change results (the quant_support driver fans row
+  /// panels over the ThreadPool exactly like spmm_bt).
+  void (*qgemm)(const std::int8_t* qa, const float* scales,
+                std::size_t block_size, const std::uint8_t* qb,
+                std::size_t ldb, const float* sb, std::size_t rb, float* c,
+                std::size_t ldc, std::size_t m, std::size_t k);
+  /// Quantized sparse mat-vec: int8 stored values with ONE fp32 scale per
+  /// CSR row (row_scale[i]), same index structure as spmv. The whole row
+  /// accumulates exactly in int64 (no per-block cut — i64 cannot overflow
+  /// at any plausible nnz), then one float combine:
+  ///   y[i] = (row_scale[i] * sx) * rowdot_i
+  /// All tiers share this body, so results are bit-identical across tiers.
+  void (*qspmv)(const std::int8_t* values, const float* row_scale,
+                const std::uint32_t* col_idx, const std::uint64_t* row_ptr,
+                std::size_t m, const std::uint8_t* qx, float sx, float* y);
 };
 
 /// The set selected at startup (CPUID probe, then the STREAMBRAIN_DISPATCH

@@ -50,6 +50,9 @@ const KernelSet* kernel_set_sse42() noexcept {
       &k_momentum_update,
       &k_spmv,
       &k_spmm,
+      &k_qgemv,
+      &k_qgemm,
+      &k_qspmv,
   };
   return &set;
 }

@@ -1,0 +1,192 @@
+#pragma once
+// Per-block symmetric int8 weight storage — the quantized inference
+// path. A trained (optionally pruned/sparsified) model's surviving fp32
+// weights still cost 4 bytes each; quantizing them to int8 codes with a
+// shared fp32 scale per small block cuts the replica another ~4x (more
+// serve::ShardPool shards per host) and lets the AVX2 tier's maddubs
+// kernels move 4x more weights per vector than the fp32 dot.
+//
+// Two containers:
+//
+//   QuantBlockMatrix — dense row-major [m x k] int8 codes; each row is
+//     cut into ceil(k / block_size) column blocks with one fp32 scale
+//     per (row, block). Symmetric quantization: scale = max|w| / 127,
+//     code = round(w / scale) clamped to [-127, 127].
+//   QuantCsr — int8 codes with ONE fp32 scale per row on the exact
+//     CsrMatrix index structure (u64 row_ptr, strictly-ascending u32
+//     col_idx), composing quantization with sparsity.
+//
+// Round-trip contracts (asserted by test_quant_property):
+//   - reconstruction error per element is at most scale / 2 (+ float
+//     rounding), with the block max-magnitude element exactly at code
+//     ±127;
+//   - re-quantizing a dequantized matrix reproduces the codes exactly
+//     (round-to-nearest cannot move an already-on-grid value), so
+//     quantize ∘ dequantize is idempotent;
+//   - rounding uses round-half-away-from-zero (std::lround), which does
+//     not depend on the ambient FP rounding mode — quantization is
+//     deterministic across tiers and hosts.
+//
+// Kernels live in the runtime-dispatched tensor::KernelSet (qgemv /
+// qgemm / qspmv); the integer block sums are exact, so unlike the fp32
+// kernels ALL tiers are bit-identical, not merely tolerance-close. The
+// drivers below add activation quantization (tier-independent scalar
+// code) and ThreadPool row-panel fan-out mirroring spmm_bt.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace streambrain::tensor {
+
+/// Hard cap on the quantization block size. Keeps the kernels' int32
+/// block accumulators far from overflow (4096 * 127 * 127 ~= 2^26) and
+/// bounds the scale-array geometry a checkpoint reader will accept.
+inline constexpr std::size_t kMaxQuantBlock = 4096;
+
+class QuantBlockMatrix {
+ public:
+  /// An empty 0 x 0 matrix.
+  QuantBlockMatrix() = default;
+
+  /// Quantize `dense` [m x k] row-major with the given block size.
+  [[nodiscard]] static QuantBlockMatrix from_dense(const MatrixF& dense,
+                                                   std::size_t block_size);
+
+  /// Quantize the TRANSPOSE of `dense` (the common case: weights are
+  /// stored [inputs x outputs] but inference wants one code row per
+  /// output unit). Equivalent to from_dense of the transposed matrix
+  /// without materializing it.
+  [[nodiscard]] static QuantBlockMatrix from_dense_transposed(
+      const MatrixF& dense, std::size_t block_size);
+
+  /// Adopt raw arrays (the checkpoint read path). Validates the
+  /// geometry — block_size in [1, kMaxQuantBlock], codes.size() ==
+  /// rows * cols, scales.size() == rows * blocks_per_row, every code in
+  /// [-127, 127] and every scale finite and non-negative — and throws
+  /// std::invalid_argument naming the violation otherwise.
+  [[nodiscard]] static QuantBlockMatrix adopt(std::size_t rows,
+                                              std::size_t cols,
+                                              std::size_t block_size,
+                                              std::vector<std::int8_t> codes,
+                                              std::vector<float> scales);
+
+  /// Dequantize back to fp32 (code * block scale).
+  [[nodiscard]] MatrixF to_dense() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+  [[nodiscard]] std::size_t blocks_per_row() const noexcept {
+    return cols_ == 0 ? 0 : (cols_ + block_size_ - 1) / block_size_;
+  }
+  /// Bytes of the code and scale arrays (the compact-replica accounting
+  /// bench_quant reports against rows * cols * sizeof(float)).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return codes_.size() * sizeof(std::int8_t) +
+           scales_.size() * sizeof(float);
+  }
+
+  [[nodiscard]] const std::vector<std::int8_t>& codes() const noexcept {
+    return codes_;
+  }
+  [[nodiscard]] const std::vector<float>& scales() const noexcept {
+    return scales_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t block_size_ = 32;
+  std::vector<std::int8_t> codes_;   // rows_ * cols_, row-major
+  std::vector<float> scales_;        // rows_ * blocks_per_row(), row-major
+};
+
+/// Quantized-sparse matrix: int8 codes with one fp32 scale per row on
+/// the CsrMatrix index structure. Same column-order invariants.
+class QuantCsr {
+ public:
+  QuantCsr() = default;
+
+  /// Quantize an existing CSR matrix per row (scale = row max|v| / 127).
+  [[nodiscard]] static QuantCsr from_csr(const CsrMatrix& csr);
+
+  /// Adopt raw arrays (the checkpoint read path). Validates the full
+  /// CSR index invariants (as CsrMatrix::adopt) plus row_scales.size()
+  /// == rows, codes in [-127, 127], scales finite and non-negative.
+  [[nodiscard]] static QuantCsr adopt(std::size_t rows, std::size_t cols,
+                                      std::vector<std::uint64_t> row_ptr,
+                                      std::vector<std::uint32_t> col_idx,
+                                      std::vector<std::int8_t> codes,
+                                      std::vector<float> row_scales);
+
+  /// Dequantize back to an fp32 CSR with the same index structure.
+  [[nodiscard]] CsrMatrix to_csr() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return codes_.size(); }
+  /// Stored fraction: nnz / (rows * cols); 1.0 for an empty matrix.
+  [[nodiscard]] double density() const noexcept;
+  /// Bytes of the four arrays. 3 bytes/nnz below the fp32 CsrMatrix at
+  /// equal density (int8 codes vs float values), plus 4 bytes per row.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  [[nodiscard]] const std::vector<std::int8_t>& codes() const noexcept {
+    return codes_;
+  }
+  [[nodiscard]] const std::vector<float>& row_scales() const noexcept {
+    return row_scales_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint64_t> row_ptr_ = {0};  // always rows_ + 1 entries
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<std::int8_t> codes_;
+  std::vector<float> row_scales_;  // rows_ entries
+};
+
+/// Quantize one activation row to unsigned codes: qx[j] =
+/// round(x[j] / sx) clamped to [0, 127] with sx = max(x) / 127; returns
+/// sx. Serving activations are non-negative (one-hot encodings and
+/// softmax outputs); negative inputs clamp to code 0. A zero (or
+/// all-non-positive) row returns sx = 0 with all codes 0. Plain scalar
+/// driver code on purpose — activation quantization must not depend on
+/// the dispatch tier, or the tiers' bit-identity guarantee would break.
+float quantize_activation_row(const float* x, std::size_t n,
+                              std::uint8_t* qx);
+
+/// y = A x for quantized A [m x k] against pre-quantized activation
+/// codes. Runs on the calling thread (one vector is too little work to
+/// amortize a pool submit).
+void qgemv(const QuantBlockMatrix& a, const std::uint8_t* qx, float sx,
+           float* y);
+
+/// y = A x for quantized-sparse A [m x k], same calling convention.
+void qspmv(const QuantCsr& a, const std::uint8_t* qx, float sx, float* y);
+
+/// Quantized analogue of Engine::support: S = X * W + bias_row, where
+/// `wt` holds the codes of W^T ([n_out x n_in]). S is resized to
+/// [x.rows() x wt.rows()]. Each activation row is quantized once
+/// (tier-independent), then row panels fan over parallel::ThreadPool
+/// exactly like spmm_bt — per-row results cannot depend on the split,
+/// so sharded serving stays bit-stable.
+void quant_support(const QuantBlockMatrix& wt, const MatrixF& x,
+                   const float* bias, MatrixF& s);
+
+/// Sparse-quantized analogue of Engine::support over a QuantCsr W^T.
+void quant_sparse_support(const QuantCsr& wt, const MatrixF& x,
+                          const float* bias, MatrixF& s);
+
+}  // namespace streambrain::tensor

@@ -1,10 +1,12 @@
 // Checkpoint fuzzing: structured mutations of REAL checkpoint bytes in
 // every readable format version — v1 / v2 layer files (down-converted
-// from real v3 bytes the same way test_serialization keeps the compat
-// path honest), v3 dense and v3 sparse model files — must always end in
-// a clean std::exception (or a successful load), never a crash, hang,
-// or runaway allocation. The asan/ubsan CI job runs this suite, so an
-// out-of-bounds read or overflow in the parser fails loudly.
+// from real current-version bytes the same way test_serialization keeps
+// the compat path honest), dense / sparse model files, and v4 QUANTIZED
+// model files (quant-dense and prune -> sparsify -> quantize) — must
+// always end in a clean std::exception (or a successful load), never a
+// crash, hang, or runaway allocation. The asan/ubsan CI job runs this
+// suite, so an out-of-bounds read or overflow in the parser fails
+// loudly.
 //
 // Mutation classes:
 //   - truncation at many prefix lengths (torn writes, short downloads)
@@ -65,7 +67,10 @@ st::MatrixF encoded_events(std::size_t rows, std::uint64_t seed) {
   return x;
 }
 
-std::string layer_bytes_v3(bool pruned) {
+// Layer bytes at the current writer version. The layer payload has been
+// byte-identical since v3 (v4 only added model-level quantized section
+// tags), so the v2/v1 down-converters below stay valid.
+std::string current_layer_bytes(bool pruned) {
   const auto config = layer_config();
   auto engine = sp::make_engine("simd");
   su::Rng rng(7);
@@ -140,6 +145,20 @@ std::string model_bytes(const sc::Model& model) {
   std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
   sc::save_model(buffer, model);
   return buffer.str();
+}
+
+/// Offset of the first u64 pair (a, b) in `bytes` — locates a payload
+/// header (rows directly followed by cols) for targeted field stomps.
+std::size_t find_u64_pair(const std::string& bytes, std::uint64_t a,
+                          std::uint64_t b) {
+  for (std::size_t i = 0; i + 16 <= bytes.size(); ++i) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    std::memcpy(&lo, bytes.data() + i, 8);
+    std::memcpy(&hi, bytes.data() + i + 8, 8);
+    if (lo == a && hi == b) return i;
+  }
+  return std::string::npos;
 }
 
 enum class Kind { kLayer, kModel };
@@ -223,34 +242,102 @@ TEST(CheckpointFuzz, PristineCorporaLoadCleanly) {
     sc::load_model(in, target);
     EXPECT_TRUE(target.sparse());
   }
+  {
+    sc::Model quant = trained_model(sc::HeadType::kSgd).quantize();
+    std::stringstream in(model_bytes(quant),
+                         std::ios::in | std::ios::binary);
+    sc::Model target;
+    sc::load_model(in, target);
+    EXPECT_TRUE(target.quantized());
+  }
+  {
+    sc::Model quant_sparse =
+        trained_model(sc::HeadType::kBcpnn).sparsify().quantize();
+    std::stringstream in(model_bytes(quant_sparse),
+                         std::ios::in | std::ios::binary);
+    sc::Model target;
+    sc::load_model(in, target);
+    EXPECT_TRUE(target.quantized());
+    EXPECT_TRUE(target.sparse());
+  }
 }
 
 TEST(CheckpointFuzz, V1LayerBytesNeverCrash) {
   fuzz_corpus(Kind::kLayer,
               downconvert_layer_to_v1(
-                  downconvert_layer_to_v2(layer_bytes_v3(false))),
+                  downconvert_layer_to_v2(current_layer_bytes(false))),
               "layer v1");
 }
 
 TEST(CheckpointFuzz, V2LayerBytesNeverCrash) {
-  fuzz_corpus(Kind::kLayer, downconvert_layer_to_v2(layer_bytes_v3(false)),
+  fuzz_corpus(Kind::kLayer, downconvert_layer_to_v2(current_layer_bytes(false)),
               "layer v2");
 }
 
-TEST(CheckpointFuzz, V3PrunedLayerBytesNeverCrash) {
-  fuzz_corpus(Kind::kLayer, layer_bytes_v3(true), "layer v3 pruned");
+TEST(CheckpointFuzz, CurrentPrunedLayerBytesNeverCrash) {
+  fuzz_corpus(Kind::kLayer, current_layer_bytes(true), "layer current pruned");
 }
 
-TEST(CheckpointFuzz, V3DenseModelBytesNeverCrash) {
+TEST(CheckpointFuzz, DenseModelBytesNeverCrash) {
   fuzz_corpus(Kind::kModel, model_bytes(trained_model(sc::HeadType::kSgd)),
-              "model v3 dense sgd");
+              "model dense sgd");
   fuzz_corpus(Kind::kModel, model_bytes(trained_model(sc::HeadType::kBcpnn)),
-              "model v3 dense bcpnn");
+              "model dense bcpnn");
 }
 
-TEST(CheckpointFuzz, V3SparseModelBytesNeverCrash) {
+TEST(CheckpointFuzz, SparseModelBytesNeverCrash) {
   sc::Model sparse = trained_model(sc::HeadType::kSgd).sparsify();
-  fuzz_corpus(Kind::kModel, model_bytes(sparse), "model v3 sparse");
+  fuzz_corpus(Kind::kModel, model_bytes(sparse), "model sparse");
+}
+
+TEST(CheckpointFuzz, V4QuantDenseModelBytesNeverCrash) {
+  fuzz_corpus(Kind::kModel,
+              model_bytes(trained_model(sc::HeadType::kSgd).quantize()),
+              "model v4 quant dense sgd");
+  fuzz_corpus(Kind::kModel,
+              model_bytes(trained_model(sc::HeadType::kBcpnn).quantize()),
+              "model v4 quant dense bcpnn");
+}
+
+TEST(CheckpointFuzz, V4QuantSparseModelBytesNeverCrash) {
+  sc::Model quant_sparse =
+      trained_model(sc::HeadType::kSgd).sparsify().quantize();
+  fuzz_corpus(Kind::kModel, model_bytes(quant_sparse),
+              "model v4 quant sparse");
+}
+
+TEST(CheckpointFuzz, TargetedQuantFieldMutationsAreRejected) {
+  // Surgical quantized-payload mutations: an implausible block_size and
+  // a blown-up quant-CSR nnz must both be rejected before the reader
+  // sizes any allocation from them.
+  const std::uint64_t rows = kMcus;
+  const std::uint64_t cols = kInputHc * kBins;
+
+  // Quant-dense payload header is u64 rows|cols|block_size.
+  {
+    std::string bytes =
+        model_bytes(trained_model(sc::HeadType::kSgd).quantize());
+    const std::size_t pos = find_u64_pair(bytes, rows, cols);
+    ASSERT_NE(pos, std::string::npos) << "quant header not found";
+    const std::uint64_t huge_block = ~std::uint64_t{0} / 2;
+    std::memcpy(bytes.data() + pos + 16, &huge_block, sizeof(huge_block));
+    std::stringstream in(bytes, std::ios::in | std::ios::binary);
+    sc::Model target;
+    EXPECT_THROW(sc::load_model(in, target), std::runtime_error);
+  }
+  // Quant-sparse payload header is u64 rows|cols|nnz; nnz past
+  // rows*cols is structurally impossible.
+  {
+    std::string bytes = model_bytes(
+        trained_model(sc::HeadType::kSgd).sparsify().quantize());
+    const std::size_t pos = find_u64_pair(bytes, rows, cols);
+    ASSERT_NE(pos, std::string::npos) << "quant CSR header not found";
+    const std::uint64_t huge_nnz = ~std::uint64_t{0} / 2;
+    std::memcpy(bytes.data() + pos + 16, &huge_nnz, sizeof(huge_nnz));
+    std::stringstream in(bytes, std::ios::in | std::ios::binary);
+    sc::Model target;
+    EXPECT_THROW(sc::load_model(in, target), std::runtime_error);
+  }
 }
 
 TEST(CheckpointFuzz, TargetedCountOverflowsAreRejected) {

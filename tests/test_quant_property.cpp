@@ -1,0 +1,462 @@
+// Property tests for the quantized inference subsystem: per-block
+// symmetric int8 round-trip contracts (error <= scale / 2, exact
+// idempotence of re-quantization), adopt() validation, activation
+// quantization, and the qgemv / qgemm / qspmv kernels. The quantized
+// kernels carry a STRONGER contract than the fp32 ones: the integer
+// block sums are exact and the float combine is fmaf-pinned, so every
+// dispatch tier is BIT-identical, not merely tolerance-close — asserted
+// here across all tiers the host can run (via force_dispatch, mirroring
+// test_sparse_property).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/csr.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/kernel_set.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/quant.hpp"
+#include "util/rng.hpp"
+
+namespace st = streambrain::tensor;
+namespace su = streambrain::util;
+
+namespace {
+
+/// Every tier this host can run, scalar first.
+std::vector<const st::KernelSet*> all_tiers() {
+  std::vector<const st::KernelSet*> tiers;
+  for (const st::DispatchLevel level :
+       {st::DispatchLevel::kScalar, st::DispatchLevel::kSse42,
+        st::DispatchLevel::kAvx2}) {
+    if (const st::KernelSet* set = st::kernel_set_for(level)) {
+      tiers.push_back(set);
+    }
+  }
+  return tiers;
+}
+
+st::MatrixF random_matrix(std::size_t rows, std::size_t cols, su::Rng& rng,
+                          double lo, double hi) {
+  st::MatrixF m(rows, cols, 0.0f);
+  for (float& v : m) v = static_cast<float>(rng.uniform(lo, hi));
+  return m;
+}
+
+/// Dense matrix with each entry surviving with probability `density`.
+st::MatrixF random_sparse_dense(std::size_t rows, std::size_t cols,
+                                double density, su::Rng& rng) {
+  st::MatrixF m(rows, cols, 0.0f);
+  for (float& v : m) {
+    if (rng.uniform(0.0, 1.0) < density) {
+      const double mag = rng.uniform(0.1, 2.0);
+      v = static_cast<float>(rng.uniform(0.0, 1.0) < 0.5 ? -mag : mag);
+    }
+  }
+  return m;
+}
+
+/// Quantized activations for one batch row, as the drivers produce them.
+struct QuantRow {
+  std::vector<std::uint8_t> qx;
+  float sx = 0.0f;
+};
+
+QuantRow quantize_row(const float* x, std::size_t n) {
+  QuantRow row;
+  row.qx.resize(n);
+  row.sx = st::quantize_activation_row(x, n, row.qx.data());
+  return row;
+}
+
+/// What the quantized kernels compute, written as the slowest possible
+/// reference: exact integer block dots, fmaf combine in block order.
+std::vector<float> quant_reference(const st::QuantBlockMatrix& a,
+                                   const std::uint8_t* qx, float sx) {
+  std::vector<float> y(a.rows());
+  const std::size_t blocks = a.blocks_per_row();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float acc = 0.0f;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t begin = b * a.block_size();
+      const std::size_t end = std::min(begin + a.block_size(), a.cols());
+      std::int32_t dot = 0;
+      for (std::size_t j = begin; j < end; ++j) {
+        dot += static_cast<std::int32_t>(a.codes()[i * a.cols() + j]) *
+               static_cast<std::int32_t>(qx[j]);
+      }
+      acc = std::fmaf(a.scales()[i * blocks + b] * sx,
+                      static_cast<float>(dot), acc);
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace
+
+TEST(QuantProperty, RoundTripErrorBoundedPerBlock) {
+  for (const std::size_t block : {1UL, 3UL, 16UL, 32UL, 100UL}) {
+    for (const auto& [rows, cols] :
+         std::vector<std::pair<std::size_t, std::size_t>>{
+             {0, 0}, {1, 1}, {1, 17}, {16, 1}, {7, 33}, {40, 64}}) {
+      su::Rng rng(rows * 131 + cols * 7 + block);
+      const st::MatrixF dense = random_matrix(rows, cols, rng, -3.0, 3.0);
+      const st::QuantBlockMatrix q =
+          st::QuantBlockMatrix::from_dense(dense, block);
+      EXPECT_EQ(q.rows(), rows);
+      EXPECT_EQ(q.cols(), cols);
+      EXPECT_EQ(q.block_size(), block);
+      const st::MatrixF back = q.to_dense();
+      const std::size_t blocks = q.blocks_per_row();
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+          const float scale = q.scales()[i * blocks + j / block];
+          // Symmetric rounding: at most half a quantization step off
+          // (plus one float ulp of the scale multiply).
+          const float bound = 0.5f * scale + 1e-6f;
+          ASSERT_NEAR(dense(i, j), back(i, j), bound)
+              << "block=" << block << " i=" << i << " j=" << j;
+        }
+      }
+      // The block max-magnitude element sits exactly at code +-127.
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t b = 0; b < blocks; ++b) {
+          const std::size_t begin = b * block;
+          const std::size_t end = std::min(begin + block, cols);
+          std::int8_t extreme = 0;
+          for (std::size_t j = begin; j < end; ++j) {
+            const std::int8_t code = q.codes()[i * cols + j];
+            extreme = std::max<std::int8_t>(
+                extreme, static_cast<std::int8_t>(std::abs(code)));
+          }
+          ASSERT_EQ(extreme, 127) << "i=" << i << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, RequantizationIsIdempotent) {
+  // Dequantized values are exactly on the code grid, and
+  // round-half-away-from-zero cannot move an on-grid value — so a second
+  // quantization pass reproduces codes AND scales bit-for-bit.
+  su::Rng rng(42);
+  const st::MatrixF dense = random_matrix(19, 45, rng, -2.0, 2.0);
+  const st::QuantBlockMatrix q = st::QuantBlockMatrix::from_dense(dense, 16);
+  const st::QuantBlockMatrix q2 =
+      st::QuantBlockMatrix::from_dense(q.to_dense(), 16);
+  EXPECT_EQ(q.codes(), q2.codes());
+  EXPECT_EQ(q.scales(), q2.scales());
+}
+
+TEST(QuantProperty, FromDenseTransposedMatchesTransposing) {
+  su::Rng rng(7);
+  const st::MatrixF dense = random_matrix(23, 11, rng, -1.0, 1.0);
+  st::MatrixF transposed(11, 23, 0.0f);
+  for (std::size_t r = 0; r < 23; ++r) {
+    for (std::size_t c = 0; c < 11; ++c) transposed(c, r) = dense(r, c);
+  }
+  const st::QuantBlockMatrix a =
+      st::QuantBlockMatrix::from_dense_transposed(dense, 8);
+  const st::QuantBlockMatrix b = st::QuantBlockMatrix::from_dense(transposed, 8);
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(a.codes(), b.codes());
+  EXPECT_EQ(a.scales(), b.scales());
+}
+
+TEST(QuantProperty, MemoryShrinksVersusFp32) {
+  su::Rng rng(3);
+  const st::MatrixF dense = random_matrix(64, 256, rng, -1.0, 1.0);
+  const st::QuantBlockMatrix q = st::QuantBlockMatrix::from_dense(dense, 32);
+  // int8 codes + one fp32 scale per 32 weights: ~3.6x below fp32.
+  EXPECT_LT(q.memory_bytes(), dense.size() * sizeof(float) / 3);
+}
+
+TEST(QuantProperty, AdoptRejectsInvalidPayloads) {
+  const std::vector<std::int8_t> codes(12, 5);
+  const std::vector<float> scales(4, 0.5f);  // 2 rows x 2 blocks (bs=4, k=6)
+  EXPECT_NO_THROW(st::QuantBlockMatrix::adopt(2, 6, 4, codes, scales));
+
+  EXPECT_THROW(st::QuantBlockMatrix::adopt(2, 6, 0, codes, scales),
+               std::invalid_argument);  // block size 0
+  EXPECT_THROW(
+      st::QuantBlockMatrix::adopt(2, 6, st::kMaxQuantBlock + 1, codes, scales),
+      std::invalid_argument);  // block size above the accumulator-safety cap
+  EXPECT_THROW(st::QuantBlockMatrix::adopt(2, 7, 4, codes, scales),
+               std::invalid_argument);  // codes size mismatch
+  EXPECT_THROW(st::QuantBlockMatrix::adopt(2, 6, 4, codes, {0.5f, 0.5f}),
+               std::invalid_argument);  // scales size mismatch
+  {
+    auto bad = codes;
+    bad[3] = std::numeric_limits<std::int8_t>::min();  // -128: asymmetric
+    EXPECT_THROW(st::QuantBlockMatrix::adopt(2, 6, 4, bad, scales),
+                 std::invalid_argument);
+  }
+  {
+    auto bad = scales;
+    bad[1] = -0.25f;
+    EXPECT_THROW(st::QuantBlockMatrix::adopt(2, 6, 4, codes, bad),
+                 std::invalid_argument);
+    bad[1] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_THROW(st::QuantBlockMatrix::adopt(2, 6, 4, codes, bad),
+                 std::invalid_argument);
+  }
+}
+
+TEST(QuantProperty, QuantCsrAdoptValidatesIndexStructure) {
+  // Valid 2x3: [[a, 0, b], [0, c, 0]].
+  const std::vector<std::uint64_t> row_ptr = {0, 2, 3};
+  const std::vector<std::uint32_t> col_idx = {0, 2, 1};
+  const std::vector<std::int8_t> codes = {10, -20, 127};
+  const std::vector<float> row_scales = {0.5f, 0.25f};
+  EXPECT_NO_THROW(st::QuantCsr::adopt(2, 3, row_ptr, col_idx, codes,
+                                      row_scales));
+
+  EXPECT_THROW(st::QuantCsr::adopt(2, 3, {0, 3, 2}, col_idx, codes,
+                                   row_scales),
+               std::invalid_argument);  // decreasing row_ptr
+  EXPECT_THROW(st::QuantCsr::adopt(2, 3, row_ptr, {0, 3, 1}, codes,
+                                   row_scales),
+               std::invalid_argument);  // column out of range
+  EXPECT_THROW(st::QuantCsr::adopt(2, 3, row_ptr, {2, 0, 1}, codes,
+                                   row_scales),
+               std::invalid_argument);  // not ascending within row
+  EXPECT_THROW(st::QuantCsr::adopt(2, 3, row_ptr, col_idx, codes, {0.5f}),
+               std::invalid_argument);  // row_scales size mismatch
+  EXPECT_THROW(
+      st::QuantCsr::adopt(2, 3, row_ptr, col_idx,
+                          {10, std::numeric_limits<std::int8_t>::min(), 1},
+                          row_scales),
+      std::invalid_argument);  // -128 code
+}
+
+TEST(QuantProperty, QuantCsrRoundTripPreservesStructure) {
+  su::Rng rng(91);
+  const st::MatrixF dense = random_sparse_dense(30, 50, 0.15, rng);
+  const st::CsrMatrix csr = st::CsrMatrix::from_dense(dense);
+  const st::QuantCsr q = st::QuantCsr::from_csr(csr);
+  EXPECT_EQ(q.rows(), csr.rows());
+  EXPECT_EQ(q.cols(), csr.cols());
+  EXPECT_EQ(q.nnz(), csr.nnz());
+  EXPECT_EQ(q.row_ptr(), csr.row_ptr());
+  EXPECT_EQ(q.col_idx(), csr.col_idx());
+  EXPECT_LT(q.memory_bytes(), csr.memory_bytes());
+
+  const st::CsrMatrix back = q.to_csr();
+  EXPECT_EQ(back.row_ptr(), csr.row_ptr());
+  EXPECT_EQ(back.col_idx(), csr.col_idx());
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    const float bound = 0.5f * q.row_scales()[i] + 1e-6f;
+    for (std::uint64_t p = csr.row_ptr()[i]; p < csr.row_ptr()[i + 1]; ++p) {
+      ASSERT_NEAR(csr.values()[p], back.values()[p], bound) << "entry " << p;
+    }
+  }
+}
+
+TEST(QuantProperty, ActivationQuantizationClampsAndScales) {
+  // Max element -> code 127; negatives clamp to 0; zero row -> sx 0.
+  const std::vector<float> x = {0.0f, 2.54f, -1.0f, 1.27f};
+  std::vector<std::uint8_t> qx(x.size());
+  const float sx = st::quantize_activation_row(x.data(), x.size(), qx.data());
+  EXPECT_FLOAT_EQ(sx, 2.54f / 127.0f);
+  EXPECT_EQ(qx[0], 0);
+  EXPECT_EQ(qx[1], 127);
+  EXPECT_EQ(qx[2], 0);  // negative clamps, never wraps
+  EXPECT_EQ(qx[3], 64);  // round(63.5) away from zero
+
+  const std::vector<float> zeros = {0.0f, -3.0f, 0.0f};
+  std::vector<std::uint8_t> qz(zeros.size());
+  EXPECT_EQ(st::quantize_activation_row(zeros.data(), zeros.size(), qz.data()),
+            0.0f);
+  EXPECT_EQ(qz, (std::vector<std::uint8_t>(3, 0)));
+}
+
+TEST(QuantProperty, QgemvMatchesExactReferenceBitwiseAllTiers) {
+  for (const std::size_t block : {1UL, 16UL, 32UL, 100UL}) {
+    for (const auto& [m, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {1, 1}, {3, 7}, {17, 33}, {8, 64}, {40, 129}}) {
+      su::Rng rng(m * 1009 + k * 13 + block);
+      const st::MatrixF a = random_matrix(m, k, rng, -2.0, 2.0);
+      const st::QuantBlockMatrix q = st::QuantBlockMatrix::from_dense(a, block);
+      const st::MatrixF xm = random_matrix(1, k, rng, 0.0, 1.0);
+      const QuantRow x = quantize_row(xm.row(0), k);
+      const std::vector<float> y_ref = quant_reference(q, x.qx.data(), x.sx);
+      for (const st::KernelSet* tier : all_tiers()) {
+        std::vector<float> y(m, -777.0f);  // dirty: must be overwritten
+        tier->qgemv(q.codes().data(), q.scales().data(), q.block_size(),
+                    x.qx.data(), x.sx, y.data(), m, k);
+        for (std::size_t i = 0; i < m; ++i) {
+          // BIT-identical, not tolerance-close: integer block dots are
+          // exact and the scale combine is fmaf in a pinned order.
+          ASSERT_EQ(y_ref[i], y[i])
+              << tier->name << " m=" << m << " k=" << k << " block=" << block
+              << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, QgemvApproximatesFp32Gemv) {
+  // Sanity that the quantized result tracks the fp32 product it stands
+  // in for: per-row error bounded by the summed scale steps.
+  su::Rng rng(88);
+  const std::size_t m = 24, k = 96;
+  const st::MatrixF a = random_matrix(m, k, rng, -1.5, 1.5);
+  const st::QuantBlockMatrix q = st::QuantBlockMatrix::from_dense(a, 32);
+  const st::MatrixF xm = random_matrix(1, k, rng, 0.0, 1.0);
+  const QuantRow x = quantize_row(xm.row(0), k);
+  std::vector<float> y(m);
+  st::qgemv(q, x.qx.data(), x.sx, y.data());
+  for (std::size_t i = 0; i < m; ++i) {
+    float exact = 0.0f;
+    float bound = 1e-4f;
+    for (std::size_t j = 0; j < k; ++j) {
+      exact += a(i, j) * xm(0, j);
+      // Each term can be off by half a weight step times x plus half an
+      // activation step times w (first-order error model).
+      const float w_step = q.scales()[i * q.blocks_per_row() + j / 32];
+      bound += 0.5f * w_step * xm(0, j) + 0.5f * x.sx * std::abs(a(i, j)) +
+               0.25f * w_step * x.sx;
+    }
+    ASSERT_NEAR(exact, y[i], bound) << "row " << i;
+  }
+}
+
+TEST(QuantProperty, QgemmMatchesPerRowQgemvBitwise) {
+  su::Rng rng(17);
+  const std::size_t m = 19, k = 51, batch = 9;
+  const st::MatrixF a = random_matrix(m, k, rng, -2.0, 2.0);
+  const st::QuantBlockMatrix q = st::QuantBlockMatrix::from_dense(a, 16);
+  const st::MatrixF x = random_matrix(batch, k, rng, 0.0, 1.0);
+  std::vector<std::uint8_t> qb(batch * k);
+  std::vector<float> sb(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    sb[r] = st::quantize_activation_row(x.row(r), k, qb.data() + r * k);
+  }
+  for (const st::KernelSet* tier : all_tiers()) {
+    st::MatrixF s(batch, m, -1.0f);
+    tier->qgemm(q.codes().data(), q.scales().data(), q.block_size(), qb.data(),
+                k, sb.data(), batch, s.data(), m, m, k);
+    for (std::size_t r = 0; r < batch; ++r) {
+      std::vector<float> y(m);
+      tier->qgemv(q.codes().data(), q.scales().data(), q.block_size(),
+                  qb.data() + r * k, sb[r], y.data(), m, k);
+      for (std::size_t i = 0; i < m; ++i) {
+        ASSERT_EQ(y[i], s(r, i)) << tier->name << " r=" << r << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, QspmvBitIdenticalAcrossTiersAndHandlesRaggedRows) {
+  // Shape stressing the row extremes: empty rows, a full row, a
+  // singleton — plus the cross-tier bitwise contract (the qspmv body is
+  // shared across tiers on purpose; this pins that it stays so).
+  const std::size_t k = 37;
+  st::MatrixF a(5, k, 0.0f);
+  for (std::size_t j = 0; j < k; ++j) {
+    a(1, j) = 0.05f * static_cast<float>(j + 1) - 1.0f;
+  }
+  a(3, 17) = -2.5f;
+  const st::QuantCsr q = st::QuantCsr::from_csr(st::CsrMatrix::from_dense(a));
+  st::MatrixF xm(1, k, 0.0f);
+  for (std::size_t j = 0; j < k; ++j) {
+    xm(0, j) = 0.1f * static_cast<float>(j % 11);
+  }
+  const QuantRow x = quantize_row(xm.row(0), k);
+
+  std::vector<float> y_scalar;
+  for (const st::KernelSet* tier : all_tiers()) {
+    std::vector<float> y(5, 99.0f);
+    tier->qspmv(q.codes().data(), q.row_scales().data(), q.col_idx().data(),
+                q.row_ptr().data(), 5, x.qx.data(), x.sx, y.data());
+    EXPECT_EQ(y[0], 0.0f) << tier->name;  // empty row -> exact zero
+    EXPECT_EQ(y[2], 0.0f) << tier->name;
+    EXPECT_EQ(y[4], 0.0f) << tier->name;
+    if (y_scalar.empty()) {
+      y_scalar = y;
+    } else {
+      EXPECT_EQ(y, y_scalar) << tier->name;
+    }
+  }
+  // The singleton row decodes exactly: code * row_scale * (qx * sx).
+  const float w = static_cast<float>(q.codes()[q.row_ptr()[3]]) *
+                  q.row_scales()[3];
+  const float xq = static_cast<float>(x.qx[17]) * x.sx;
+  EXPECT_NEAR(y_scalar[3], w * xq, 1e-5f);
+}
+
+TEST(QuantProperty, SupportDriversBitStableUnderEveryForcedTier) {
+  // End-to-end through quant_support / quant_sparse_support (ThreadPool
+  // fan-out) under force_dispatch: every tier must produce the SAME
+  // bytes — the foundation of the quantized serving bit-stability.
+  const st::DispatchLevel original = st::active_kernels().level;
+  su::Rng rng(5005);
+  const std::size_t batch = 67, n_in = 96, n_out = 33;
+  const st::MatrixF w = random_sparse_dense(n_in, n_out, 0.2, rng);
+  const st::QuantBlockMatrix wt =
+      st::QuantBlockMatrix::from_dense_transposed(w, 32);
+  const st::QuantCsr wt_sparse =
+      st::QuantCsr::from_csr(st::CsrMatrix::from_dense_transposed(w));
+  st::MatrixF x(batch, n_in, 0.0f);
+  for (float& v : x) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  std::vector<float> bias(n_out);
+  for (float& b : bias) b = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  st::MatrixF dense_ref, sparse_ref;
+  for (const st::DispatchLevel level :
+       {st::DispatchLevel::kScalar, st::DispatchLevel::kSse42,
+        st::DispatchLevel::kAvx2}) {
+    if (st::kernel_set_for(level) == nullptr) continue;
+    st::force_dispatch(level);
+    st::MatrixF s_dense, s_sparse;
+    st::quant_support(wt, x, bias.data(), s_dense);
+    st::quant_sparse_support(wt_sparse, x, bias.data(), s_sparse);
+    ASSERT_EQ(s_dense.rows(), batch);
+    ASSERT_EQ(s_dense.cols(), n_out);
+    if (dense_ref.size() == 0) {
+      dense_ref = s_dense;
+      sparse_ref = s_sparse;
+      continue;
+    }
+    for (std::size_t i = 0; i < dense_ref.size(); ++i) {
+      ASSERT_EQ(dense_ref.data()[i], s_dense.data()[i])
+          << st::dispatch_level_name(level) << " elem=" << i;
+      ASSERT_EQ(sparse_ref.data()[i], s_sparse.data()[i])
+          << st::dispatch_level_name(level) << " elem=" << i;
+    }
+  }
+  st::force_dispatch(original);
+}
+
+TEST(QuantProperty, SupportDriversHandleEmptyBatchAndRejectMismatch) {
+  su::Rng rng(2);
+  const st::MatrixF w = random_matrix(12, 6, rng, -1.0, 1.0);
+  const st::QuantBlockMatrix wt =
+      st::QuantBlockMatrix::from_dense_transposed(w, 8);
+  const std::vector<float> bias(6, 0.0f);
+
+  st::MatrixF empty(0, 12, 0.0f);
+  st::MatrixF s(3, 3, 9.0f);
+  st::quant_support(wt, empty, bias.data(), s);
+  EXPECT_EQ(s.rows(), 0u);
+  EXPECT_EQ(s.cols(), 6u);
+
+  st::MatrixF wrong(2, 13, 0.5f);  // 13 != wt.cols()
+  EXPECT_THROW(st::quant_support(wt, wrong, bias.data(), s),
+               std::invalid_argument);
+  const st::QuantCsr wt_sparse =
+      st::QuantCsr::from_csr(st::CsrMatrix::from_dense_transposed(w));
+  EXPECT_THROW(st::quant_sparse_support(wt_sparse, wrong, bias.data(), s),
+               std::invalid_argument);
+}

@@ -19,6 +19,7 @@
 #include "core/serialization.hpp"
 #include "data/higgs.hpp"
 #include "encode/one_hot.hpp"
+#include "serve/latency_histogram.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/score_cache.hpp"
 #include "serve/shard_pool.hpp"
@@ -167,6 +168,34 @@ TEST(ScoreCache, LruHitMissEvict) {
   sv::ScoreCache disabled(0);
   disabled.insert(row_a, 3, 0.25);
   EXPECT_FALSE(disabled.lookup(row_a, 3, score));
+}
+
+TEST(LatencyHistogram, QuantilesAreUpperEdgesAndNeverBelowTheSample) {
+  sv::LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.quantile(0.50), 0.0);  // empty -> 0, not garbage
+
+  // 90 fast samples in the 1-2us bucket, 10 slow ones near 1ms: p50 must
+  // report the fast bucket's upper edge, p99 the slow one's. Every
+  // quantile is a bucket upper edge, so it can overstate by at most 2x
+  // and never understate.
+  for (int i = 0; i < 90; ++i) histogram.record(1.5e-6);
+  for (int i = 0; i < 10; ++i) histogram.record(0.9e-3);
+  EXPECT_EQ(histogram.count(), 100u);
+  const double p50 = histogram.quantile(0.50);
+  const double p99 = histogram.quantile(0.99);
+  EXPECT_GE(p50, 1.5e-6);
+  EXPECT_LE(p50, 4.0e-6);
+  EXPECT_GE(p99, 0.9e-3);
+  EXPECT_LE(p99, 2.0e-3);
+  EXPECT_LE(p50, p99);
+
+  // Degenerate inputs clamp instead of indexing out of range.
+  histogram.record(0.0);
+  histogram.record(-1.0);
+  histogram.record(1e12);
+  EXPECT_EQ(histogram.count(), 103u);
+  EXPECT_GT(histogram.quantile(1.0), 0.0);
 }
 
 TEST(ShardPool, ReplicasPredictBitIdentically) {
@@ -372,6 +401,30 @@ TEST(AsyncPredictor, LargeRequestSplitsAcrossShardsCorrectly) {
   EXPECT_EQ(server.predict(serving().x_test), serving().reference_labels);
   const auto stats = server.stats();
   EXPECT_GE(stats.batches, serving().x_test.rows() / 8);
+}
+
+TEST(AsyncPredictor, StatsExposeLatencyPercentiles) {
+  AsyncPredictorOptions options;
+  options.shards = 2;
+  options.max_batch_rows = 16;
+  AsyncPredictor server(serving().model, options);
+  EXPECT_EQ(server.stats().p50_latency_seconds, 0.0);  // nothing completed
+  EXPECT_EQ(server.stats().p99_latency_seconds, 0.0);
+
+  for (int pass = 0; pass < 3; ++pass) {
+    EXPECT_EQ(server.predict(serving().x_test), serving().reference_labels);
+  }
+  const auto stats = server.stats();
+  // Three completed requests: percentiles are live, ordered, and bounded
+  // by sanity (a request cannot appear to take less than the histogram's
+  // smallest bucket or more than a minute here).
+  EXPECT_GT(stats.p50_latency_seconds, 0.0);
+  EXPECT_GT(stats.p99_latency_seconds, 0.0);
+  EXPECT_LE(stats.p50_latency_seconds, stats.p99_latency_seconds);
+  EXPECT_LT(stats.p99_latency_seconds, 60.0);
+  // Zero-row requests complete (and are measured) too.
+  EXPECT_TRUE(server.predict(st::MatrixF(0, serving().x_test.cols())).empty());
+  EXPECT_GT(server.stats().p50_latency_seconds, 0.0);
 }
 
 TEST(AsyncPredictor, RejectsBadConstruction) {
