@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "parallel/thread_pool.hpp"
@@ -23,6 +24,11 @@ AsyncPredictorOptions validated(AsyncPredictorOptions options) {
   if (options.max_batch_rows == 0) {
     throw std::invalid_argument("AsyncPredictor: max_batch_rows must be > 0");
   }
+  if (options.min_batch_rows == 0 ||
+      options.min_batch_rows > options.max_batch_rows) {
+    throw std::invalid_argument(
+        "AsyncPredictor: min_batch_rows must be in [1, max_batch_rows]");
+  }
   if (options.queue_capacity == 0) {
     throw std::invalid_argument("AsyncPredictor: queue_capacity must be > 0");
   }
@@ -31,12 +37,53 @@ AsyncPredictorOptions validated(AsyncPredictorOptions options) {
 
 }  // namespace
 
+// --- BatchJobPool -----------------------------------------------------------
+
+AsyncPredictor::BatchJobPool::BatchJobPool()
+    : core_(std::make_shared<Core>()) {}
+
+std::shared_ptr<AsyncPredictor::BatchJob>
+AsyncPredictor::BatchJobPool::acquire() {
+  std::unique_ptr<BatchJob> job;
+  {
+    const std::lock_guard<std::mutex> lock(core_->mutex);
+    if (!core_->free.empty()) {
+      job = std::move(core_->free.back());
+      core_->free.pop_back();
+    }
+  }
+  if (!job) job = std::make_unique<BatchJob>();
+  return std::shared_ptr<BatchJob>(job.release(), Recycler{core_});
+}
+
+void AsyncPredictor::BatchJobPool::Recycler::operator()(
+    BatchJob* job) const noexcept {
+  // Release the request references now (clients must not be pinned by an
+  // idle job) but keep the vector's capacity — that capacity is the
+  // point of the pool. The core outlives every recycler via shared
+  // ownership, so a closure destroyed after the AsyncPredictor is gone
+  // still has somewhere safe to return the job.
+  job->chunks.clear();
+  job->lease.reset();
+  try {
+    const std::lock_guard<std::mutex> lock(core->mutex);
+    core->free.emplace_back(job);
+    return;
+  } catch (...) {
+  }
+  delete job;
+}
+
+// --- AsyncPredictor ---------------------------------------------------------
+
 AsyncPredictor::AsyncPredictor(std::shared_ptr<Estimator> model,
                                AsyncPredictorOptions options)
     : options_(validated(options)),
       shards_(std::move(model), options_.shards),
       queue_(options_.queue_capacity, options_.overflow_policy),
-      cache_(options_.score_cache_rows) {
+      cache_(options_.score_cache_rows),
+      request_pool_(options_.queue_capacity + 64),
+      scratch_(options_.shards) {
   // Batches lease a shard before entering the pool, so `shards` tasks can
   // be in flight at once — make sure the pool can actually run them all.
   parallel::global_pool().grow(shards_.size());
@@ -48,15 +95,16 @@ AsyncPredictor::~AsyncPredictor() {
   if (dispatcher_.joinable()) dispatcher_.join();
   // The dispatcher exits only after every queued request was batched and
   // dispatched; wait for the shard tasks to finish fulfilling promises.
+  // draining_ tells the completion path to start signaling — during
+  // normal serving the per-batch wakeup is skipped entirely.
   std::unique_lock<std::mutex> lock(inflight_mutex_);
-  inflight_cv_.wait(lock, [this] {
-    return inflight_batches_.load(std::memory_order_acquire) == 0;
-  });
+  draining_ = true;
+  inflight_cv_.wait(lock, [this] { return inflight_batches_ == 0; });
 }
 
 std::future<std::vector<int>> AsyncPredictor::submit(tensor::MatrixF x) {
-  auto request = std::make_shared<serve::ServeRequest>();
-  request->kind = serve::RequestKind::kLabels;
+  std::shared_ptr<serve::ServeRequest> request =
+      request_pool_.acquire(serve::RequestKind::kLabels);
   request->x = std::move(x);
   std::future<std::vector<int>> future = request->labels_future();
   enqueue(request);
@@ -65,8 +113,8 @@ std::future<std::vector<int>> AsyncPredictor::submit(tensor::MatrixF x) {
 
 std::future<std::vector<double>> AsyncPredictor::submit_scores(
     tensor::MatrixF x) {
-  auto request = std::make_shared<serve::ServeRequest>();
-  request->kind = serve::RequestKind::kScores;
+  std::shared_ptr<serve::ServeRequest> request =
+      request_pool_.acquire(serve::RequestKind::kScores);
   request->x = std::move(x);
   std::future<std::vector<double>> future = request->scores_future();
   enqueue(request);
@@ -91,15 +139,41 @@ void AsyncPredictor::enqueue(
     return;
   }
 
-  if (request->kind == serve::RequestKind::kLabels) {
-    request->labels.assign(rows, 0);
-  } else {
-    request->scores.assign(rows, 0.0);
+  // Admission control: shed into the fast-failure lane instead of
+  // queueing work the pipeline is already saturated with. The future the
+  // caller holds fails immediately with the documented OverloadError.
+  if (options_.max_inflight_rows > 0) {
+    const std::size_t prev =
+        inflight_rows_.fetch_add(rows, std::memory_order_acq_rel);
+    if (prev + rows > options_.max_inflight_rows) {
+      inflight_rows_.fetch_sub(rows, std::memory_order_acq_rel);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.shed_requests += 1;
+        stats_.shed_rows += rows;
+      }
+      request->fail(std::make_exception_ptr(serve::OverloadError(
+          "AsyncPredictor: overloaded — " + std::to_string(prev) +
+          " rows in flight against max_inflight_rows = " +
+          std::to_string(options_.max_inflight_rows) +
+          "; request shed (retry with backoff or add capacity)")));
+      (void)request->complete_chunk();
+      return;
+    }
   }
+
   if (!queue_.push(request)) {
-    throw std::runtime_error(
+    if (options_.max_inflight_rows > 0) {
+      inflight_rows_.fetch_sub(rows, std::memory_order_acq_rel);
+    }
+    // Settle the promise so the pooled request recycles cleanly (the
+    // caller's future dies with this throw, unobserved).
+    const char* message =
         "AsyncPredictor: request queue is full (backpressure, "
-        "OverflowPolicy::kReject)");
+        "OverflowPolicy::kReject)";
+    request->fail(std::make_exception_ptr(std::runtime_error(message)));
+    (void)request->complete_chunk();
+    throw std::runtime_error(message);
   }
   const std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.requests += 1;
@@ -115,6 +189,10 @@ std::vector<double> AsyncPredictor::predict_scores(const tensor::MatrixF& x) {
 }
 
 void AsyncPredictor::flush() {
+  // Order matters: the flag must be visible before the wakeup. The
+  // queue interrupt is sticky (a counter under the queue mutex), so a
+  // dispatcher that is between waits — or about to start one — observes
+  // it on its next pop instead of sleeping through the notify.
   flush_requested_.store(true, std::memory_order_release);
   queue_.interrupt();
 }
@@ -146,9 +224,20 @@ void AsyncPredictor::dispatcher_loop() {
       finish_chunk(*request);  // drop the guard chunk
     }
     const bool flush_now = flush_requested_.exchange(false);
-    if (!batch.chunks.empty() &&
-        (flush_now || Clock::now() >= batch.deadline || queue_.drained())) {
-      dispatch(batch);
+    if (!batch.chunks.empty()) {
+      if (flush_now || queue_.drained()) {
+        dispatch(batch, CloseReason::kFlush);
+      } else if (Clock::now() >= batch.deadline) {
+        dispatch(batch, CloseReason::kDeadline);
+      } else if (options_.adaptive_batching &&
+                 batch.rows >= options_.min_batch_rows && queue_.empty() &&
+                 shards_.free_count() > 0) {
+        // Work-conserving close: nothing else to coalesce with and a
+        // shard is idle — waiting out the deadline would buy no batching
+        // and cost pure latency. Under load the queue is non-empty and
+        // batches still fill to max_batch_rows, so depth drives size.
+        dispatch(batch, CloseReason::kAdaptive);
+      }
     }
     if (request == nullptr && batch.chunks.empty() && queue_.drained()) {
       return;
@@ -161,10 +250,11 @@ void AsyncPredictor::absorb(
   const std::size_t rows = request->x.rows();
   const std::size_t cols = request->x.cols();
   // A micro-batch is one model call: it must be homogeneous in request
-  // kind and column width.
+  // kind and column width. (Counted as a full close: the batch cannot
+  // grow further.)
   if (!batch.chunks.empty() &&
       (batch.kind != request->kind || batch.cols != cols)) {
-    dispatch(batch);
+    dispatch(batch, CloseReason::kFull);
   }
   std::size_t begin = 0;
   while (begin < rows) {
@@ -175,6 +265,7 @@ void AsyncPredictor::absorb(
       // The batch closes no later than when its oldest rows have waited
       // max_batch_delay.
       batch.deadline = request->enqueued_at + options_.max_batch_delay;
+      batch.oldest_enqueue = request->enqueued_at;
     }
     const std::size_t take =
         std::min(rows - begin, options_.max_batch_rows - batch.rows);
@@ -182,60 +273,185 @@ void AsyncPredictor::absorb(
     batch.chunks.push_back(Chunk{request, begin, begin + take});
     batch.rows += take;
     begin += take;
-    if (batch.rows >= options_.max_batch_rows) dispatch(batch);
+    if (batch.rows >= options_.max_batch_rows) {
+      dispatch(batch, CloseReason::kFull);
+    }
   }
 }
 
-void AsyncPredictor::dispatch(OpenBatch& batch) {
-  auto chunks = std::make_shared<std::vector<Chunk>>(std::move(batch.chunks));
-  const serve::RequestKind kind = batch.kind;
-  const std::size_t cols = batch.cols;
-  batch.chunks.clear();
+void AsyncPredictor::dispatch(OpenBatch& batch, CloseReason reason) {
+  std::shared_ptr<BatchJob> job = batch_pool_.acquire();
+  job->chunks.swap(batch.chunks);  // both vectors keep their capacity
+  job->kind = batch.kind;
+  job->cols = batch.cols;
+  job->reason = reason;
+  job->oldest_enqueue = batch.oldest_enqueue;
+  job->closed_at = Clock::now();
   batch.rows = 0;
 
-  inflight_batches_.fetch_add(1, std::memory_order_acq_rel);
-  // Leasing here (not in the pool task) caps in-flight batches at the
-  // shard count and backpressures the dispatcher when serving saturates.
-  auto lease =
-      std::make_shared<serve::ShardPool::Lease>(shards_.acquire());
-  auto task = [this, lease, chunks, kind, cols]() mutable {
-    run_batch(lease->model(), *chunks, kind, cols);
-    lease.reset();  // free the shard before signalling completion
-    // Notify under the lock: the destructor may destroy the cv the
-    // instant the count hits zero, so the broadcast must complete
-    // before the waiter can observe it.
-    const std::lock_guard<std::mutex> lock(inflight_mutex_);
-    inflight_batches_.fetch_sub(1, std::memory_order_acq_rel);
-    inflight_cv_.notify_all();
-  };
-  try {
-    // Pass an lvalue: submit() moves its argument into the packaged
-    // task before it can throw, so the fallback below must still hold a
-    // live closure (the copy costs two shared_ptr bumps per batch).
-    parallel::global_pool().submit(task);
-  } catch (...) {
-    // Pool rejected the task (shutdown); serve the batch inline rather
-    // than dropping it.
-    task();
-  }
-}
-
-void AsyncPredictor::run_batch(Estimator& model,
-                               const std::vector<Chunk>& chunks,
-                               serve::RequestKind kind, std::size_t cols) {
-  const auto exec_start = Clock::now();
-
-  // (request, target row) pairs, in batch order.
-  std::vector<std::pair<serve::ServeRequest*, std::size_t>> rowrefs;
-  for (const Chunk& chunk : chunks) {
-    for (std::size_t r = chunk.begin; r < chunk.end; ++r) {
-      rowrefs.emplace_back(chunk.request.get(), r);
+  // Whole-request batch: the model can read the request's own matrix and
+  // its output vector can be moved straight into the result — no gather
+  // copy, no scatter, no result pre-sizing. (The cached-scores path
+  // still needs per-row bookkeeping, so it keeps the scatter layout.)
+  const Chunk& first = job->chunks.front();
+  job->zero_copy =
+      job->chunks.size() == 1 && first.begin == 0 &&
+      first.end == first.request->x.rows() &&
+      !(job->kind == serve::RequestKind::kScores && cache_.enabled());
+  if (!job->zero_copy) {
+    // Shard workers scatter into row ranges; size the result vectors on
+    // this side of the pool hop so those writes are race-free. (For a
+    // request split across batches the first dispatch allocates and
+    // later ones see the size already matching.)
+    for (const Chunk& chunk : job->chunks) {
+      chunk.request->ensure_result_storage();
     }
   }
 
-  // Queue-wait accounting: each request once, at its first chunk.
   {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    ++inflight_batches_;
+  }
+  // Leasing here (not in the pool task) caps in-flight batches at the
+  // shard count and backpressures the dispatcher when serving saturates.
+  job->lease.emplace(shards_.acquire());
+  job->shard = job->lease->shard();
+  try {
+    // Fire-and-forget: nobody waits on a per-batch future, so the
+    // packaged_task/future machinery the old path allocated per batch is
+    // gone with it.
+    parallel::global_pool().post([this, job] { run_batch(*job); });
+  } catch (...) {
+    // Pool rejected the task (shutdown); serve the batch inline rather
+    // than dropping it.
+    run_batch(*job);
+  }
+}
+
+void AsyncPredictor::run_batch(BatchJob& job) {
+  const auto exec_start = Clock::now();
+  Estimator& model = job.lease->model();
+  ShardScratch& scratch = scratch_[job.shard];
+  const std::vector<Chunk>& chunks = job.chunks;
+
+  double model_seconds = 0.0;
+  std::size_t model_rows = 0;
+  Clock::time_point model_end = exec_start;
+  try {
+    if (job.zero_copy) {
+      serve::ServeRequest& request = *chunks.front().request;
+      const auto model_start = Clock::now();
+      if (job.kind == serve::RequestKind::kLabels) {
+        request.labels = model.predict(request.x);
+      } else {
+        request.scores = model.predict_scores(request.x);
+      }
+      model_end = Clock::now();
+      model_seconds = seconds_between(model_start, model_end);
+      model_rows = request.x.rows();
+    } else {
+      // (request, target row) pairs, in batch order — per-shard scratch,
+      // reused across batches.
+      auto& rowrefs = scratch.rowrefs;
+      rowrefs.clear();
+      for (const Chunk& chunk : chunks) {
+        for (std::size_t r = chunk.begin; r < chunk.end; ++r) {
+          rowrefs.emplace_back(chunk.request.get(), r);
+        }
+      }
+      tensor::MatrixF& input = scratch.input;
+      if (job.kind == serve::RequestKind::kScores && cache_.enabled()) {
+        // Serve cached rows directly; run the model only on the misses.
+        auto& miss = scratch.miss;
+        miss.clear();
+        for (std::size_t i = 0; i < rowrefs.size(); ++i) {
+          const auto& [request, row] = rowrefs[i];
+          double cached = 0.0;
+          if (cache_.lookup(request->x.row(row), job.cols, cached)) {
+            request->scores[row] = cached;
+          } else {
+            miss.push_back(i);
+          }
+        }
+        if (!miss.empty()) {
+          input.resize_uninitialized(miss.size(), job.cols);
+          for (std::size_t i = 0; i < miss.size(); ++i) {
+            const auto& [request, row] = rowrefs[miss[i]];
+            std::copy_n(request->x.row(row), job.cols, input.row(i));
+          }
+          const auto model_start = Clock::now();
+          const std::vector<double> scores = model.predict_scores(input);
+          model_end = Clock::now();
+          model_seconds = seconds_between(model_start, model_end);
+          model_rows = miss.size();
+          for (std::size_t i = 0; i < miss.size(); ++i) {
+            const auto& [request, row] = rowrefs[miss[i]];
+            request->scores[row] = scores[i];
+            cache_.insert(input.row(i), job.cols, scores[i]);
+          }
+        }
+      } else {
+        input.resize_uninitialized(rowrefs.size(), job.cols);
+        for (std::size_t i = 0; i < rowrefs.size(); ++i) {
+          const auto& [request, row] = rowrefs[i];
+          std::copy_n(request->x.row(row), job.cols, input.row(i));
+        }
+        const auto model_start = Clock::now();
+        if (job.kind == serve::RequestKind::kLabels) {
+          const std::vector<int> labels = model.predict(input);
+          model_end = Clock::now();
+          for (std::size_t i = 0; i < rowrefs.size(); ++i) {
+            const auto& [request, row] = rowrefs[i];
+            request->labels[row] = labels[i];
+          }
+        } else {
+          const std::vector<double> scores = model.predict_scores(input);
+          model_end = Clock::now();
+          for (std::size_t i = 0; i < rowrefs.size(); ++i) {
+            const auto& [request, row] = rowrefs[i];
+            request->scores[row] = scores[i];
+          }
+        }
+        model_seconds = seconds_between(model_start, model_end);
+        model_rows = rowrefs.size();
+      }
+    }
+  } catch (...) {
+    // Fail every request touched by this batch (fail() is idempotent, so
+    // multi-chunk requests are fine); chunk accounting still completes.
+    model_end = Clock::now();
+    const std::exception_ptr error = std::current_exception();
+    for (const Chunk& chunk : chunks) chunk.request->fail(error);
+  }
+
+  // Fulfill: settle every chunk (the final one per request fires its
+  // promise and records end-to-end latency).
+  for (const Chunk& chunk : chunks) finish_chunk(*chunk.request);
+  const auto done = Clock::now();
+
+  // Free the shard before any signaling — the next batch can start
+  // while this one finishes its accounting.
+  job.lease.reset();
+
+  {
+    // One stats acquisition per batch: counters, per-stage pipeline
+    // timing, and queue-wait accounting (each request once, at its
+    // first chunk).
     const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.batches += 1;
+    stats_.model_seconds += model_seconds;
+    stats_.model_rows += model_rows;
+    stats_.stage_close_seconds +=
+        seconds_between(job.oldest_enqueue, job.closed_at);
+    stats_.stage_dispatch_seconds += seconds_between(job.closed_at, exec_start);
+    stats_.stage_compute_seconds += model_seconds;
+    stats_.stage_fulfill_seconds += seconds_between(model_end, done);
+    switch (job.reason) {
+      case CloseReason::kFull: stats_.full_closes += 1; break;
+      case CloseReason::kDeadline: stats_.deadline_closes += 1; break;
+      case CloseReason::kAdaptive: stats_.adaptive_closes += 1; break;
+      case CloseReason::kFlush: stats_.flush_closes += 1; break;
+    }
     for (const Chunk& chunk : chunks) {
       if (chunk.begin != 0) continue;
       const double wait =
@@ -246,80 +462,23 @@ void AsyncPredictor::run_batch(Estimator& model,
     }
   }
 
-  double model_seconds = 0.0;
-  std::size_t model_rows = 0;
-  try {
-    tensor::MatrixF input;
-    if (kind == serve::RequestKind::kScores && cache_.enabled()) {
-      // Serve cached rows directly; run the model only on the misses.
-      std::vector<std::size_t> miss;
-      for (std::size_t i = 0; i < rowrefs.size(); ++i) {
-        const auto& [request, row] = rowrefs[i];
-        double cached = 0.0;
-        if (cache_.lookup(request->x.row(row), cols, cached)) {
-          request->scores[row] = cached;
-        } else {
-          miss.push_back(i);
-        }
-      }
-      if (!miss.empty()) {
-        input.resize(miss.size(), cols);
-        for (std::size_t i = 0; i < miss.size(); ++i) {
-          const auto& [request, row] = rowrefs[miss[i]];
-          std::copy_n(request->x.row(row), cols, input.row(i));
-        }
-        const auto model_start = Clock::now();
-        const std::vector<double> scores = model.predict_scores(input);
-        model_seconds = seconds_between(model_start, Clock::now());
-        model_rows = miss.size();
-        for (std::size_t i = 0; i < miss.size(); ++i) {
-          const auto& [request, row] = rowrefs[miss[i]];
-          request->scores[row] = scores[i];
-          cache_.insert(input.row(i), cols, scores[i]);
-        }
-      }
-    } else {
-      input.resize(rowrefs.size(), cols);
-      for (std::size_t i = 0; i < rowrefs.size(); ++i) {
-        const auto& [request, row] = rowrefs[i];
-        std::copy_n(request->x.row(row), cols, input.row(i));
-      }
-      const auto model_start = Clock::now();
-      if (kind == serve::RequestKind::kLabels) {
-        const std::vector<int> labels = model.predict(input);
-        for (std::size_t i = 0; i < rowrefs.size(); ++i) {
-          const auto& [request, row] = rowrefs[i];
-          request->labels[row] = labels[i];
-        }
-      } else {
-        const std::vector<double> scores = model.predict_scores(input);
-        for (std::size_t i = 0; i < rowrefs.size(); ++i) {
-          const auto& [request, row] = rowrefs[i];
-          request->scores[row] = scores[i];
-        }
-      }
-      model_seconds = seconds_between(model_start, Clock::now());
-      model_rows = rowrefs.size();
-    }
-  } catch (...) {
-    // Fail every request touched by this batch (fail() is idempotent, so
-    // multi-chunk requests are fine); chunk accounting still completes.
-    const std::exception_ptr error = std::current_exception();
-    for (const Chunk& chunk : chunks) chunk.request->fail(error);
-  }
-
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.batches += 1;
-    stats_.model_seconds += model_seconds;
-    stats_.model_rows += model_rows;
+    // Targeted completion signal: only the destructor ever waits here,
+    // and only after setting draining_ — steady-state serving skips the
+    // notify entirely. Signaling under the lock is required: the waiter
+    // may destroy the condition variable the instant the count is zero.
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    --inflight_batches_;
+    if (inflight_batches_ == 0 && draining_) inflight_cv_.notify_one();
   }
-  for (const Chunk& chunk : chunks) finish_chunk(*chunk.request);
 }
 
 void AsyncPredictor::finish_chunk(serve::ServeRequest& request) {
   if (request.complete_chunk()) {
     latency_.record(seconds_between(request.enqueued_at, Clock::now()));
+    if (options_.max_inflight_rows > 0) {
+      inflight_rows_.fetch_sub(request.x.rows(), std::memory_order_acq_rel);
+    }
   }
 }
 

@@ -2,9 +2,12 @@
 // Sharded asynchronous serving session — the concurrent successor to the
 // mutex-serialized Predictor. Clients submit requests into a bounded
 // queue and get std::futures back; a background dispatcher coalesces
-// rows into micro-batches and closes each batch when it fills OR when
-// the oldest row has waited max_batch_delay (so a lone request is never
-// stranded — the deferred-flush hang is impossible by construction);
+// rows into micro-batches and closes each batch when it fills, when the
+// oldest row has waited max_batch_delay (so a lone request is never
+// stranded — the deferred-flush hang is impossible by construction), or
+// — with adaptive batching — as soon as the queue is empty and a shard
+// sits idle (work-conserving: never hold rows for a coalescing partner
+// that is not coming while capacity goes unused);
 // closed batches run concurrently on a pool of read-only model replicas
 // (serve::ShardPool) dispatched over parallel::ThreadPool.
 //
@@ -19,12 +22,24 @@
 //     inference mutex;
 //   - backpressure: a bounded queue that blocks or rejects (throws) when
 //     serving is saturated, instead of growing without bound;
+//   - admission control: max_inflight_rows bounds accepted-but-
+//     unfulfilled rows; past it, submissions fail fast through the
+//     future with serve::OverloadError (load shedding, not queue wait);
 //   - optional LRU score cache keyed by row digest (bit-identical hits);
-//   - honest latency split: queue wait and model time are separate.
+//   - honest latency split: per-stage timing (close/dispatch/compute/
+//     fulfill) plus p50/p99 end-to-end percentiles.
+//
+// The hot path is allocation-lean by design: request objects recycle
+// through a serve::RequestPool, batch jobs and their chunk vectors
+// recycle through an internal pool, gather/scatter scratch is reused
+// per shard, a whole-request batch feeds the model its input matrix
+// zero-copy, and every wakeup (queue, shard pool, drain) is signaled
+// only when someone is actually waiting.
 //
 // Results are bit-identical to the serial path regardless of shard
-// count, batch splits, or caching — every replica is a checkpoint
-// round-trip clone and every model computes rows independently.
+// count, batch splits, adaptive closes, or caching — every replica is a
+// checkpoint round-trip clone and every model computes rows
+// independently.
 
 #include <atomic>
 #include <chrono>
@@ -34,11 +49,13 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "api/estimator.hpp"
 #include "serve/latency_histogram.hpp"
+#include "serve/request_pool.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/score_cache.hpp"
 #include "serve/shard_pool.hpp"
@@ -56,10 +73,30 @@ struct AsyncPredictorOptions {
   /// was enqueued, even if it is not full — bounds tail latency.
   std::chrono::steady_clock::duration max_batch_delay =
       std::chrono::milliseconds(2);
+  /// Adaptive micro-batching: additionally close the open batch (at >=
+  /// min_batch_rows) the moment the queue is empty and a shard is idle.
+  /// Under load the queue stays non-empty, so batches still fill to
+  /// max_batch_rows; when traffic is light the deadline wait — pure
+  /// added latency with idle capacity — is skipped. Off = fill-or-
+  /// deadline only (the pre-adaptive behavior).
+  bool adaptive_batching = true;
+  /// Smallest batch the adaptive close will dispatch early. Raise it
+  /// when per-batch dispatch cost should be amortized over more rows
+  /// even at some latency cost (cf. keeping per-shard work coarse
+  /// enough to pay for its coordination).
+  std::size_t min_batch_rows = 1;
   /// Bounded request-queue depth (requests, not rows).
   std::size_t queue_capacity = 1024;
   /// Full-queue behavior: block the submitter, or reject (submit throws).
   serve::OverflowPolicy overflow_policy = serve::OverflowPolicy::kBlock;
+  /// Admission control: bound on accepted-but-unfulfilled rows across
+  /// the whole pipeline (queued + batched + executing). 0 disables. A
+  /// submission that would exceed it is shed: submit*() still returns a
+  /// future, which fails immediately with serve::OverloadError — fast
+  /// failure instead of unbounded queue wait. Distinct from
+  /// queue_capacity/kReject, which guards request count at the queue
+  /// and throws synchronously from submit().
+  std::size_t max_inflight_rows = 0;
   /// LRU score-cache capacity in rows; 0 disables caching. Only
   /// submit_scores()/predict_scores() traffic is cached.
   std::size_t score_cache_rows = 0;
@@ -69,13 +106,30 @@ struct AsyncPredictorOptions {
 struct AsyncPredictorStats {
   std::uint64_t requests = 0;   ///< submissions accepted
   std::uint64_t rejected = 0;   ///< submissions refused (kReject backpressure)
+  std::uint64_t shed_requests = 0;  ///< shed by admission control
+  std::uint64_t shed_rows = 0;      ///< rows in shed submissions
   std::uint64_t rows = 0;       ///< rows accepted
   std::uint64_t model_rows = 0;  ///< rows actually run on a shard (cache
                                  ///< hits never touch a model)
   std::uint64_t batches = 0;    ///< micro-batches executed on shards
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Why batches closed (sums to `batches`): filled to max_batch_rows /
+  /// deadline expired / adaptive idle-close / flush, drain or shutdown.
+  std::uint64_t full_closes = 0;
+  std::uint64_t deadline_closes = 0;
+  std::uint64_t adaptive_closes = 0;
+  std::uint64_t flush_closes = 0;
   double model_seconds = 0.0;  ///< summed shard compute (can exceed wall time)
+  /// Per-stage pipeline timing, summed over batches. A request's life is
+  /// enqueue -> (batch) close -> dispatch (lease + pool hop) -> compute
+  /// (the model call) -> fulfill (scatter + promise). compute is the
+  /// only part that scales with the model; the other three are serving
+  /// overhead — the thing this struct exists to keep honest.
+  double stage_close_seconds = 0.0;    ///< oldest-row enqueue -> batch close
+  double stage_dispatch_seconds = 0.0; ///< close -> shard execution start
+  double stage_compute_seconds = 0.0;  ///< the model call itself
+  double stage_fulfill_seconds = 0.0;  ///< compute end -> promises fulfilled
   /// Enqueue -> batch-execution-start wait, summed over requests (each
   /// request counted once, at its first chunk's execution).
   double total_queue_wait_seconds = 0.0;
@@ -84,6 +138,7 @@ struct AsyncPredictorStats {
   /// completed requests, from a lock-free power-of-two-microsecond
   /// histogram: bucket-upper-edge estimates, within 2x of the true
   /// order statistic and never below it. 0 until a request completes.
+  /// Shed requests are excluded (they never enter the pipeline).
   double p50_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
 
@@ -91,6 +146,24 @@ struct AsyncPredictorStats {
     return requests == 0 ? 0.0
                          : total_queue_wait_seconds /
                                static_cast<double>(requests);
+  }
+  [[nodiscard]] double mean_stage_close_seconds() const noexcept {
+    return batches == 0 ? 0.0
+                        : stage_close_seconds / static_cast<double>(batches);
+  }
+  [[nodiscard]] double mean_stage_dispatch_seconds() const noexcept {
+    return batches == 0
+               ? 0.0
+               : stage_dispatch_seconds / static_cast<double>(batches);
+  }
+  [[nodiscard]] double mean_stage_compute_seconds() const noexcept {
+    return batches == 0 ? 0.0
+                        : stage_compute_seconds / static_cast<double>(batches);
+  }
+  [[nodiscard]] double mean_stage_fulfill_seconds() const noexcept {
+    return batches == 0
+               ? 0.0
+               : stage_fulfill_seconds / static_cast<double>(batches);
   }
   /// Rows per second of actual shard compute — cache-served rows are
   /// excluded so the cache cannot inflate the model's apparent speed.
@@ -118,7 +191,8 @@ class AsyncPredictor {
   AsyncPredictor& operator=(const AsyncPredictor&) = delete;
 
   /// Queue a hard-label request; the future resolves once every row ran
-  /// (or rethrows the model's error, e.g. a column-width mismatch).
+  /// (or rethrows the model's error, e.g. a column-width mismatch, or
+  /// serve::OverloadError when admission control shed the request).
   /// Throws std::runtime_error when the queue is full under kReject.
   [[nodiscard]] std::future<std::vector<int>> submit(tensor::MatrixF x);
 
@@ -132,7 +206,9 @@ class AsyncPredictor {
   [[nodiscard]] std::vector<double> predict_scores(const tensor::MatrixF& x);
 
   /// Close the open batch now instead of waiting for fill/deadline.
-  /// Purely a latency hint — never required for progress.
+  /// Purely a latency hint — never required for progress. The request-
+  /// queue interrupt it rides on is sticky (a counter, not a bare
+  /// notify), so a dispatcher between waits can never sleep through it.
   void flush();
 
   [[nodiscard]] AsyncPredictorStats stats() const;
@@ -140,6 +216,11 @@ class AsyncPredictor {
     return options_;
   }
   [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  /// Accepted-but-unfulfilled rows right now (the admission-control
+  /// gauge; tracked only when max_inflight_rows > 0).
+  [[nodiscard]] std::size_t inflight_rows() const noexcept {
+    return inflight_rows_.load(std::memory_order_acquire);
+  }
 
  private:
   /// One request's contribution to a micro-batch: rows [begin, end).
@@ -156,14 +237,62 @@ class AsyncPredictor {
     std::size_t cols = 0;
     std::size_t rows = 0;
     std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point oldest_enqueue{};
   };
 
-  /// Shared submit path: stats, zero-row fast path, backpressure.
+  enum class CloseReason { kFull, kDeadline, kAdaptive, kFlush };
+
+  /// A closed batch in flight to a shard. Pooled (with its chunk
+  /// vector's capacity) so the per-batch hot path allocates only the
+  /// shared_ptr control block and the thread-pool closure.
+  struct BatchJob {
+    std::vector<Chunk> chunks;
+    serve::RequestKind kind = serve::RequestKind::kLabels;
+    std::size_t cols = 0;
+    CloseReason reason = CloseReason::kFull;
+    std::chrono::steady_clock::time_point oldest_enqueue{};
+    std::chrono::steady_clock::time_point closed_at{};
+    /// Single chunk spanning its entire request: the model reads the
+    /// request's input matrix in place and its output vector is moved
+    /// into the result — no gather, no scatter, no result pre-sizing.
+    bool zero_copy = false;
+    std::optional<serve::ShardPool::Lease> lease;
+    std::size_t shard = 0;
+  };
+
+  class BatchJobPool {
+   public:
+    BatchJobPool();
+    [[nodiscard]] std::shared_ptr<BatchJob> acquire();
+
+   private:
+    struct Core {
+      std::mutex mutex;
+      std::vector<std::unique_ptr<BatchJob>> free;
+    };
+    struct Recycler {
+      std::shared_ptr<Core> core;
+      void operator()(BatchJob* job) const noexcept;
+    };
+    std::shared_ptr<Core> core_;
+  };
+
+  /// Per-shard gather/scatter scratch, reused across batches. A shard is
+  /// exclusively leased while its scratch is in use, so no locking.
+  struct ShardScratch {
+    std::vector<std::pair<serve::ServeRequest*, std::size_t>> rowrefs;
+    std::vector<std::size_t> miss;
+    tensor::MatrixF input;
+  };
+
+  /// Shared submit path: admission control, stats, zero-row fast path,
+  /// backpressure.
   void enqueue(const std::shared_ptr<serve::ServeRequest>& request);
 
   /// Drop one chunk; when it was the request's last, record the
-  /// end-to-end latency. Every completion site routes through here so
-  /// each request is counted exactly once.
+  /// end-to-end latency and release its admission-control rows. Every
+  /// completion site routes through here so each request is counted
+  /// exactly once.
   void finish_chunk(serve::ServeRequest& request);
 
   void dispatcher_loop();
@@ -171,24 +300,33 @@ class AsyncPredictor {
   void absorb(const std::shared_ptr<serve::ServeRequest>& request,
               OpenBatch& batch);
   /// Lease a shard and hand the batch to the thread pool.
-  void dispatch(OpenBatch& batch);
-  /// Runs on a pool worker: execute one batch on one shard.
-  void run_batch(Estimator& model, const std::vector<Chunk>& chunks,
-                 serve::RequestKind kind, std::size_t cols);
+  void dispatch(OpenBatch& batch, CloseReason reason);
+  /// Runs on a pool worker: execute one batch on one shard, then release
+  /// the lease and signal the drain waiter (if any).
+  void run_batch(BatchJob& job);
 
   AsyncPredictorOptions options_;
   serve::ShardPool shards_;
   serve::RequestQueue queue_;
   serve::ScoreCache cache_;
+  serve::RequestPool request_pool_;
+  BatchJobPool batch_pool_;
+  std::vector<ShardScratch> scratch_;  // indexed by shard
 
   mutable std::mutex stats_mutex_;
   AsyncPredictorStats stats_;
   serve::LatencyHistogram latency_;
 
   std::atomic<bool> flush_requested_{false};
-  std::atomic<std::size_t> inflight_batches_{0};
+  std::atomic<std::size_t> inflight_rows_{0};
+
+  /// Batches handed to the pool but not yet completed, plus the drain
+  /// flag — both under inflight_mutex_; the completion path signals the
+  /// condition variable only when the destructor is actually waiting.
   std::mutex inflight_mutex_;
   std::condition_variable inflight_cv_;
+  std::size_t inflight_batches_ = 0;
+  bool draining_ = false;
 
   std::thread dispatcher_;
 };

@@ -21,6 +21,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::post after shutdown");
+    }
+    queue_.emplace(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 std::size_t ThreadPool::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return workers_.size();

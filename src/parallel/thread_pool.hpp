@@ -41,6 +41,14 @@ class ThreadPool {
     return future;
   }
 
+  /// Fire-and-forget enqueue: no packaged_task, no future — one queue
+  /// slot and (at most) one std::function allocation. This is the
+  /// serving dispatcher's per-batch path, where the future returned by
+  /// submit() was pure overhead: nobody ever waited on it. The task must
+  /// handle its own errors; an escaped exception terminates the worker.
+  /// Throws std::runtime_error after shutdown.
+  void post(std::function<void()> task);
+
   [[nodiscard]] std::size_t size() const;
 
   /// Grow the pool to at least `threads` workers (a no-op when it is

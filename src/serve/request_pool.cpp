@@ -1,0 +1,51 @@
+#include "serve/request_pool.hpp"
+
+#include <utility>
+
+namespace streambrain::serve {
+
+RequestPool::RequestPool(std::size_t max_pooled)
+    : core_(std::make_shared<Core>(max_pooled)) {}
+
+std::shared_ptr<ServeRequest> RequestPool::acquire(RequestKind kind) {
+  std::unique_ptr<ServeRequest> request;
+  {
+    const std::lock_guard<std::mutex> lock(core_->mutex);
+    if (!core_->free.empty()) {
+      request = std::move(core_->free.back());
+      core_->free.pop_back();
+      ++core_->reused;
+    }
+  }
+  if (!request) request = std::make_unique<ServeRequest>();
+  request->prepare(kind);
+  return std::shared_ptr<ServeRequest>(request.release(), Recycler{core_});
+}
+
+void RequestPool::Recycler::operator()(ServeRequest* request) const noexcept {
+  // Drop the (possibly large) input matrix now — only the object and its
+  // result-vector capacity are worth keeping warm.
+  request->x = tensor::MatrixF();
+  try {
+    const std::lock_guard<std::mutex> lock(core->mutex);
+    if (core->free.size() < core->max_pooled) {
+      core->free.emplace_back(request);
+      return;
+    }
+  } catch (...) {
+    // fall through to delete
+  }
+  delete request;
+}
+
+std::size_t RequestPool::pooled() const {
+  const std::lock_guard<std::mutex> lock(core_->mutex);
+  return core_->free.size();
+}
+
+std::uint64_t RequestPool::reused() const {
+  const std::lock_guard<std::mutex> lock(core_->mutex);
+  return core_->reused;
+}
+
+}  // namespace streambrain::serve

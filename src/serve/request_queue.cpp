@@ -7,6 +7,34 @@ namespace streambrain::serve {
 
 // --- ServeRequest -----------------------------------------------------------
 
+void ServeRequest::prepare(RequestKind new_kind) {
+  // Only the consumed promise needs a fresh shared state; the other one
+  // (if any) was never armed and is still usable. A recycled request
+  // therefore costs one allocation here instead of two promise states
+  // plus the object itself.
+  if (labels_consumed_.load(std::memory_order_relaxed)) {
+    labels_promise_ = std::promise<std::vector<int>>();
+    labels_consumed_.store(false, std::memory_order_relaxed);
+  }
+  if (scores_consumed_.load(std::memory_order_relaxed)) {
+    scores_promise_ = std::promise<std::vector<double>>();
+    scores_consumed_.store(false, std::memory_order_relaxed);
+  }
+  kind = new_kind;
+  chunks_remaining_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  labels.clear();
+  scores.clear();
+}
+
+void ServeRequest::ensure_result_storage() {
+  if (kind == RequestKind::kLabels) {
+    if (labels.size() != x.rows()) labels.assign(x.rows(), 0);
+  } else {
+    if (scores.size() != x.rows()) scores.assign(x.rows(), 0.0);
+  }
+}
+
 void ServeRequest::add_chunks(std::size_t count) {
   chunks_remaining_.fetch_add(count, std::memory_order_acq_rel);
 }
@@ -19,10 +47,20 @@ bool ServeRequest::complete_chunk() {
     return false;
   }
   if (!failed_.load(std::memory_order_acquire)) {
+    // First settle wins: a concurrent fail() from another batch of the
+    // same request may have beaten us to the shared state.
+    try {
+      if (kind == RequestKind::kLabels) {
+        labels_promise_.set_value(std::move(labels));
+      } else {
+        scores_promise_.set_value(std::move(scores));
+      }
+    } catch (const std::future_error&) {
+    }
     if (kind == RequestKind::kLabels) {
-      labels_promise_.set_value(std::move(labels));
+      labels_consumed_.store(true, std::memory_order_relaxed);
     } else {
-      scores_promise_.set_value(std::move(scores));
+      scores_consumed_.store(true, std::memory_order_relaxed);
     }
   }
   return true;
@@ -32,10 +70,19 @@ void ServeRequest::fail(std::exception_ptr error) {
   const std::lock_guard<std::mutex> lock(fail_mutex_);
   if (failed_.load(std::memory_order_acquire)) return;
   failed_.store(true, std::memory_order_release);
+  try {
+    if (kind == RequestKind::kLabels) {
+      labels_promise_.set_exception(std::move(error));
+    } else {
+      scores_promise_.set_exception(std::move(error));
+    }
+  } catch (const std::future_error&) {
+    // A racing complete_chunk() settled first; the client gets the value.
+  }
   if (kind == RequestKind::kLabels) {
-    labels_promise_.set_exception(std::move(error));
+    labels_consumed_.store(true, std::memory_order_relaxed);
   } else {
-    scores_promise_.set_exception(std::move(error));
+    scores_consumed_.store(true, std::memory_order_relaxed);
   }
 }
 
@@ -56,13 +103,18 @@ bool RequestQueue::push(std::shared_ptr<ServeRequest> request) {
       ++rejected_;
       return false;
     }
+    ++push_waiters_;
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
+    --push_waiters_;
     if (closed_) throw std::runtime_error("RequestQueue: push after close");
   }
   items_.push_back(std::move(request));
+  // Targeted wakeup: signal only when a pop() is actually blocked. With
+  // the dispatcher keeping up this skips a futex call per request.
+  const bool wake = pop_waiters_ > 0;
   lock.unlock();
-  not_empty_.notify_one();
+  if (wake) not_empty_.notify_one();
   return true;
 }
 
@@ -76,10 +128,15 @@ std::shared_ptr<ServeRequest> RequestQueue::pop_until(
   const auto ready = [this] {
     return !items_.empty() || closed_ || interrupts_ > 0;
   };
-  if (deadline == std::chrono::steady_clock::time_point::max()) {
-    not_empty_.wait(lock, ready);
-  } else if (!not_empty_.wait_until(lock, deadline, ready)) {
-    return nullptr;  // timeout
+  if (!ready()) {
+    ++pop_waiters_;
+    if (deadline == std::chrono::steady_clock::time_point::max()) {
+      not_empty_.wait(lock, ready);
+    } else if (!not_empty_.wait_until(lock, deadline, ready)) {
+      --pop_waiters_;
+      return nullptr;  // timeout
+    }
+    --pop_waiters_;
   }
   if (interrupts_ > 0 && items_.empty()) {
     --interrupts_;
@@ -88,8 +145,10 @@ std::shared_ptr<ServeRequest> RequestQueue::pop_until(
   if (items_.empty()) return nullptr;  // closed and drained
   std::shared_ptr<ServeRequest> request = std::move(items_.front());
   items_.pop_front();
+  // Only a kBlock submitter stalled on a full queue needs the signal.
+  const bool wake = push_waiters_ > 0;
   lock.unlock();
-  not_full_.notify_one();
+  if (wake) not_full_.notify_one();
   return request;
 }
 
@@ -118,6 +177,11 @@ bool RequestQueue::closed() const {
 bool RequestQueue::drained() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return closed_ && items_.empty();
+}
+
+bool RequestQueue::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return items_.empty();
 }
 
 std::size_t RequestQueue::size() const {

@@ -24,6 +24,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "tensor/matrix.hpp"
@@ -31,6 +32,16 @@
 namespace streambrain::serve {
 
 enum class RequestKind { kLabels, kScores };
+
+/// The documented admission-control rejection: carried by the future of
+/// a request shed because accepted-but-unfulfilled rows already sit at
+/// AsyncPredictorOptions::max_inflight_rows. Overload degrades to this
+/// fast failure (no queue wait, no model time) instead of unbounded
+/// queueing; clients catch it to back off or divert.
+class OverloadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 enum class OverflowPolicy {
   kBlock,   ///< push() blocks until the queue has room.
@@ -56,6 +67,19 @@ class ServeRequest {
   [[nodiscard]] std::future<std::vector<double>> scores_future() {
     return scores_promise_.get_future();
   }
+
+  /// Arm the request for (re)use with `kind`: reconstructs whichever
+  /// promise the previous use consumed, clears the failure flag and
+  /// chunk counter, and empties the result vectors (keeping their
+  /// capacity). Called by RequestPool::acquire, so a recycled request
+  /// costs one promise-state allocation instead of a full construction.
+  void prepare(RequestKind new_kind);
+
+  /// Size the result vector matching `kind` to x.rows() if it is not
+  /// already — called by the dispatcher before a batch that scatters
+  /// into row ranges is handed to shard workers (the whole-request
+  /// zero-copy path skips it and moves the model's output in directly).
+  void ensure_result_storage();
 
   /// Register `count` more outstanding chunks. The dispatcher arms the
   /// request with one guard chunk before splitting, so the promise can
@@ -83,6 +107,13 @@ class ServeRequest {
   std::atomic<std::size_t> chunks_remaining_{0};
   std::atomic<bool> failed_{false};
   std::mutex fail_mutex_;
+  /// Which promises gave their shared state away (set_value /
+  /// set_exception) — prepare() reconstructs exactly those on reuse.
+  /// Atomic (relaxed) because a failing batch and the final completing
+  /// chunk of the same request may both mark consumption; the reuse read
+  /// is ordered by the shared_ptr refcount release that precedes it.
+  std::atomic<bool> labels_consumed_{false};
+  std::atomic<bool> scores_consumed_{false};
 };
 
 /// Bounded MPMC queue of requests with close/interrupt support for
@@ -112,6 +143,7 @@ class RequestQueue {
 
   [[nodiscard]] bool closed() const;
   [[nodiscard]] bool drained() const;  ///< closed and empty
+  [[nodiscard]] bool empty() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t rejected() const;  ///< kReject refusals
@@ -127,6 +159,12 @@ class RequestQueue {
   std::size_t interrupts_ = 0;
   std::uint64_t rejected_ = 0;
   bool closed_ = false;
+  /// Waiter counts gate the per-push/per-pop notifies: with nobody
+  /// blocked (the dispatcher keeping up, no kBlock submitter stalled),
+  /// the hot path skips the condition-variable call entirely instead of
+  /// broadcasting into the void once per request.
+  std::size_t pop_waiters_ = 0;
+  std::size_t push_waiters_ = 0;
 };
 
 }  // namespace streambrain::serve

@@ -57,18 +57,31 @@ ShardPool::Lease::~Lease() {
 
 ShardPool::Lease ShardPool::acquire() {
   std::unique_lock<std::mutex> lock(mutex_);
-  free_cv_.wait(lock, [this] { return !free_.empty(); });
+  if (free_.empty()) {
+    ++waiters_;
+    free_cv_.wait(lock, [this] { return !free_.empty(); });
+    --waiters_;
+  }
   const std::size_t shard = free_.back();
   free_.pop_back();
   return Lease(this, shard, replicas_[shard].get());
 }
 
+std::size_t ShardPool::free_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
 void ShardPool::release(std::size_t shard) {
+  bool wake;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     free_.push_back(shard);
+    // Releases outnumber blocked acquires except at saturation; skip the
+    // futex call when nobody is waiting (one release per served batch).
+    wake = waiters_ > 0;
   }
-  free_cv_.notify_one();
+  if (wake) free_cv_.notify_one();
 }
 
 }  // namespace streambrain::serve

@@ -62,6 +62,12 @@ class ShardPool {
   /// Block until a replica is free and lease it.
   [[nodiscard]] Lease acquire();
 
+  /// Replicas not currently leased. A snapshot — but with a single
+  /// acquiring thread (the batch dispatcher) a nonzero result guarantees
+  /// its next acquire() will not block, which is what the adaptive
+  /// batcher's "is a shard idle right now" check needs.
+  [[nodiscard]] std::size_t free_count() const;
+
   [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
 
   /// Replica access for verification (e.g. shard-equivalence tests).
@@ -74,9 +80,10 @@ class ShardPool {
   void release(std::size_t shard);
 
   std::vector<std::shared_ptr<Estimator>> replicas_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable free_cv_;
   std::vector<std::size_t> free_;  // stack of free shard indices
+  std::size_t waiters_ = 0;  // acquires blocked; gates the release notify
 };
 
 /// Clone a trained core::Model estimator through the in-memory

@@ -33,7 +33,10 @@ class Matrix {
   Matrix() = default;
 
   Matrix(std::size_t rows, std::size_t cols, T fill = T{})
-      : rows_(rows), cols_(cols), data_(aligned_alloc_array<T>(rows * cols)) {
+      : rows_(rows),
+        cols_(cols),
+        capacity_(rows * cols),
+        data_(aligned_alloc_array<T>(rows * cols)) {
     std::fill_n(data_, size(), fill);
   }
 
@@ -53,6 +56,7 @@ class Matrix {
   Matrix(Matrix&& other) noexcept
       : rows_(std::exchange(other.rows_, 0)),
         cols_(std::exchange(other.cols_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)),
         data_(std::exchange(other.data_, nullptr)) {}
 
   Matrix& operator=(const Matrix& other) {
@@ -68,6 +72,7 @@ class Matrix {
       release();
       rows_ = std::exchange(other.rows_, 0);
       cols_ = std::exchange(other.cols_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
       data_ = std::exchange(other.data_, nullptr);
     }
     return *this;
@@ -78,6 +83,7 @@ class Matrix {
   void swap(Matrix& other) noexcept {
     std::swap(rows_, other.rows_);
     std::swap(cols_, other.cols_);
+    std::swap(capacity_, other.capacity_);
     std::swap(data_, other.data_);
   }
 
@@ -119,17 +125,35 @@ class Matrix {
 
   void fill(T value) noexcept { std::fill_n(data_, size(), value); }
 
-  /// Resize, discarding the contents (no reallocation if shape matches).
+  /// Resize, discarding the contents. The allocation is reused whenever
+  /// the new shape fits the current capacity, so a buffer cycled through
+  /// varying batch shapes (the serving scratch path) stops churning the
+  /// allocator.
   void resize(std::size_t rows, std::size_t cols, T fill = T{}) {
-    if (rows * cols != size()) {
-      Matrix fresh(rows, cols, fill);
+    resize_uninitialized(rows, cols);
+    this->fill(fill);
+  }
+
+  /// Resize without initializing the elements — for scratch buffers that
+  /// are fully overwritten before being read (e.g. batch gather on the
+  /// serving hot path, which would otherwise zero-fill and immediately
+  /// copy over every element). Reuses the allocation when it fits.
+  void resize_uninitialized(std::size_t rows, std::size_t cols) {
+    if (rows * cols > capacity_) {
+      Matrix fresh;
+      fresh.rows_ = rows;
+      fresh.cols_ = cols;
+      fresh.capacity_ = rows * cols;
+      fresh.data_ = aligned_alloc_array<T>(rows * cols);
       swap(fresh);
     } else {
       rows_ = rows;
       cols_ = cols;
-      this->fill(fill);
     }
   }
+
+  /// Allocated element capacity (>= size(); resize within it is free).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   [[nodiscard]] T* begin() noexcept { return data_; }
   [[nodiscard]] T* end() noexcept { return data_ + size(); }
@@ -145,10 +169,12 @@ class Matrix {
   void release() noexcept {
     std::free(data_);
     data_ = nullptr;
+    capacity_ = 0;
   }
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  std::size_t capacity_ = 0;
   T* data_ = nullptr;
 };
 

@@ -20,6 +20,7 @@
 #include "data/higgs.hpp"
 #include "encode/one_hot.hpp"
 #include "serve/latency_histogram.hpp"
+#include "serve/request_pool.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/score_cache.hpp"
 #include "serve/shard_pool.hpp"
@@ -105,6 +106,24 @@ class SlowEstimator final : public streambrain::Estimator {
   std::shared_ptr<streambrain::Estimator> inner_;
   std::atomic<bool> gate_{false};
 };
+
+/// Batch stats are recorded after the batch's promises resolve (the
+/// result must never wait on the accounting lock), so a stats() read
+/// racing the last batch's bookkeeping can miss it. Poll until `pred`
+/// holds; returns the first satisfying snapshot (or the last one tried).
+template <typename Pred>
+streambrain::AsyncPredictorStats settled_stats(const AsyncPredictor& server,
+                                               Pred pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    const auto stats = server.stats();
+    if (pred(stats) || std::chrono::steady_clock::now() >= deadline) {
+      return stats;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
 
 }  // namespace
 
@@ -272,9 +291,12 @@ TEST(AsyncPredictor, ShardedConcurrentTrafficStaysBitIdentical) {
 TEST(AsyncPredictor, PartialBatchResolvesByDeadlineWithoutFlush) {
   // 8 rows can never fill a 64-row batch and no other traffic arrives;
   // the deadline flusher must still resolve the future promptly.
+  // Adaptive batching is off so this exercises the deadline path itself,
+  // not the idle-close shortcut.
   AsyncPredictorOptions options;
   options.max_batch_rows = 64;
   options.max_batch_delay = std::chrono::milliseconds(2);
+  options.adaptive_batching = false;
   AsyncPredictor server(serving().model, options);
   auto future = server.submit(rows_slice(serving().x_test, 0, 8));
   ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
@@ -399,8 +421,10 @@ TEST(AsyncPredictor, LargeRequestSplitsAcrossShardsCorrectly) {
   options.max_batch_rows = 8;
   AsyncPredictor server(serving().model, options);
   EXPECT_EQ(server.predict(serving().x_test), serving().reference_labels);
-  const auto stats = server.stats();
-  EXPECT_GE(stats.batches, serving().x_test.rows() / 8);
+  const std::size_t expected_batches = serving().x_test.rows() / 8;
+  const auto stats = settled_stats(
+      server, [&](const auto& s) { return s.batches >= expected_batches; });
+  EXPECT_GE(stats.batches, expected_batches);
 }
 
 TEST(AsyncPredictor, StatsExposeLatencyPercentiles) {
@@ -435,4 +459,232 @@ TEST(AsyncPredictor, RejectsBadConstruction) {
   zero_batch.max_batch_rows = 0;
   EXPECT_THROW(AsyncPredictor(serving().model, zero_batch),
                std::invalid_argument);
+  AsyncPredictorOptions bad_min;
+  bad_min.max_batch_rows = 8;
+  bad_min.min_batch_rows = 9;  // min must not exceed max
+  EXPECT_THROW(AsyncPredictor(serving().model, bad_min),
+               std::invalid_argument);
+}
+
+// --- PR 7: overhead fixes, adaptive batching, admission control -------------
+
+TEST(AsyncPredictor, FlushWakesADispatcherSleepingOnTheDeadline) {
+  // Regression: flush() is a release-store plus a queue interrupt. If the
+  // wakeup were a bare notify, a dispatcher racing between "pop returned
+  // my request" and "wait until the 10s deadline" could sleep through
+  // it. The interrupt is sticky, so whichever side of the wait flush()
+  // lands on, the batch must close promptly. Loop to shake the race out.
+  AsyncPredictorOptions options;
+  options.max_batch_rows = 128;
+  options.max_batch_delay = std::chrono::seconds(10);  // effectively "never"
+  options.adaptive_batching = false;  // only flush can close the batch early
+  AsyncPredictor server(serving().model, options);
+  for (int i = 0; i < 50; ++i) {
+    auto future = server.submit(rows_slice(serving().x_test, 0, 1));
+    server.flush();
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready)
+        << "flush() was slept through on iteration " << i;
+    EXPECT_EQ(future.get(),
+              std::vector<int>(serving().reference_labels.begin(),
+                               serving().reference_labels.begin() + 1));
+  }
+  const auto stats =
+      settled_stats(server, [](const auto& s) { return s.flush_closes >= 1; });
+  EXPECT_GE(stats.flush_closes, 1u);
+}
+
+TEST(AsyncPredictor, AdmissionControlShedsWithOverloadError) {
+  // Gate the model shut and pour requests in: once accepted-but-
+  // unfulfilled rows reach max_inflight_rows, every further submission
+  // must fail fast through its future with the documented OverloadError
+  // — and the accepted ones must still resolve bit-identically.
+  auto trained = std::make_shared<SlowEstimator>(serving().model);
+  AsyncPredictorOptions options;
+  options.max_batch_rows = 4;
+  options.max_batch_delay = std::chrono::microseconds(1);
+  options.max_inflight_rows = 8;  // two 4-row requests
+  AsyncPredictor server(trained, options);
+
+  std::vector<std::future<std::vector<int>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(server.submit(rows_slice(serving().x_test, 0, 4)));
+  }
+  trained->release();
+
+  const std::vector<int> expected(serving().reference_labels.begin(),
+                                  serving().reference_labels.begin() + 4);
+  std::size_t served = 0;
+  std::size_t shed = 0;
+  for (auto& future : futures) {
+    try {
+      EXPECT_EQ(future.get(), expected);
+      ++served;
+    } catch (const sv::OverloadError&) {
+      ++shed;
+    }
+  }
+  // The model is gated, so no rows leave flight during submission: the
+  // outcome is exact, not merely "some were shed".
+  EXPECT_EQ(served, 2u);
+  EXPECT_EQ(shed, 14u);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed_requests, shed);
+  EXPECT_EQ(stats.shed_rows, shed * 4);
+  EXPECT_EQ(stats.requests, served);  // shed submissions are not "accepted"
+
+  // The admission gauge drains back to zero (the promise resolves just
+  // before the gauge is decremented, so allow the settle to land).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.inflight_rows() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.inflight_rows(), 0u);
+}
+
+TEST(AsyncPredictor, AdaptiveCloseServesLightTrafficWithoutDeadlineWait) {
+  // A lone 8-row request against a 1024-row batch and a 10-second
+  // deadline: the adaptive closer must notice the empty queue and idle
+  // shard and dispatch immediately instead of stranding the request.
+  AsyncPredictorOptions options;
+  options.max_batch_rows = 1024;
+  options.max_batch_delay = std::chrono::seconds(10);
+  AsyncPredictor server(serving().model, options);
+  auto future = server.submit(rows_slice(serving().x_test, 0, 8));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(),
+            std::vector<int>(serving().reference_labels.begin(),
+                             serving().reference_labels.begin() + 8));
+  const auto stats = settled_stats(
+      server, [](const auto& s) { return s.adaptive_closes >= 1; });
+  EXPECT_GE(stats.adaptive_closes, 1u);
+}
+
+TEST(AsyncPredictor, PerStageTimingAndCloseReasonsAccountForEveryBatch) {
+  AsyncPredictorOptions options;
+  options.shards = 2;
+  options.max_batch_rows = 16;
+  AsyncPredictor server(serving().model, options);
+  for (int pass = 0; pass < 3; ++pass) {
+    EXPECT_EQ(server.predict(serving().x_test), serving().reference_labels);
+  }
+  const auto stats =
+      settled_stats(server, [](const auto& s) { return s.batches >= 1; });
+  ASSERT_GT(stats.batches, 0u);
+  // Close reasons partition the batches.
+  EXPECT_EQ(stats.full_closes + stats.deadline_closes + stats.adaptive_closes +
+                stats.flush_closes,
+            stats.batches);
+  // Stage sums: compute mirrors the model clock exactly; the overhead
+  // stages are non-negative and bounded by sanity.
+  EXPECT_EQ(stats.stage_compute_seconds, stats.model_seconds);
+  EXPECT_GT(stats.stage_compute_seconds, 0.0);
+  EXPECT_GE(stats.stage_close_seconds, 0.0);
+  EXPECT_GE(stats.stage_dispatch_seconds, 0.0);
+  EXPECT_GE(stats.stage_fulfill_seconds, 0.0);
+  EXPECT_LT(stats.stage_close_seconds + stats.stage_dispatch_seconds +
+                stats.stage_fulfill_seconds,
+            60.0);
+  // Mean helpers divide by batches (and requests), not by zero.
+  EXPECT_GT(stats.mean_stage_compute_seconds(), 0.0);
+  EXPECT_GE(stats.mean_stage_dispatch_seconds(), 0.0);
+  EXPECT_GE(stats.mean_queue_wait_seconds(), 0.0);
+  const streambrain::AsyncPredictorStats empty_stats;
+  EXPECT_EQ(empty_stats.mean_stage_compute_seconds(), 0.0);
+}
+
+TEST(AsyncPredictor, WholeRequestZeroCopyMatchesSplitGatherPath) {
+  // A request that fits one batch takes the zero-copy path (model reads
+  // the request matrix in place); a split request takes gather/scatter.
+  // Both must be bit-identical to the serial reference.
+  AsyncPredictorOptions whole_options;
+  whole_options.max_batch_rows = 1024;  // whole x_test in one batch
+  AsyncPredictor whole(serving().model, whole_options);
+  EXPECT_EQ(whole.predict(serving().x_test), serving().reference_labels);
+  EXPECT_EQ(whole.predict_scores(serving().x_test),
+            serving().reference_scores);
+  EXPECT_EQ(settled_stats(whole, [](const auto& s) { return s.batches >= 2; })
+                .batches,
+            2u);  // one batch per request
+
+  AsyncPredictorOptions split_options;
+  split_options.max_batch_rows = 8;
+  AsyncPredictor split(serving().model, split_options);
+  EXPECT_EQ(split.predict(serving().x_test), serving().reference_labels);
+  EXPECT_EQ(split.predict_scores(serving().x_test),
+            serving().reference_scores);
+  EXPECT_GT(settled_stats(split, [](const auto& s) { return s.batches > 2; })
+                .batches,
+            2u);
+}
+
+TEST(AsyncPredictor, RepeatedDestructionWithInFlightTrafficDrains) {
+  // Stress the shutdown edge the pooling refactor is most likely to
+  // break: futures submitted right up to destruction must all resolve,
+  // every round, with shard tasks still in flight. (TSan runs this.)
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::future<std::vector<int>>> futures;
+    {
+      AsyncPredictorOptions options;
+      options.shards = 2;
+      options.max_batch_rows = 8;
+      AsyncPredictor server(serving().model, options);
+      for (std::size_t i = 0; i < 8; ++i) {
+        futures.push_back(
+            server.submit(rows_slice(serving().x_test, i, i + 5)));
+      }
+    }  // destructor: close intake, flush, drain shard tasks
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      EXPECT_EQ(futures[i].get(),
+                std::vector<int>(serving().reference_labels.begin() + i,
+                                 serving().reference_labels.begin() + i + 5));
+    }
+  }
+}
+
+TEST(RequestPool, RecyclesRequestsAcrossKindsWithFreshPromises) {
+  sv::RequestPool pool(/*max_pooled=*/4);
+  EXPECT_EQ(pool.reused(), 0u);
+
+  {  // first use: labels
+    auto request = pool.acquire(sv::RequestKind::kLabels);
+    auto future = request->labels_future();
+    request->x = st::MatrixF(2, 3, 0.0f);
+    request->add_chunks(1);
+    request->ensure_result_storage();
+    request->labels = {7, 9};
+    EXPECT_TRUE(request->complete_chunk());
+    EXPECT_EQ(future.get(), (std::vector<int>{7, 9}));
+  }  // recycled
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  {  // second use, other kind: the scores promise must be fresh and the
+     // consumed labels promise reconstructed for use number three
+    auto request = pool.acquire(sv::RequestKind::kScores);
+    auto future = request->scores_future();
+    request->x = st::MatrixF(1, 3, 0.0f);
+    request->add_chunks(1);
+    request->ensure_result_storage();
+    request->scores = {0.5};
+    EXPECT_TRUE(request->complete_chunk());
+    EXPECT_EQ(future.get(), (std::vector<double>{0.5}));
+  }
+  EXPECT_EQ(pool.reused(), 1u);
+
+  {  // third use: back to labels — get_future on the reconstructed
+     // promise must not throw future_already_retrieved
+    auto request = pool.acquire(sv::RequestKind::kLabels);
+    auto future = request->labels_future();
+    request->x = st::MatrixF(1, 3, 0.0f);
+    request->add_chunks(1);
+    request->fail(std::make_exception_ptr(std::runtime_error("boom")));
+    EXPECT_TRUE(request->complete_chunk());
+    EXPECT_THROW((void)future.get(), std::runtime_error);
+  }
+  EXPECT_EQ(pool.reused(), 2u);
+  EXPECT_EQ(pool.pooled(), 1u);  // same object cycling, not accumulation
 }
