@@ -46,7 +46,7 @@ std::shared_ptr<AsyncPredictor::BatchJob>
 AsyncPredictor::BatchJobPool::acquire() {
   std::unique_ptr<BatchJob> job;
   {
-    const std::lock_guard<std::mutex> lock(core_->mutex);
+    const sb::MutexLock lock(core_->mutex);
     if (!core_->free.empty()) {
       job = std::move(core_->free.back());
       core_->free.pop_back();
@@ -66,7 +66,7 @@ void AsyncPredictor::BatchJobPool::Recycler::operator()(
   job->chunks.clear();
   job->lease.reset();
   try {
-    const std::lock_guard<std::mutex> lock(core->mutex);
+    const sb::MutexLock lock(core->mutex);
     core->free.emplace_back(job);
     return;
   } catch (...) {
@@ -97,9 +97,9 @@ AsyncPredictor::~AsyncPredictor() {
   // dispatched; wait for the shard tasks to finish fulfilling promises.
   // draining_ tells the completion path to start signaling — during
   // normal serving the per-batch wakeup is skipped entirely.
-  std::unique_lock<std::mutex> lock(inflight_mutex_);
+  const sb::MutexLock lock(inflight_mutex_);
   draining_ = true;
-  inflight_cv_.wait(lock, [this] { return inflight_batches_ == 0; });
+  while (inflight_batches_ != 0) inflight_cv_.wait(inflight_mutex_);
 }
 
 std::future<std::vector<int>> AsyncPredictor::submit(tensor::MatrixF x) {
@@ -132,7 +132,7 @@ void AsyncPredictor::enqueue(
 
   if (rows == 0) {  // nothing to run — resolve immediately
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const sb::MutexLock lock(stats_mutex_);
       stats_.requests += 1;
     }
     finish_chunk(*request);
@@ -148,7 +148,7 @@ void AsyncPredictor::enqueue(
     if (prev + rows > options_.max_inflight_rows) {
       inflight_rows_.fetch_sub(rows, std::memory_order_acq_rel);
       {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const sb::MutexLock lock(stats_mutex_);
         stats_.shed_requests += 1;
         stats_.shed_rows += rows;
       }
@@ -175,7 +175,7 @@ void AsyncPredictor::enqueue(
     (void)request->complete_chunk();
     throw std::runtime_error(message);
   }
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  const sb::MutexLock lock(stats_mutex_);
   stats_.requests += 1;
   stats_.rows += rows;
 }
@@ -200,7 +200,7 @@ void AsyncPredictor::flush() {
 AsyncPredictorStats AsyncPredictor::stats() const {
   AsyncPredictorStats snapshot;
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const sb::MutexLock lock(stats_mutex_);
     snapshot = stats_;
   }
   snapshot.rejected = queue_.rejected();
@@ -309,7 +309,7 @@ void AsyncPredictor::dispatch(OpenBatch& batch, CloseReason reason) {
   }
 
   {
-    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const sb::MutexLock lock(inflight_mutex_);
     ++inflight_batches_;
   }
   // Leasing here (not in the pool task) caps in-flight batches at the
@@ -437,7 +437,7 @@ void AsyncPredictor::run_batch(BatchJob& job) {
     // One stats acquisition per batch: counters, per-stage pipeline
     // timing, and queue-wait accounting (each request once, at its
     // first chunk).
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const sb::MutexLock lock(stats_mutex_);
     stats_.batches += 1;
     stats_.model_seconds += model_seconds;
     stats_.model_rows += model_rows;
@@ -467,7 +467,7 @@ void AsyncPredictor::run_batch(BatchJob& job) {
     // and only after setting draining_ — steady-state serving skips the
     // notify entirely. Signaling under the lock is required: the waiter
     // may destroy the condition variable the instant the count is zero.
-    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const sb::MutexLock lock(inflight_mutex_);
     --inflight_batches_;
     if (inflight_batches_ == 0 && draining_) inflight_cv_.notify_one();
   }

@@ -43,18 +43,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "api/estimator.hpp"
 #include "serve/latency_histogram.hpp"
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "serve/request_pool.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/score_cache.hpp"
@@ -172,6 +172,13 @@ struct AsyncPredictorStats {
                ? 0.0
                : static_cast<double>(model_rows) / model_seconds;
   }
+  /// Sum of the per-reason close counters. Invariant (checked by
+  /// tools/sb_lint.py and test_serving): every CloseReason the dispatcher
+  /// can produce has a counter here, and the counters partition
+  /// `batches` — close_reasons_total() == batches at any snapshot.
+  [[nodiscard]] std::uint64_t close_reasons_total() const noexcept {
+    return full_closes + deadline_closes + adaptive_closes + flush_closes;
+  }
 };
 
 class AsyncPredictor {
@@ -211,7 +218,7 @@ class AsyncPredictor {
   /// notify), so a dispatcher between waits can never sleep through it.
   void flush();
 
-  [[nodiscard]] AsyncPredictorStats stats() const;
+  [[nodiscard]] AsyncPredictorStats stats() const EXCLUDES(stats_mutex_);
   [[nodiscard]] const AsyncPredictorOptions& options() const noexcept {
     return options_;
   }
@@ -267,8 +274,8 @@ class AsyncPredictor {
 
    private:
     struct Core {
-      std::mutex mutex;
-      std::vector<std::unique_ptr<BatchJob>> free;
+      sb::Mutex mutex;
+      std::vector<std::unique_ptr<BatchJob>> free GUARDED_BY(mutex);
     };
     struct Recycler {
       std::shared_ptr<Core> core;
@@ -287,7 +294,8 @@ class AsyncPredictor {
 
   /// Shared submit path: admission control, stats, zero-row fast path,
   /// backpressure.
-  void enqueue(const std::shared_ptr<serve::ServeRequest>& request);
+  void enqueue(const std::shared_ptr<serve::ServeRequest>& request)
+      EXCLUDES(stats_mutex_);
 
   /// Drop one chunk; when it was the request's last, record the
   /// end-to-end latency and release its admission-control rows. Every
@@ -295,15 +303,16 @@ class AsyncPredictor {
   /// exactly once.
   void finish_chunk(serve::ServeRequest& request);
 
-  void dispatcher_loop();
+  void dispatcher_loop() EXCLUDES(stats_mutex_, inflight_mutex_);
   /// Split `request` into chunks, closing batches as they fill.
   void absorb(const std::shared_ptr<serve::ServeRequest>& request,
               OpenBatch& batch);
   /// Lease a shard and hand the batch to the thread pool.
-  void dispatch(OpenBatch& batch, CloseReason reason);
+  void dispatch(OpenBatch& batch, CloseReason reason)
+      EXCLUDES(stats_mutex_, inflight_mutex_);
   /// Runs on a pool worker: execute one batch on one shard, then release
   /// the lease and signal the drain waiter (if any).
-  void run_batch(BatchJob& job);
+  void run_batch(BatchJob& job) EXCLUDES(stats_mutex_, inflight_mutex_);
 
   AsyncPredictorOptions options_;
   serve::ShardPool shards_;
@@ -313,9 +322,9 @@ class AsyncPredictor {
   BatchJobPool batch_pool_;
   std::vector<ShardScratch> scratch_;  // indexed by shard
 
-  mutable std::mutex stats_mutex_;
-  AsyncPredictorStats stats_;
-  serve::LatencyHistogram latency_;
+  mutable sb::Mutex stats_mutex_;
+  AsyncPredictorStats stats_ GUARDED_BY(stats_mutex_);
+  serve::LatencyHistogram latency_;  // lock-free (atomic buckets)
 
   std::atomic<bool> flush_requested_{false};
   std::atomic<std::size_t> inflight_rows_{0};
@@ -323,10 +332,10 @@ class AsyncPredictor {
   /// Batches handed to the pool but not yet completed, plus the drain
   /// flag — both under inflight_mutex_; the completion path signals the
   /// condition variable only when the destructor is actually waiting.
-  std::mutex inflight_mutex_;
-  std::condition_variable inflight_cv_;
-  std::size_t inflight_batches_ = 0;
-  bool draining_ = false;
+  sb::Mutex inflight_mutex_;
+  sb::CondVar inflight_cv_;
+  std::size_t inflight_batches_ GUARDED_BY(inflight_mutex_) = 0;
+  bool draining_ GUARDED_BY(inflight_mutex_) = false;
 
   std::thread dispatcher_;
 };

@@ -135,7 +135,7 @@ std::vector<int> Predictor::predict(const tensor::MatrixF& x) {
   std::vector<double> scores;
   double own_model_seconds = 0.0;
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   if (options_.flush_policy == FlushPolicy::kImmediate) {
     own_model_seconds = run_direct_locked(x, Kind::kLabels, labels, scores);
   } else {
@@ -153,8 +153,7 @@ std::vector<int> Predictor::predict(const tensor::MatrixF& x) {
     // flush() driver.
     const auto deadline = started + options_.max_batch_delay;
     while (!request->done) {
-      if (!done_cv_.wait_until(lock, deadline,
-                               [&] { return request->done; })) {
+      if (!done_cv_.wait_until(mutex_, deadline) && !request->done) {
         own_model_seconds += run_pending_locked();
       }
     }
@@ -172,7 +171,7 @@ std::vector<double> Predictor::predict_scores(const tensor::MatrixF& x) {
   std::vector<double> scores;
   double own_model_seconds = 0.0;
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   if (options_.flush_policy == FlushPolicy::kImmediate) {
     own_model_seconds = run_direct_locked(x, Kind::kScores, labels, scores);
   } else {
@@ -186,8 +185,7 @@ std::vector<double> Predictor::predict_scores(const tensor::MatrixF& x) {
     }
     const auto deadline = started + options_.max_batch_delay;
     while (!request->done) {
-      if (!done_cv_.wait_until(lock, deadline,
-                               [&] { return request->done; })) {
+      if (!done_cv_.wait_until(mutex_, deadline) && !request->done) {
         own_model_seconds += run_pending_locked();
       }
     }
@@ -214,12 +212,12 @@ void Predictor::record_call_locked(
 }
 
 void Predictor::flush() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   run_pending_locked();
 }
 
 PredictorStats Predictor::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return stats_;
 }
 

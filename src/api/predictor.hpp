@@ -19,14 +19,14 @@
 // interleave — the concurrency test asserts exactly this.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "api/estimator.hpp"
 #include "tensor/matrix.hpp"
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streambrain {
 
@@ -96,18 +96,20 @@ class Predictor {
                      PredictorOptions options = {});
 
   /// Thread-safe hard-label inference over a batch of rows.
-  [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x);
+  [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x)
+      EXCLUDES(mutex_);
 
   /// Thread-safe P(class == 1) inference over a batch of rows.
-  [[nodiscard]] std::vector<double> predict_scores(const tensor::MatrixF& x);
+  [[nodiscard]] std::vector<double> predict_scores(
+      const tensor::MatrixF& x) EXCLUDES(mutex_);
 
   /// Run any buffered partial batch now (kCoalesce only; a no-op under
   /// kImmediate). Optional: waiters self-flush once max_batch_delay
   /// expires, so calling this only trims latency, it is never required
   /// for progress.
-  void flush();
+  void flush() EXCLUDES(mutex_);
 
-  [[nodiscard]] PredictorStats stats() const;
+  [[nodiscard]] PredictorStats stats() const EXCLUDES(mutex_);
 
   [[nodiscard]] const PredictorOptions& options() const noexcept {
     return options_;
@@ -128,7 +130,7 @@ class Predictor {
   /// Pre: lock held. Executes all pending requests in micro-batches and
   /// wakes their owners. Returns the model seconds this call spent, so
   /// the caller can split its latency into queue wait vs. model time.
-  double run_pending_locked();
+  double run_pending_locked() REQUIRES(mutex_);
 
   /// Pre: lock held. kImmediate fast path: runs `x` in micro-batches
   /// straight from the caller's matrix (no queue, no row copies unless a
@@ -136,21 +138,21 @@ class Predictor {
   /// Returns the model seconds spent.
   double run_direct_locked(const tensor::MatrixF& x, Kind kind,
                            std::vector<int>& labels,
-                           std::vector<double>& scores);
+                           std::vector<double>& scores) REQUIRES(mutex_);
 
   /// Pre: lock held. Folds one finished call into the counters, splitting
   /// its latency into queue wait vs. the model time it ran itself.
   void record_call_locked(std::chrono::steady_clock::time_point started,
-                          double own_model_seconds);
+                          double own_model_seconds) REQUIRES(mutex_);
 
   std::shared_ptr<Estimator> model_;
   PredictorOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable done_cv_;
-  std::vector<std::shared_ptr<Request>> pending_;
-  std::size_t pending_rows_ = 0;
-  PredictorStats stats_;
+  mutable sb::Mutex mutex_;
+  sb::CondVar done_cv_;
+  std::vector<std::shared_ptr<Request>> pending_ GUARDED_BY(mutex_);
+  std::size_t pending_rows_ GUARDED_BY(mutex_) = 0;
+  PredictorStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace streambrain

@@ -24,14 +24,14 @@ World::World(int size) : size_(size) {
 }
 
 void World::barrier_wait() {
-  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const sb::MutexLock lock(barrier_mutex_);
   const bool my_sense = barrier_sense_;
   if (++barrier_arrived_ == size_) {
     barrier_arrived_ = 0;
     barrier_sense_ = !barrier_sense_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_sense_ != my_sense; });
+    while (barrier_sense_ == my_sense) barrier_cv_.wait(barrier_mutex_);
   }
 }
 
@@ -320,7 +320,7 @@ void Communicator::send(const float* data, std::size_t count, int dest,
   World::Message message;
   message.payload.assign(data, data + count);
   {
-    std::lock_guard<std::mutex> lock(world_->mailbox_mutex_);
+    const sb::MutexLock lock(world_->mailbox_mutex_);
     world_->mailboxes_[{rank_, dest, tag}].push_back(std::move(message));
   }
   world_->mailbox_cv_.notify_all();
@@ -331,16 +331,19 @@ void Communicator::send(const float* data, std::size_t count, int dest,
 }
 
 void Communicator::recv(float* data, std::size_t count, int source, int tag) {
-  std::unique_lock<std::mutex> lock(world_->mailbox_mutex_);
-  const auto key = std::make_tuple(source, rank_, tag);
-  world_->mailbox_cv_.wait(lock, [&] {
-    const auto it = world_->mailboxes_.find(key);
-    return it != world_->mailboxes_.end() && !it->second.empty();
-  });
-  auto& queue = world_->mailboxes_[key];
-  World::Message message = std::move(queue.front());
-  queue.erase(queue.begin());
-  lock.unlock();
+  World::Message message;
+  {
+    const sb::MutexLock lock(world_->mailbox_mutex_);
+    const auto key = std::make_tuple(source, rank_, tag);
+    auto it = world_->mailboxes_.find(key);
+    while (it == world_->mailboxes_.end() || it->second.empty()) {
+      world_->mailbox_cv_.wait(world_->mailbox_mutex_);
+      it = world_->mailboxes_.find(key);
+    }
+    auto& queue = it->second;
+    message = std::move(queue.front());
+    queue.erase(queue.begin());
+  }
   if (message.payload.size() != count) {
     throw std::runtime_error("recv: message size mismatch");
   }

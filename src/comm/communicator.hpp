@@ -28,15 +28,16 @@
 //   });
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <tuple>
 #include <utility>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streambrain::comm {
 
@@ -165,7 +166,7 @@ class World {
  private:
   friend class Communicator;
 
-  void barrier_wait();
+  void barrier_wait() EXCLUDES(barrier_mutex_);
 
   struct Message {
     std::vector<float> payload;
@@ -173,17 +174,25 @@ class World {
 
   int size_;
   // Sense-reversing barrier.
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_arrived_ = 0;
-  bool barrier_sense_ = false;
-  // Collective scratch: per-rank buffer pointers.
+  sb::Mutex barrier_mutex_;
+  sb::CondVar barrier_cv_;
+  int barrier_arrived_ GUARDED_BY(barrier_mutex_) = 0;
+  bool barrier_sense_ GUARDED_BY(barrier_mutex_) = false;
+  // Collective scratch: per-rank buffer pointers. Deliberately NOT
+  // GUARDED_BY any mutex: each slot is written only by its own rank and
+  // every cross-rank read is separated from that write by a full
+  // barrier_wait() (which provides the release/acquire edge). A mutex
+  // here would serialize the very fan-out the collectives exist to
+  // parallelize; the TSan job is the checker of record for this protocol.
   std::vector<const void*> deposit_;
   // Point-to-point mailboxes keyed by (source, dest, tag).
-  std::mutex mailbox_mutex_;
-  std::condition_variable mailbox_cv_;
-  std::map<std::tuple<int, int, int>, std::vector<Message>> mailboxes_;
-  // Byte accounting.
+  sb::Mutex mailbox_mutex_;
+  sb::CondVar mailbox_cv_;
+  std::map<std::tuple<int, int, int>, std::vector<Message>> mailboxes_
+      GUARDED_BY(mailbox_mutex_);
+  // Byte accounting. bytes_sent_[r] is written only by rank r (and read
+  // after the join in run_reported), so like deposit_ it is
+  // barrier/join-synchronized rather than lock-guarded.
   std::vector<std::uint64_t> bytes_sent_;
   std::atomic<std::uint64_t> total_bytes_{0};
 };

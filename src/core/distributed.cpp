@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstring>
 #include <functional>
-#include <mutex>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
@@ -18,6 +17,7 @@
 #include "parallel/engine_registry.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/kernels.hpp"
+#include "util/annotated_mutex.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -662,7 +662,10 @@ DistributedReport distributed_unsupervised_fit(BcpnnLayer& layer,
   // Final state captured from rank 0.
   std::unique_ptr<ProbabilityTraces> final_traces;
   std::unique_ptr<ReceptiveFieldMasks> final_masks;
-  std::mutex result_mutex;
+  // Only rank 0 writes and the writes happen-before the join, but the
+  // lock keeps the capture protocol explicit (and future-proof against a
+  // multi-writer capture).
+  sb::Mutex result_mutex;
   std::size_t sync_count = 0;
 
   const comm::RunStats stats = comm::run_reported(
@@ -729,7 +732,7 @@ DistributedReport distributed_unsupervised_fit(BcpnnLayer& layer,
     }
 
     if (rank == 0) {
-      std::lock_guard<std::mutex> lock(result_mutex);
+      const sb::MutexLock lock(result_mutex);
       final_traces = std::make_unique<ProbabilityTraces>(local.traces());
       final_masks = std::make_unique<ReceptiveFieldMasks>(local.masks());
       sync_count = local_syncs;

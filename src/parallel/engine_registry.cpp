@@ -20,7 +20,7 @@ void EngineRegistry::register_engine(EngineInfo info, Factory factory) {
     throw std::invalid_argument("EngineRegistry: null factory for '" +
                                 info.name + "'");
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   for (const auto& [existing, _] : entries_) {
     if (existing.name == info.name) {
       throw std::invalid_argument("EngineRegistry: engine '" + info.name +
@@ -31,7 +31,7 @@ void EngineRegistry::register_engine(EngineInfo info, Factory factory) {
 }
 
 bool EngineRegistry::unregister_engine(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->first.name == name) {
       entries_.erase(it);
@@ -44,7 +44,7 @@ bool EngineRegistry::unregister_engine(const std::string& name) {
 std::unique_ptr<Engine> EngineRegistry::create(const std::string& name) const {
   Factory factory;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sb::MutexLock lock(mutex_);
     for (const auto& [info, f] : entries_) {
       if (info.name == name) {
         factory = f;
@@ -62,7 +62,7 @@ std::unique_ptr<Engine> EngineRegistry::create(const std::string& name) const {
 }
 
 bool EngineRegistry::contains(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   for (const auto& [info, _] : entries_) {
     if (info.name == name) return true;
   }
@@ -70,7 +70,7 @@ bool EngineRegistry::contains(const std::string& name) const {
 }
 
 EngineInfo EngineRegistry::info(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   for (const auto& [info, _] : entries_) {
     if (info.name == name) return info;
   }
@@ -79,7 +79,7 @@ EngineInfo EngineRegistry::info(const std::string& name) const {
 }
 
 std::vector<std::string> EngineRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [info, _] : entries_) out.push_back(info.name);

@@ -13,12 +13,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "parallel/engine.hpp"
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streambrain::parallel {
 
@@ -52,24 +53,28 @@ class EngineRegistry {
 
   /// Register a new engine. Throws std::invalid_argument on an empty or
   /// duplicate name.
-  void register_engine(EngineInfo info, Factory factory);
+  void register_engine(EngineInfo info, Factory factory)
+      EXCLUDES(mutex_);
 
   /// Remove an engine (built-ins included — tests use this to restore a
   /// clean slate). Returns false when the name was not registered.
-  bool unregister_engine(const std::string& name);
+  bool unregister_engine(const std::string& name) EXCLUDES(mutex_);
 
   /// Instantiate an engine by name. Throws std::invalid_argument naming
   /// the unknown key and the registered set.
-  [[nodiscard]] std::unique_ptr<Engine> create(const std::string& name) const;
+  [[nodiscard]] std::unique_ptr<Engine> create(const std::string& name) const
+      EXCLUDES(mutex_);
 
-  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const
+      EXCLUDES(mutex_);
 
   /// Metadata for a registered engine; throws std::invalid_argument for
   /// unknown names.
-  [[nodiscard]] EngineInfo info(const std::string& name) const;
+  [[nodiscard]] EngineInfo info(const std::string& name) const
+      EXCLUDES(mutex_);
 
   /// All registered names, in registration order (built-ins first).
-  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::vector<std::string> names() const EXCLUDES(mutex_);
 
   EngineRegistry(const EngineRegistry&) = delete;
   EngineRegistry& operator=(const EngineRegistry&) = delete;
@@ -77,10 +82,10 @@ class EngineRegistry {
  private:
   EngineRegistry();
 
-  [[nodiscard]] std::string known_names_locked() const;
+  [[nodiscard]] std::string known_names_locked() const REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::pair<EngineInfo, Factory>> entries_;
+  mutable sb::Mutex mutex_;
+  std::vector<std::pair<EngineInfo, Factory>> entries_ GUARDED_BY(mutex_);
 };
 
 namespace detail {

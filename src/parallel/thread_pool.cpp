@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 void ThreadPool::post(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sb::MutexLock lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool::post after shutdown");
     }
@@ -33,12 +33,12 @@ void ThreadPool::post(std::function<void()> task) {
 }
 
 std::size_t ThreadPool::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return workers_.size();
 }
 
 void ThreadPool::grow(std::size_t threads) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   if (stopping_) {
     throw std::runtime_error("ThreadPool::grow after shutdown");
   }
@@ -48,13 +48,13 @@ void ThreadPool::grow(std::size_t threads) {
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return queue_.size();
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const sb::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -66,8 +66,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const sb::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -75,7 +75,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const sb::MutexLock lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -83,8 +83,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  const sb::MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mutex_);
 }
 
 ThreadPool& global_pool() {

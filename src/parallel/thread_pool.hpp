@@ -3,14 +3,15 @@
 // substrate (ranks) and by parallel_for when OpenMP is not wanted (e.g.
 // nested inside an OpenMP region).
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streambrain::parallel {
 
@@ -31,7 +32,7 @@ class ThreadPool {
         std::forward<F>(task));
     std::future<Result> future = packaged->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const sb::MutexLock lock(mutex_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool::submit after shutdown");
       }
@@ -47,21 +48,21 @@ class ThreadPool {
   /// submit() was pure overhead: nobody ever waited on it. The task must
   /// handle its own errors; an escaped exception terminates the worker.
   /// Throws std::runtime_error after shutdown.
-  void post(std::function<void()> task);
+  void post(std::function<void()> task) EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_);
 
   /// Grow the pool to at least `threads` workers (a no-op when it is
   /// already that large). Serving layers call this so a shard fan-out is
   /// never throttled below the shard count by a small default pool.
-  void grow(std::size_t threads);
+  void grow(std::size_t threads) EXCLUDES(mutex_);
 
   /// Tasks queued but not yet started — a cheap saturation signal for
   /// schedulers deciding whether to submit or run inline.
-  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t queue_depth() const EXCLUDES(mutex_);
 
   /// Block until every queued task has finished.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   /// True when the calling thread is a ThreadPool worker (any pool).
   /// Fan-out helpers (e.g. the dispatched GEMM) use this to run inline
@@ -70,15 +71,18 @@ class ThreadPool {
   [[nodiscard]] static bool in_worker() noexcept;
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  /// Joined by the destructor; grown under mutex_ (grow()), but the
+  /// join itself runs after every worker observed stopping_, so the
+  /// vector is stable by then.
+  std::vector<std::thread> workers_ GUARDED_BY(mutex_);
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  mutable sb::Mutex mutex_;
+  sb::CondVar cv_;
+  sb::CondVar idle_cv_;
+  std::size_t active_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide default pool (lazily constructed).

@@ -10,7 +10,7 @@ RequestPool::RequestPool(std::size_t max_pooled)
 std::shared_ptr<ServeRequest> RequestPool::acquire(RequestKind kind) {
   std::unique_ptr<ServeRequest> request;
   {
-    const std::lock_guard<std::mutex> lock(core_->mutex);
+    const sb::MutexLock lock(core_->mutex);
     if (!core_->free.empty()) {
       request = std::move(core_->free.back());
       core_->free.pop_back();
@@ -27,7 +27,7 @@ void RequestPool::Recycler::operator()(ServeRequest* request) const noexcept {
   // result-vector capacity are worth keeping warm.
   request->x = tensor::MatrixF();
   try {
-    const std::lock_guard<std::mutex> lock(core->mutex);
+    const sb::MutexLock lock(core->mutex);
     if (core->free.size() < core->max_pooled) {
       core->free.emplace_back(request);
       return;
@@ -39,12 +39,12 @@ void RequestPool::Recycler::operator()(ServeRequest* request) const noexcept {
 }
 
 std::size_t RequestPool::pooled() const {
-  const std::lock_guard<std::mutex> lock(core_->mutex);
+  const sb::MutexLock lock(core_->mutex);
   return core_->free.size();
 }
 
 std::uint64_t RequestPool::reused() const {
-  const std::lock_guard<std::mutex> lock(core_->mutex);
+  const sb::MutexLock lock(core_->mutex);
   return core_->reused;
 }
 

@@ -16,10 +16,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "serve/request_queue.hpp"
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streambrain::serve {
 
@@ -40,10 +41,10 @@ class RequestPool {
  private:
   struct Core {
     explicit Core(std::size_t cap) : max_pooled(cap) {}
-    std::mutex mutex;
-    std::vector<std::unique_ptr<ServeRequest>> free;
+    sb::Mutex mutex;
+    std::vector<std::unique_ptr<ServeRequest>> free GUARDED_BY(mutex);
     const std::size_t max_pooled;
-    std::uint64_t reused = 0;
+    std::uint64_t reused GUARDED_BY(mutex) = 0;
   };
 
   struct Recycler {

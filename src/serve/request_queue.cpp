@@ -67,7 +67,7 @@ bool ServeRequest::complete_chunk() {
 }
 
 void ServeRequest::fail(std::exception_ptr error) {
-  const std::lock_guard<std::mutex> lock(fail_mutex_);
+  const sb::MutexLock lock(fail_mutex_);
   if (failed_.load(std::memory_order_acquire)) return;
   failed_.store(true, std::memory_order_release);
   try {
@@ -96,7 +96,7 @@ RequestQueue::RequestQueue(std::size_t capacity, OverflowPolicy policy)
 }
 
 bool RequestQueue::push(std::shared_ptr<ServeRequest> request) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  sb::MutexLock lock(mutex_);
   if (closed_) throw std::runtime_error("RequestQueue: push after close");
   if (items_.size() >= capacity_) {
     if (policy_ == OverflowPolicy::kReject) {
@@ -104,8 +104,7 @@ bool RequestQueue::push(std::shared_ptr<ServeRequest> request) {
       return false;
     }
     ++push_waiters_;
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(mutex_);
     --push_waiters_;
     if (closed_) throw std::runtime_error("RequestQueue: push after close");
   }
@@ -124,17 +123,22 @@ std::shared_ptr<ServeRequest> RequestQueue::pop() {
 
 std::shared_ptr<ServeRequest> RequestQueue::pop_until(
     std::chrono::steady_clock::time_point deadline) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto ready = [this] {
-    return !items_.empty() || closed_ || interrupts_ > 0;
-  };
-  if (!ready()) {
+  sb::MutexLock lock(mutex_);
+  if (items_.empty() && !closed_ && interrupts_ == 0) {
     ++pop_waiters_;
     if (deadline == std::chrono::steady_clock::time_point::max()) {
-      not_empty_.wait(lock, ready);
-    } else if (!not_empty_.wait_until(lock, deadline, ready)) {
-      --pop_waiters_;
-      return nullptr;  // timeout
+      while (items_.empty() && !closed_ && interrupts_ == 0) {
+        not_empty_.wait(mutex_);
+      }
+    } else {
+      bool timed_out = false;
+      while (items_.empty() && !closed_ && interrupts_ == 0 && !timed_out) {
+        timed_out = !not_empty_.wait_until(mutex_, deadline);
+      }
+      if (items_.empty() && !closed_ && interrupts_ == 0) {
+        --pop_waiters_;
+        return nullptr;  // timeout
+      }
     }
     --pop_waiters_;
   }
@@ -154,7 +158,7 @@ std::shared_ptr<ServeRequest> RequestQueue::pop_until(
 
 void RequestQueue::interrupt() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sb::MutexLock lock(mutex_);
     ++interrupts_;
   }
   not_empty_.notify_all();
@@ -162,7 +166,7 @@ void RequestQueue::interrupt() {
 
 void RequestQueue::close() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sb::MutexLock lock(mutex_);
     closed_ = true;
   }
   not_empty_.notify_all();
@@ -170,27 +174,27 @@ void RequestQueue::close() {
 }
 
 bool RequestQueue::closed() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return closed_;
 }
 
 bool RequestQueue::drained() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return closed_ && items_.empty();
 }
 
 bool RequestQueue::empty() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return items_.empty();
 }
 
 std::size_t RequestQueue::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return items_.size();
 }
 
 std::uint64_t RequestQueue::rejected() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return rejected_;
 }
 

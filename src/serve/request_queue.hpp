@@ -17,17 +17,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
 
 #include "tensor/matrix.hpp"
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streambrain::serve {
 
@@ -102,11 +102,16 @@ class ServeRequest {
   }
 
  private:
+  /// The promises are NOT mutex-guarded: complete_chunk() settles them
+  /// lock-free after winning the final chunk decrement, and fail() under
+  /// fail_mutex_ — std::promise's internal shared-state synchronization
+  /// plus the first-settle-wins catch blocks arbitrate the race, so no
+  /// GUARDED_BY contract can be stated (or needed) here.
   std::promise<std::vector<int>> labels_promise_;
   std::promise<std::vector<double>> scores_promise_;
   std::atomic<std::size_t> chunks_remaining_{0};
   std::atomic<bool> failed_{false};
-  std::mutex fail_mutex_;
+  sb::Mutex fail_mutex_;  ///< serializes fail() so the first error wins
   /// Which promises gave their shared state away (set_value /
   /// set_exception) — prepare() reconstructs exactly those on reuse.
   /// Atomic (relaxed) because a failing batch and the final completing
@@ -124,47 +129,47 @@ class RequestQueue {
 
   /// Enqueue. Returns false when the queue is full under kReject; blocks
   /// until room under kBlock. Throws std::runtime_error after close().
-  bool push(std::shared_ptr<ServeRequest> request);
+  bool push(std::shared_ptr<ServeRequest> request) EXCLUDES(mutex_);
 
   /// Dequeue, blocking until an item, an interrupt(), or close()-drained.
   /// Returns nullptr in the latter two cases.
-  [[nodiscard]] std::shared_ptr<ServeRequest> pop();
+  [[nodiscard]] std::shared_ptr<ServeRequest> pop() EXCLUDES(mutex_);
 
   /// Dequeue with a deadline; nullptr on timeout/interrupt/drained.
   [[nodiscard]] std::shared_ptr<ServeRequest> pop_until(
-      std::chrono::steady_clock::time_point deadline);
+      std::chrono::steady_clock::time_point deadline) EXCLUDES(mutex_);
 
   /// Wake every blocked pop() once (each returns nullptr). Used by
   /// flush(): the dispatcher re-evaluates its open batch immediately.
-  void interrupt();
+  void interrupt() EXCLUDES(mutex_);
 
   /// Stop accepting pushes. Queued items still drain through pop().
-  void close();
+  void close() EXCLUDES(mutex_);
 
-  [[nodiscard]] bool closed() const;
-  [[nodiscard]] bool drained() const;  ///< closed and empty
-  [[nodiscard]] bool empty() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool closed() const EXCLUDES(mutex_);
+  [[nodiscard]] bool drained() const EXCLUDES(mutex_);  ///< closed and empty
+  [[nodiscard]] bool empty() const EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::uint64_t rejected() const;  ///< kReject refusals
+  [[nodiscard]] std::uint64_t rejected() const EXCLUDES(mutex_);  ///< kReject refusals
 
  private:
   const std::size_t capacity_;
   const OverflowPolicy policy_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::shared_ptr<ServeRequest>> items_;
-  std::size_t interrupts_ = 0;
-  std::uint64_t rejected_ = 0;
-  bool closed_ = false;
+  mutable sb::Mutex mutex_;
+  sb::CondVar not_empty_;
+  sb::CondVar not_full_;
+  std::deque<std::shared_ptr<ServeRequest>> items_ GUARDED_BY(mutex_);
+  std::size_t interrupts_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
   /// Waiter counts gate the per-push/per-pop notifies: with nobody
   /// blocked (the dispatcher keeping up, no kBlock submitter stalled),
   /// the hot path skips the condition-variable call entirely instead of
   /// broadcasting into the void once per request.
-  std::size_t pop_waiters_ = 0;
-  std::size_t push_waiters_ = 0;
+  std::size_t pop_waiters_ GUARDED_BY(mutex_) = 0;
+  std::size_t push_waiters_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace streambrain::serve

@@ -39,7 +39,7 @@ ScoreCache::ScoreCache(std::size_t capacity) : capacity_(capacity) {}
 bool ScoreCache::lookup(const float* row, std::size_t cols, double& score) {
   if (!enabled()) return false;
   const std::string_view key = row_view(row, cols);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -54,7 +54,7 @@ bool ScoreCache::lookup(const float* row, std::size_t cols, double& score) {
 void ScoreCache::insert(const float* row, std::size_t cols, double score) {
   if (!enabled()) return;
   const std::string_view key = row_view(row, cols);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->score = score;
@@ -71,17 +71,17 @@ void ScoreCache::insert(const float* row, std::size_t cols, double score) {
 }
 
 ScoreCache::Stats ScoreCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t ScoreCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return lru_.size();
 }
 
 void ScoreCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
 }

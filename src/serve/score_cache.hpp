@@ -10,10 +10,12 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streambrain::serve {
 
@@ -27,11 +29,13 @@ class ScoreCache {
 
   /// If `row` (cols floats) is cached, write its score and promote it to
   /// most-recently-used. Counts a hit or a miss.
-  bool lookup(const float* row, std::size_t cols, double& score);
+  bool lookup(const float* row, std::size_t cols, double& score)
+      EXCLUDES(mutex_);
 
   /// Insert/refresh a row's score, evicting the least-recently-used
   /// entry when at capacity.
-  void insert(const float* row, std::size_t cols, double score);
+  void insert(const float* row, std::size_t cols, double score)
+      EXCLUDES(mutex_);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -39,10 +43,10 @@ class ScoreCache {
     std::uint64_t evictions = 0;
   };
 
-  [[nodiscard]] Stats stats() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  void clear();
+  void clear() EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -60,13 +64,13 @@ class ScoreCache {
   using LruList = std::list<Entry>;
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  LruList lru_;  // front = most recently used
+  mutable sb::Mutex mutex_;
+  LruList lru_ GUARDED_BY(mutex_);  // front = most recently used
   /// Keys view the owning Entry's bytes (list nodes never move), so each
   /// row's bytes are stored once, not duplicated into the map.
   std::unordered_map<std::string_view, LruList::iterator, RowDigest>
-      index_;
-  Stats stats_;
+      index_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace streambrain::serve

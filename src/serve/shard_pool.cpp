@@ -56,10 +56,10 @@ ShardPool::Lease::~Lease() {
 }
 
 ShardPool::Lease ShardPool::acquire() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   if (free_.empty()) {
     ++waiters_;
-    free_cv_.wait(lock, [this] { return !free_.empty(); });
+    while (free_.empty()) free_cv_.wait(mutex_);
     --waiters_;
   }
   const std::size_t shard = free_.back();
@@ -68,14 +68,14 @@ ShardPool::Lease ShardPool::acquire() {
 }
 
 std::size_t ShardPool::free_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sb::MutexLock lock(mutex_);
   return free_.size();
 }
 
 void ShardPool::release(std::size_t shard) {
   bool wake;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sb::MutexLock lock(mutex_);
     free_.push_back(shard);
     // Releases outnumber blocked acquires except at saturation; skip the
     // futex call when nobody is waiting (one release per served batch).

@@ -10,13 +10,13 @@
 // replica is free, which doubles as natural backpressure on the batch
 // dispatcher (at most N batches in flight).
 
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "api/estimator.hpp"
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streambrain::serve {
 
@@ -60,13 +60,13 @@ class ShardPool {
   };
 
   /// Block until a replica is free and lease it.
-  [[nodiscard]] Lease acquire();
+  [[nodiscard]] Lease acquire() EXCLUDES(mutex_);
 
   /// Replicas not currently leased. A snapshot — but with a single
   /// acquiring thread (the batch dispatcher) a nonzero result guarantees
   /// its next acquire() will not block, which is what the adaptive
   /// batcher's "is a shard idle right now" check needs.
-  [[nodiscard]] std::size_t free_count() const;
+  [[nodiscard]] std::size_t free_count() const EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
 
@@ -77,13 +77,19 @@ class ShardPool {
   }
 
  private:
-  void release(std::size_t shard);
+  void release(std::size_t shard) EXCLUDES(mutex_);
 
+  /// Written only during construction, then read-only: leases hand out
+  /// raw replica pointers concurrently, so this vector must never change
+  /// while the pool is live (the RCU hot-swap on the roadmap will
+  /// replace it wholesale, not mutate it).
   std::vector<std::shared_ptr<Estimator>> replicas_;
-  mutable std::mutex mutex_;
-  std::condition_variable free_cv_;
-  std::vector<std::size_t> free_;  // stack of free shard indices
-  std::size_t waiters_ = 0;  // acquires blocked; gates the release notify
+  mutable sb::Mutex mutex_;
+  sb::CondVar free_cv_;
+  /// Stack of free shard indices.
+  std::vector<std::size_t> free_ GUARDED_BY(mutex_);
+  /// Acquires blocked; gates the release notify.
+  std::size_t waiters_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Clone a trained core::Model estimator through the in-memory

@@ -1,0 +1,146 @@
+#pragma once
+// Annotation-capable synchronization primitives. Drop-in wrappers over
+// std::mutex / std::condition_variable that carry the Clang Thread
+// Safety Analysis attributes, so a locking contract written as
+//
+//   sb::Mutex mutex_;
+//   std::deque<Item> items_ GUARDED_BY(mutex_);
+//   void drain_locked() REQUIRES(mutex_);
+//
+// is enforced by the compiler (CI builds with -Werror=thread-safety)
+// instead of by a comment and the TSan interleaving lottery. Off Clang
+// the attributes vanish and these classes are zero-overhead forwarding
+// shims over the std primitives they wrap.
+//
+// Waiting convention: CondVar::wait takes the sb::Mutex itself (absl
+// style), not a lock object, so the REQUIRES(mutex) contract is
+// expressible and checked. Predicate waits are written as explicit
+// loops in the caller —
+//
+//   sb::MutexLock lock(mutex_);
+//   while (items_.empty() && !closed_) not_empty_.wait(mutex_);
+//
+// — because a predicate lambda is analyzed as a separate function that
+// does not hold the capability, which would either warn spuriously or
+// require a NO_THREAD_SAFETY_ANALYSIS hole exactly where the checking
+// matters most.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace streambrain::sb {
+
+class CondVar;
+
+/// std::mutex carrying the `capability` attribute. Lockable directly or
+/// (preferably) through the scoped MutexLock.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop with APIs that demand one
+  /// (std::scoped_lock, std::condition_variable_any). Lock state changes
+  /// made through it are invisible to the analysis — prefer the
+  /// annotated interface.
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock for sb::Mutex (the annotated std::lock_guard/unique_lock
+/// replacement). Supports early unlock() and re-lock(), which the
+/// waiter-gated notify pattern uses to signal outside the critical
+/// section.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release early (e.g. to notify a condition variable off the lock).
+  void unlock() RELEASE() {
+    mutex_.unlock();
+    held_ = false;
+  }
+
+  /// Re-acquire after an early unlock().
+  void lock() ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_ = true;
+};
+
+/// Condition variable paired with sb::Mutex. wait() declares
+/// REQUIRES(mutex): the compiler proves every waiter actually holds the
+/// lock it is about to release. Re-acquisition on wakeup restores the
+/// capability, so the analysis state is unchanged across a wait —
+/// guarded reads in the caller's wait loop check out.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex` and sleep; re-acquires before returning.
+  /// Spurious wakeups happen — always wait in a condition loop.
+  void wait(Mutex& mutex) REQUIRES(mutex) {
+    // Adopt the caller's hold so std::condition_variable gets the
+    // unique_lock it requires; release() hands the hold straight back,
+    // keeping the net lock state (and the analysis state) unchanged.
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    (void)lock.release();
+  }
+
+  /// Timed wait; returns false when `deadline` passed without a notify
+  /// (the caller re-checks its condition either way — a notify and a
+  /// timeout can race).
+  template <typename Clock, typename Duration>
+  [[nodiscard]] bool wait_until(
+      Mutex& mutex, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    (void)lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  template <typename Rep, typename Period>
+  [[nodiscard]] bool wait_for(
+      Mutex& mutex, const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    (void)lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace streambrain::sb

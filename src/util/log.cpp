@@ -2,22 +2,27 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/annotated_mutex.hpp"
 
 namespace streambrain::util {
 
-LogLevel Log::level_ = LogLevel::kInfo;
+std::atomic<LogLevel> Log::level_{LogLevel::kInfo};
 
 namespace {
-std::mutex& log_mutex() {
-  static std::mutex m;
+sb::Mutex& log_mutex() {
+  static sb::Mutex m;
   return m;
 }
 }  // namespace
 
-void Log::set_level(LogLevel level) noexcept { level_ = level; }
+void Log::set_level(LogLevel level) noexcept {
+  level_.store(level, std::memory_order_relaxed);
+}
 
-LogLevel Log::level() noexcept { return level_; }
+LogLevel Log::level() noexcept {
+  return level_.load(std::memory_order_relaxed);
+}
 
 const char* Log::level_name(LogLevel level) noexcept {
   switch (level) {
@@ -38,7 +43,7 @@ void Log::write(LogLevel level, const std::string& message) {
                       now.time_since_epoch())
                       .count();
   const double seconds = static_cast<double>(us) * 1e-6;
-  std::lock_guard<std::mutex> lock(log_mutex());
+  const sb::MutexLock lock(log_mutex());
   std::fprintf(stderr, "[%14.6f] [%s] %s\n", seconds, level_name(level),
                message.c_str());
 }

@@ -2,6 +2,7 @@
 // Lightweight leveled logger. Thread-safe line-at-a-time output; no global
 // locks on the hot path when the level is filtered out.
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -14,7 +15,7 @@ enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, k
 class Log {
  public:
   static void set_level(LogLevel level) noexcept;
-  static LogLevel level() noexcept;
+  [[nodiscard]] static LogLevel level() noexcept;
 
   /// Emit one formatted line (already composed). Thread-safe.
   static void write(LogLevel level, const std::string& message);
@@ -22,7 +23,12 @@ class Log {
   static const char* level_name(LogLevel level) noexcept;
 
  private:
-  static LogLevel level_;
+  /// Atomic because SB_LOG reads it from every thread while tests (and
+  /// embedders) call set_level() concurrently — as a plain LogLevel this
+  /// was a data race the thread-safety rollout flagged. Relaxed ordering
+  /// is enough: the level is an independent filter knob, not a
+  /// synchronization point for the messages themselves.
+  static std::atomic<LogLevel> level_;
 };
 
 namespace detail {

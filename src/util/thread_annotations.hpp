@@ -1,0 +1,116 @@
+#pragma once
+// Clang Thread Safety Analysis attribute macros — the vocabulary the
+// whole concurrency surface uses to state its locking contracts in a
+// compiler-checkable form. Under Clang with -Wthread-safety (the CI
+// static-analysis job builds with -Werror=thread-safety) every
+// GUARDED_BY field access, REQUIRES call, and ACQUIRE/RELEASE pairing
+// is verified at compile time; under any other compiler every macro
+// expands to nothing, so GCC builds are byte-identical to before the
+// annotations existed.
+//
+// Quick guide (full walkthrough in README "Static analysis &
+// concurrency contracts"):
+//   CAPABILITY("mutex")   - on a class: instances are lockable things.
+//   SCOPED_CAPABILITY     - on a class: RAII object that holds a
+//                           capability from constructor to destructor.
+//   GUARDED_BY(mu)        - on a field: access requires holding mu.
+//   PT_GUARDED_BY(mu)     - on a pointer field: the pointee requires mu.
+//   REQUIRES(mu)          - on a function: caller must already hold mu
+//                           (the *_locked-method contract).
+//   ACQUIRE(mu)/RELEASE(mu) - function acquires/releases mu itself.
+//   TRY_ACQUIRE(ok, mu)   - acquires mu iff the return value == ok.
+//   EXCLUDES(mu)          - caller must NOT hold mu (the public-method
+//                           side of a private REQUIRES contract;
+//                           catches self-deadlock at compile time).
+//   ACQUIRED_BEFORE/AFTER - global lock ordering; inversions are
+//                           diagnosed under -Wthread-safety-beta.
+//   ASSERT_CAPABILITY(mu) - runtime-checked claim that mu is held.
+//   RETURN_CAPABILITY(mu) - function returns a reference to mu.
+//   NO_THREAD_SAFETY_ANALYSIS - escape hatch; every use needs a comment
+//                           explaining why the analysis cannot see the
+//                           invariant (and what enforces it instead).
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SB_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define SB_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) SB_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY SB_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) SB_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) SB_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) SB_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) SB_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SB_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+#endif

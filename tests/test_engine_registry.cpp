@@ -143,16 +143,16 @@ TEST(EngineRegistry, UnknownNameFailsNamingTheRegisteredSet) {
 TEST(EngineRegistry, RejectsDuplicateAndInvalidRegistrations) {
   auto& registry = sp::EngineRegistry::instance();
   EXPECT_THROW(registry.register_engine(
-                   {"simd", "dup", 1, false, false},
+                   {"simd", "dup", 1, false, false, ""},
                    [] { return std::unique_ptr<sp::Engine>(); }),
                std::invalid_argument);
-  EXPECT_THROW(registry.register_engine({"", "anonymous", 1, false, false},
+  EXPECT_THROW(registry.register_engine({"", "anonymous", 1, false, false, ""},
                                         [] {
                                           return std::unique_ptr<sp::Engine>();
                                         }),
                std::invalid_argument);
   EXPECT_THROW(
-      registry.register_engine({"null_factory", "", 1, false, false}, nullptr),
+      registry.register_engine({"null_factory", "", 1, false, false, ""}, nullptr),
       std::invalid_argument);
   EXPECT_FALSE(registry.unregister_engine("never_registered"));
 }
@@ -160,7 +160,8 @@ TEST(EngineRegistry, RejectsDuplicateAndInvalidRegistrations) {
 TEST(EngineRegistry, CustomEngineTrainsAModelEndToEnd) {
   const ScopedEngine guard(
       {"counting", "naive delegate that counts support() calls",
-       /*simd_width=*/1, /*offload=*/false, /*counts_transfers=*/false},
+       /*simd_width=*/1, /*offload=*/false, /*counts_transfers=*/false,
+       /*dispatch=*/""},
       [] { return std::make_unique<CountingEngine>(); });
   auto& registry = sp::EngineRegistry::instance();
   ASSERT_TRUE(registry.contains("counting"));

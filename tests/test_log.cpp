@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -51,6 +57,42 @@ TEST(Log, FilteredMacroDoesNotEvaluateArguments) {
   su::Log::set_level(su::LogLevel::kTrace);
   SB_LOG_ERROR() << expensive();
   EXPECT_EQ(evaluations, 1);
+}
+
+// Regression for the data race the thread-safety rollout uncovered:
+// `Log::level_` was a plain static read by every SB_LOG site while
+// set_level() wrote it from other threads. Now it is a relaxed atomic;
+// under TSan (the CI tsan job runs this suite) the old code fails here.
+TEST(Log, ConcurrentSetLevelAndFilterIsRaceFree) {
+  LevelGuard guard;
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      su::Log::set_level(su::LogLevel::kOff);
+      su::Log::set_level(su::LogLevel::kError);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&stop] {
+      std::uint64_t filtered = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // The macro's level check is the hot-path read under test; with
+        // the level at kOff/kError nothing is ever printed.
+        SB_LOG_DEBUG() << "never emitted";
+        const su::LogLevel level = su::Log::level();
+        filtered += (level == su::LogLevel::kOff ||
+                     level == su::LogLevel::kError)
+                        ? 1
+                        : 0;
+      }
+      EXPECT_GT(filtered, 0u);  // only ever saw the two written levels
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  for (auto& reader : readers) reader.join();
 }
 
 TEST(Log, WriteDoesNotThrow) {

@@ -575,10 +575,13 @@ TEST(AsyncPredictor, PerStageTimingAndCloseReasonsAccountForEveryBatch) {
   const auto stats =
       settled_stats(server, [](const auto& s) { return s.batches >= 1; });
   ASSERT_GT(stats.batches, 0u);
-  // Close reasons partition the batches.
+  // Close reasons partition the batches — and the accessor that the
+  // repo linter (tools/sb_lint.py) keys the counter convention on must
+  // agree with the hand-written sum.
   EXPECT_EQ(stats.full_closes + stats.deadline_closes + stats.adaptive_closes +
                 stats.flush_closes,
             stats.batches);
+  EXPECT_EQ(stats.close_reasons_total(), stats.batches);
   // Stage sums: compute mirrors the model clock exactly; the overhead
   // stages are non-negative and bounded by sanity.
   EXPECT_EQ(stats.stage_compute_seconds, stats.model_seconds);

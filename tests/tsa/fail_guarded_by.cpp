@@ -1,0 +1,34 @@
+// NEGATIVE-COMPILE CASE — this file must FAIL to compile under
+// clang -Werror=thread-safety (and compile cleanly without it; the
+// paired _control test checks that, so a stray syntax error cannot
+// fake a pass). It demonstrates the first contract the annotation
+// rollout enforces: a GUARDED_BY field cannot be touched without its
+// mutex held.
+
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace sb = streambrain::sb;
+
+class Counter {
+ public:
+  void bump_locked() {
+    const sb::MutexLock lock(mutex_);
+    ++count_;  // OK: lock held
+  }
+
+  void bump_unlocked() {
+    ++count_;  // BAD: writing a GUARDED_BY field with no lock held
+  }
+
+ private:
+  sb::Mutex mutex_;
+  int count_ GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Counter counter;
+  counter.bump_locked();
+  counter.bump_unlocked();
+  return 0;
+}

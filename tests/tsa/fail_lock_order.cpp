@@ -1,0 +1,34 @@
+// NEGATIVE-COMPILE CASE — must FAIL under clang -Werror=thread-safety
+// with -Wthread-safety-beta (lock-order analysis lives behind the beta
+// flag). Third contract: a declared ACQUIRED_BEFORE ordering cannot be
+// inverted — the static analogue of the deadlock TSan can only catch
+// when the interleaving actually happens.
+
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace sb = streambrain::sb;
+
+class TwoLocks {
+ public:
+  void ordered() {
+    const sb::MutexLock first(stats_mutex_);
+    const sb::MutexLock second(inflight_mutex_);  // OK: declared order
+  }
+
+  void inverted() {
+    const sb::MutexLock first(inflight_mutex_);
+    const sb::MutexLock second(stats_mutex_);  // BAD: order inversion
+  }
+
+ private:
+  sb::Mutex stats_mutex_ ACQUIRED_BEFORE(inflight_mutex_);
+  sb::Mutex inflight_mutex_;
+};
+
+int main() {
+  TwoLocks locks;
+  locks.ordered();
+  locks.inverted();
+  return 0;
+}
