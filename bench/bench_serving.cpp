@@ -19,15 +19,23 @@
 //   - p50/p99 are exact order statistics over the measured pass's
 //     per-request latencies (both modes), not histogram edges.
 //
+// Swap-under-load mode: after the matrix, one server runs the same
+// traffic twice — a "swap-steady" pass (no publishes) and a "swap-load"
+// pass with a background publisher hot-swapping model clones throughout
+// — so the JSON records what continuous swap_model() costs the tail.
+//
 // --check (for CI): on a host with >= 2 cores, exit 1 unless some
 // cache-off async row with >= 2 shards and >= 2 clients reaches >= 1.0x
-// the same-clients mutex baseline.
+// the same-clients mutex baseline. The swap gate additionally requires
+// zero failed/shed/rejected requests during swaps (zero downtime) and
+// swap-load p99 <= max(25x swap-steady p99, 50 ms).
 //
 //   bench_serving [--out BENCH_serving.json] [--events 4000]
 //                 [--clients 1,2,8] [--shards 1,2,4] [--batches 0]
 //                 [--requests 64] [--rows 48] [--cache-rows 0] [--check]
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,8 +52,12 @@ using namespace streambrain;
 namespace {
 
 struct Result {
-  std::string mode;  // "mutex" or "async"
-  std::string cache;  // "on" or "off"
+  // Initialized defaults (not just declared): GCC 12's maybe-
+  // uninitialized analysis flags assigning into a default-constructed
+  // SSO string buffer from inlined lambda context, and the wall builds
+  // with -Werror.
+  std::string mode = "async";  // "mutex"/"async"/"swap-steady"/"swap-load"
+  std::string cache = "off";   // "on" or "off"
   std::size_t clients = 0;
   std::size_t shards = 0;
   std::size_t max_batch_rows = 0;
@@ -68,6 +80,12 @@ struct Result {
   std::uint64_t deadline_closes = 0;
   std::uint64_t adaptive_closes = 0;
   std::uint64_t flush_closes = 0;
+  // Swap-mode rows only: publishes during the pass and requests that
+  // failed, were shed, or were rejected (the zero-downtime gate needs
+  // this to be exactly zero).
+  bool has_swaps = false;
+  std::uint64_t model_swaps = 0;
+  std::uint64_t failed_requests = 0;
 };
 
 struct Workload {
@@ -367,6 +385,81 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Swap under load: tail latency during continuous hot swaps ------------
+  // One server, the heaviest clients/shards point, cache off. The steady
+  // pass is the control; the swap pass runs the identical traffic while
+  // a publisher thread swap_model()s a fresh model clone every few ms.
+  {
+    const std::size_t clients = client_counts.back();
+    Workload load;
+    load.clients = clients;
+    load.requests_per_client = requests_per_client;
+    load.request_slices.assign(slices.begin(), slices.begin() + clients);
+    const std::size_t total_rows =
+        clients * requests_per_client * rows_per_request;
+
+    AsyncPredictorOptions options;
+    options.shards = shard_counts.back();
+    options.max_batch_rows = rows_per_request;
+    options.max_batch_delay = std::chrono::microseconds(200);
+    options.queue_capacity = std::max<std::size_t>(clients * 4, 8);
+    AsyncPredictor server(model, options);
+    std::atomic<std::uint64_t> failures{0};
+    const auto serve = [&](std::size_t c) {
+      try {
+        (void)server.predict_scores(load.request_slices[c]);
+      } catch (...) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    (void)drive(load, warmup_requests, latencies_ms, serve);  // warm-up
+
+    const auto run_pass = [&](const char* mode, bool swapping) {
+      std::atomic<bool> stop_swaps{false};
+      std::thread publisher;
+      const AsyncPredictorStats before = server.stats();
+      const std::uint64_t failures_before =
+          failures.load(std::memory_order_relaxed);
+      if (swapping) {
+        publisher = std::thread([&] {
+          while (!stop_swaps.load(std::memory_order_acquire)) {
+            server.swap_model(std::make_shared<core::Model>(
+                core::clone_model(*model)));
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+        });
+      }
+      const double wall =
+          drive(load, requests_per_client, latencies_ms, serve);
+      if (swapping) {
+        stop_swaps.store(true, std::memory_order_release);
+        publisher.join();
+      }
+      const AsyncPredictorStats after = server.stats();
+      Result result;
+      result.mode = mode;
+      result.cache = "off";
+      result.clients = clients;
+      result.shards = options.shards;
+      result.max_batch_rows = rows_per_request;
+      summarize_latencies(result, wall, total_rows, latencies_ms);
+      attach_stage_delta(result, before, after);
+      result.has_swaps = true;
+      result.model_swaps = after.model_swaps - before.model_swaps;
+      result.failed_requests =
+          (failures.load(std::memory_order_relaxed) - failures_before) +
+          (after.shed_requests - before.shed_requests) +
+          (after.rejected - before.rejected);
+      results.push_back(result);
+      print_row(result);
+      std::printf("      swaps=%llu failed/shed/rejected=%llu\n",
+                  static_cast<unsigned long long>(result.model_swaps),
+                  static_cast<unsigned long long>(result.failed_requests));
+    };
+    run_pass("swap-steady", /*swapping=*/false);
+    run_pass("swap-load", /*swapping=*/true);
+  }
+
   // --- JSON report ----------------------------------------------------------
   std::ofstream out(out_path);
   out << "{\n";
@@ -401,6 +494,10 @@ int main(int argc, char** argv) {
           << ", \"adaptive_closes\": " << result.adaptive_closes
           << ", \"flush_closes\": " << result.flush_closes;
     }
+    if (result.has_swaps) {
+      out << ", \"model_swaps\": " << result.model_swaps
+          << ", \"failed_requests\": " << result.failed_requests;
+    }
     out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -408,12 +505,55 @@ int main(int argc, char** argv) {
 
   // --- CI gate --------------------------------------------------------------
   if (check) {
+    // Swap gates first — zero downtime is core-count independent: no
+    // request may fail, be shed, or be rejected while the publisher
+    // hammers swap_model(), on any host.
+    double steady_p99 = 0.0;
+    double swap_p99 = 0.0;
+    std::uint64_t swap_count = 0;
+    std::uint64_t swap_failures = 0;
+    bool have_swap_rows = false;
+    for (const Result& result : results) {
+      if (result.mode == "swap-steady") steady_p99 = result.p99_latency_ms;
+      if (result.mode == "swap-load") {
+        have_swap_rows = true;
+        swap_p99 = result.p99_latency_ms;
+        swap_count = result.model_swaps;
+        swap_failures = result.failed_requests;
+      }
+    }
+    if (have_swap_rows && swap_failures > 0) {
+      std::printf("--check FAILED: %llu requests failed/shed/rejected "
+                  "during %llu hot swaps (zero-downtime violated)\n",
+                  static_cast<unsigned long long>(swap_failures),
+                  static_cast<unsigned long long>(swap_count));
+      return 1;
+    }
+
     if (cores < 2) {
-      std::printf("--check: %u core(s) — the >=2-core async-vs-mutex gate "
-                  "does not bind here\n",
+      std::printf("--check: %u core(s) — the >=2-core performance gates "
+                  "do not bind here (zero-downtime swap gate passed)\n",
                   cores);
       return 0;
     }
+
+    // Tail bound: p99 under swaps within 25x of the steady control
+    // (floored at 50 ms so scheduler noise on tiny steady p99s cannot
+    // flake CI).
+    if (have_swap_rows) {
+      const double bound = std::max(25.0 * steady_p99, 50.0);
+      if (swap_p99 > bound) {
+        std::printf("--check FAILED: p99 under swaps %.2f ms exceeds "
+                    "bound %.2f ms (steady p99 %.2f ms)\n",
+                    swap_p99, bound, steady_p99);
+        return 1;
+      }
+      std::printf("--check: %llu swaps, zero failed requests, p99 %.2f ms "
+                  "under swaps vs %.2f ms steady (bound %.2f ms)\n",
+                  static_cast<unsigned long long>(swap_count), swap_p99,
+                  steady_p99, bound);
+    }
+
     double best = 0.0;
     for (const Result& result : results) {
       if (result.mode == "async" && result.cache == "off" &&

@@ -1,0 +1,138 @@
+// Online learning walkthrough: train an initial model, serve it, stream
+// fresh labeled rows through an OnlineTrainer that hot-swaps refined
+// snapshots into the live server with zero downtime, then A/B the
+// refined candidate against the incumbent with deterministic hash-split
+// routing and per-arm ROC/PR attribution.
+//
+// The point of the exercise: serving never stops and never sees a
+// half-trained model. The trainer refines its own private copy; each
+// publish is a checkpoint-clone (optionally sparsified/quantized) that
+// the shard pool rotates in RCU-style — in-flight batches finish on the
+// version their lease pinned, new requests land on the new generation,
+// and the score cache's generation gate makes pre-swap scores
+// unreachable rather than silently stale.
+//
+//   ./example_online_learning [--shards 2] [--publish-every 256]
+//                             [--b-fraction 0.3]
+
+#include <cstdio>
+
+#include "streambrain/streambrain.hpp"
+
+using namespace streambrain;
+namespace sc = streambrain::core;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const auto shards = static_cast<std::size_t>(args.get_int("shards", 2));
+  const auto publish_every =
+      static_cast<std::size_t>(args.get_int("publish-every", 256));
+  const double b_fraction = args.get_double("b-fraction", 0.3);
+
+  // --- 1. Train the incumbent on the data seen so far -------------------
+  data::SyntheticHiggsGenerator generator;
+  const auto train = generator.generate(1200);
+  data::HiggsGeneratorOptions test_opts;
+  test_opts.seed = 99;
+  data::SyntheticHiggsGenerator test_generator(test_opts);
+  const auto test = test_generator.generate(400);
+  encode::OneHotEncoder encoder(10);
+  const tensor::MatrixF x_train = encoder.fit_transform(train.features);
+  const tensor::MatrixF x_test = encoder.transform(test.features);
+
+  auto model = std::make_shared<sc::Model>();
+  model->input(28, 10)
+      .hidden(1, 64, 0.4)
+      .classifier(2, sc::HeadType::kSgd)
+      .set_option("epochs", 2)
+      .compile("simd", /*seed=*/42);
+  model->fit(x_train, train.labels);
+  std::printf("incumbent accuracy        : %.4f\n",
+              model->evaluate(x_test, test.labels));
+
+  // --- 2. Serve a snapshot; keep the trainable copy private -------------
+  auto incumbent = std::make_shared<sc::Model>(sc::clone_model(*model));
+  AsyncPredictorOptions serving;
+  serving.shards = shards;
+  serving.max_batch_rows = 128;
+  AsyncPredictor server(incumbent, serving);
+  std::printf("serving generation        : %llu\n",
+              static_cast<unsigned long long>(server.generation()));
+
+  // --- 3. Stream fresh labeled rows; the trainer publishes snapshots ----
+  OnlineTrainerOptions online;
+  online.batch_rows = 64;
+  online.publish_every_rows = publish_every;
+  OnlineTrainer trainer(model, server, online);
+
+  data::HiggsGeneratorOptions fresh_opts;
+  fresh_opts.seed = 7;
+  data::SyntheticHiggsGenerator fresh(fresh_opts);
+  for (int chunk = 0; chunk < 8; ++chunk) {
+    const auto batch = fresh.generate(128);
+    const tensor::MatrixF x_fresh = encoder.transform(batch.features);
+    trainer.observe(x_fresh, batch.labels);  // never blocks; sheds overflow
+    // Serving keeps answering while the trainer drains the stream:
+    (void)server.submit(x_test).get();
+  }
+  const std::uint64_t promoted = trainer.publish_now();  // drain the tail
+  trainer.stop();
+
+  const OnlineTrainerStats tstats = trainer.stats();
+  std::printf(
+      "online trainer            : %llu rows observed, %llu trained in "
+      "%llu steps, %llu dropped at the stream bound\n",
+      static_cast<unsigned long long>(tstats.observed_rows),
+      static_cast<unsigned long long>(tstats.trained_rows),
+      static_cast<unsigned long long>(tstats.train_batches),
+      static_cast<unsigned long long>(tstats.dropped_rows));
+  std::printf(
+      "hot swaps                 : %llu snapshots published, serving now "
+      "at generation %llu\n",
+      static_cast<unsigned long long>(tstats.publishes),
+      static_cast<unsigned long long>(promoted));
+  std::printf("refined accuracy          : %.4f (served, post-swap)\n",
+              [&] {
+                auto labels = server.submit(x_test).get();
+                std::size_t correct = 0;
+                for (std::size_t i = 0; i < labels.size(); ++i) {
+                  correct += labels[i] == test.labels[i];
+                }
+                return static_cast<double>(correct) /
+                       static_cast<double>(labels.size());
+              }());
+
+  // --- 4. A/B the refined candidate against the incumbent ---------------
+  auto candidate = std::make_shared<sc::Model>(sc::clone_model(*model));
+  ABLaneOptions lane_opts;
+  lane_opts.b_fraction = b_fraction;
+  lane_opts.salt = 2026;
+  lane_opts.serving.shards = shards;
+  ABLane lane(incumbent, candidate, lane_opts);
+
+  for (std::size_t row = 0; row + 1 < static_cast<std::size_t>(400);
+       row += 2) {
+    tensor::MatrixF pair(2, x_test.cols());
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t c = 0; c < x_test.cols(); ++c) {
+        pair.at(r, c) = x_test.at(row + r, c);
+      }
+    }
+    auto routed = lane.submit_scores(pair);
+    const std::vector<double> scores = routed.scores.get();
+    const std::vector<int> truth = {test.labels[row], test.labels[row + 1]};
+    lane.record_outcome(routed.arm, scores, truth);
+  }
+
+  for (const ABArm arm : {ABArm::kA, ABArm::kB}) {
+    const ABReport report = lane.report(arm);
+    std::printf(
+        "arm %s                     : %llu requests / %llu rows routed, "
+        "roc-auc %.4f, pr-auc %.4f\n",
+        to_string(arm),
+        static_cast<unsigned long long>(report.routed_requests),
+        static_cast<unsigned long long>(report.routed_rows), report.roc_auc,
+        report.pr_auc);
+  }
+  return 0;
+}

@@ -17,8 +17,10 @@
 //   auto labels = server.submit(x_test).get();  // sharded, micro-batched
 
 // --- Public API layer -------------------------------------------------------
+#include "api/ab_lane.hpp"
 #include "api/async_predictor.hpp"
 #include "api/estimator.hpp"
+#include "api/online_trainer.hpp"
 #include "api/predictor.hpp"
 
 // --- Serving substrate ------------------------------------------------------

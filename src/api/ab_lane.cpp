@@ -1,0 +1,114 @@
+#include "api/ab_lane.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "metrics/pr.hpp"
+#include "metrics/roc.hpp"
+
+namespace streambrain {
+
+namespace {
+
+ABLaneOptions validated(ABLaneOptions options) {
+  if (!(options.b_fraction >= 0.0 && options.b_fraction <= 1.0)) {
+    throw std::invalid_argument("ABLane: b_fraction must be in [0, 1]");
+  }
+  return options;
+}
+
+/// FNV-1a over the first row's bytes, seeded with the salt. The request's
+/// content decides its arm, so retries and replays stay sticky.
+std::uint64_t route_digest(const float* row, std::size_t cols,
+                           std::uint64_t salt) noexcept {
+  std::uint64_t digest = 14695981039346656037ull ^ salt;
+  const char* cursor = reinterpret_cast<const char*>(row);
+  std::size_t remaining = cols * sizeof(float);
+  while (remaining >= sizeof(std::uint64_t)) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, cursor, sizeof(word));
+    digest = (digest ^ word) * 1099511628211ull;
+    cursor += sizeof(word);
+    remaining -= sizeof(word);
+  }
+  while (remaining-- > 0) {
+    digest ^= static_cast<unsigned char>(*cursor++);
+    digest *= 1099511628211ull;
+  }
+  return digest;
+}
+
+}  // namespace
+
+ABLane::ABLane(std::shared_ptr<Estimator> incumbent,
+               std::shared_ptr<Estimator> candidate, ABLaneOptions options)
+    : options_(validated(std::move(options))),
+      a_(std::make_unique<AsyncPredictor>(std::move(incumbent),
+                                          options_.serving)),
+      b_(std::make_unique<AsyncPredictor>(std::move(candidate),
+                                          options_.serving)) {}
+
+ABArm ABLane::route(const tensor::MatrixF& x) const noexcept {
+  if (x.rows() == 0 || options_.b_fraction <= 0.0) return ABArm::kA;
+  if (options_.b_fraction >= 1.0) return ABArm::kB;
+  const std::uint64_t digest =
+      route_digest(x.row(0), x.cols(), options_.salt);
+  // Top 53 bits -> uniform double in [0, 1): exact comparison against the
+  // fraction, no modulo bias worth worrying about at these scales.
+  const double unit = static_cast<double>(digest >> 11) * 0x1.0p-53;
+  return unit < options_.b_fraction ? ABArm::kB : ABArm::kA;
+}
+
+void ABLane::count_routed(ABArm arm, std::size_t rows) {
+  const sb::MutexLock lock(outcome_mutex_);
+  ArmState& state = arm_state(arm);
+  state.routed_requests += 1;
+  state.routed_rows += rows;
+}
+
+ABLane::RoutedScores ABLane::submit_scores(tensor::MatrixF x) {
+  const ABArm arm = route(x);
+  count_routed(arm, x.rows());
+  return RoutedScores{arm, predictor(arm).submit_scores(std::move(x))};
+}
+
+ABLane::RoutedLabels ABLane::submit(tensor::MatrixF x) {
+  const ABArm arm = route(x);
+  count_routed(arm, x.rows());
+  return RoutedLabels{arm, predictor(arm).submit(std::move(x))};
+}
+
+void ABLane::record_outcome(ABArm arm, const std::vector<double>& scores,
+                            const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("ABLane::record_outcome: scores != labels");
+  }
+  const sb::MutexLock lock(outcome_mutex_);
+  ArmState& state = arm_state(arm);
+  state.scores.insert(state.scores.end(), scores.begin(), scores.end());
+  state.labels.insert(state.labels.end(), labels.begin(), labels.end());
+}
+
+ABReport ABLane::report(ABArm arm) const {
+  ABReport out;
+  out.serving = (arm == ABArm::kA ? *a_ : *b_).stats();
+  std::vector<double> scores;
+  std::vector<int> labels;
+  {
+    const sb::MutexLock lock(outcome_mutex_);
+    const ArmState& state = arm_state(arm);
+    out.routed_requests = state.routed_requests;
+    out.routed_rows = state.routed_rows;
+    out.labeled_rows = state.labels.size();
+    scores = state.scores;  // metrics run off the lock
+    labels = state.labels;
+  }
+  if (!labels.empty()) {
+    out.roc_auc = metrics::auc(scores, labels);
+    out.pr_auc = metrics::average_precision(scores, labels);
+  }
+  return out;
+}
+
+}  // namespace streambrain

@@ -1,0 +1,144 @@
+#pragma once
+// A/B serving lane: two live model versions behind one submit surface,
+// with deterministic hash-split routing and per-arm quality attribution.
+// Arm A is the incumbent, arm B the candidate; each arm is a full
+// AsyncPredictor (own shards, queue, cache, stats), so the two versions
+// share nothing but the process — a candidate's pathology cannot stall
+// incumbent traffic.
+//
+//   ABLane lane(incumbent, candidate, {.b_fraction = 0.1});
+//   auto routed = lane.submit_scores(rows);       // hash-routed
+//   ... later, when ground truth arrives ...
+//   lane.record_outcome(routed.arm, scores, labels);
+//   ABReport b = lane.report(ABArm::kB);          // roc_auc, pr_auc, stats
+//
+// Routing is a pure function of the request's first feature row (FNV-1a
+// over its bytes, salted) and the split fraction: the same input always
+// lands on the same arm — a retried request cannot flip arms mid-
+// experiment — and changing the salt reshuffles the assignment for a
+// fresh experiment. Either arm can be hot-swapped independently via
+// predictor(arm).swap_model(...), which is how a promoted candidate
+// rolls out: swap it into arm A, point the trainer's publishes there,
+// and start the next candidate in arm B.
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/async_predictor.hpp"
+#include "tensor/matrix.hpp"
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace streambrain {
+
+enum class ABArm { kA, kB };
+
+[[nodiscard]] constexpr const char* to_string(ABArm arm) noexcept {
+  return arm == ABArm::kA ? "A" : "B";
+}
+
+struct ABLaneOptions {
+  /// Fraction of traffic routed to arm B, in [0, 1]. 0 pins everything
+  /// to the incumbent (shadow-off), 1 to the candidate.
+  double b_fraction = 0.5;
+  /// Salt mixed into the routing hash: distinct experiments on the same
+  /// traffic get independent assignments.
+  std::uint64_t salt = 0;
+  /// Serving options applied to BOTH arms (same shards, batching,
+  /// admission control — the experiment should vary the model, not the
+  /// serving configuration).
+  AsyncPredictorOptions serving;
+};
+
+/// Per-arm experiment read-out; snapshot via ABLane::report().
+struct ABReport {
+  /// The arm's full serving counters (latency stages, cache, sheds).
+  AsyncPredictorStats serving;
+  std::uint64_t routed_requests = 0;  ///< requests this arm received
+  std::uint64_t routed_rows = 0;      ///< rows this arm received
+  std::uint64_t labeled_rows = 0;     ///< rows with recorded outcomes
+  /// Quality over the labeled outcomes (0 until any are recorded; the
+  /// metrics need both classes present to be meaningful).
+  double roc_auc = 0.0;  ///< metrics::auc on this arm's outcomes
+  double pr_auc = 0.0;   ///< metrics::average_precision on them
+};
+
+class ABLane {
+ public:
+  /// Both models must be compiled/loaded; each becomes its arm's primary
+  /// replica under options.serving.
+  ABLane(std::shared_ptr<Estimator> incumbent,
+         std::shared_ptr<Estimator> candidate, ABLaneOptions options = {});
+
+  ABLane(const ABLane&) = delete;
+  ABLane& operator=(const ABLane&) = delete;
+
+  /// Which arm `x` routes to (pure, thread-safe; empty input → arm A).
+  [[nodiscard]] ABArm route(const tensor::MatrixF& x) const noexcept;
+
+  struct RoutedScores {
+    ABArm arm = ABArm::kA;
+    std::future<std::vector<double>> scores;
+  };
+  struct RoutedLabels {
+    ABArm arm = ABArm::kA;
+    std::future<std::vector<int>> labels;
+  };
+
+  /// Route + submit. The returned arm tells the caller where to
+  /// record_outcome() once ground truth arrives.
+  [[nodiscard]] RoutedScores submit_scores(tensor::MatrixF x)
+      EXCLUDES(outcome_mutex_);
+  [[nodiscard]] RoutedLabels submit(tensor::MatrixF x)
+      EXCLUDES(outcome_mutex_);
+
+  /// Attribute ground truth to an arm: `scores` are the model outputs
+  /// the caller got back, `labels` the true classes. Accumulated for
+  /// report()'s ROC/PR computation. Thread-safe.
+  void record_outcome(ABArm arm, const std::vector<double>& scores,
+                      const std::vector<int>& labels)
+      EXCLUDES(outcome_mutex_);
+
+  [[nodiscard]] ABReport report(ABArm arm) const EXCLUDES(outcome_mutex_);
+
+  /// Direct access to an arm's predictor — for swap_model() rollouts and
+  /// anything else the lane does not wrap.
+  [[nodiscard]] AsyncPredictor& predictor(ABArm arm) noexcept {
+    return arm == ABArm::kA ? *a_ : *b_;
+  }
+
+  [[nodiscard]] const ABLaneOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct ArmState {
+    std::uint64_t routed_requests = 0;
+    std::uint64_t routed_rows = 0;
+    std::vector<double> scores;
+    std::vector<int> labels;
+  };
+
+  [[nodiscard]] ArmState& arm_state(ABArm arm) REQUIRES(outcome_mutex_) {
+    return arm == ABArm::kA ? state_a_ : state_b_;
+  }
+  [[nodiscard]] const ArmState& arm_state(ABArm arm) const
+      REQUIRES(outcome_mutex_) {
+    return arm == ABArm::kA ? state_a_ : state_b_;
+  }
+  void count_routed(ABArm arm, std::size_t rows) EXCLUDES(outcome_mutex_);
+
+  const ABLaneOptions options_;
+  std::unique_ptr<AsyncPredictor> a_;
+  std::unique_ptr<AsyncPredictor> b_;
+
+  mutable sb::Mutex outcome_mutex_;
+  ArmState state_a_ GUARDED_BY(outcome_mutex_);
+  ArmState state_b_ GUARDED_BY(outcome_mutex_);
+};
+
+}  // namespace streambrain

@@ -82,11 +82,16 @@ AsyncPredictor::AsyncPredictor(std::shared_ptr<Estimator> model,
       shards_(std::move(model), options_.shards),
       queue_(options_.queue_capacity, options_.overflow_policy),
       cache_(options_.score_cache_rows),
-      request_pool_(options_.queue_capacity + 64),
-      scratch_(options_.shards) {
+      request_pool_(options_.queue_capacity + 64) {
   // Batches lease a shard before entering the pool, so `shards` tasks can
   // be in flight at once — make sure the pool can actually run them all.
   parallel::global_pool().grow(shards_.size());
+  // Pre-warm one scratch per shard so steady-state batches never allocate
+  // a ShardScratch on the hot path.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    scratch_pool_.release(std::make_unique<ShardScratch>());
+  }
+  cache_.set_generation(shards_.generation());
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -207,9 +212,35 @@ AsyncPredictorStats AsyncPredictor::stats() const {
   const serve::ScoreCache::Stats cache_stats = cache_.stats();
   snapshot.cache_hits = cache_stats.hits;
   snapshot.cache_misses = cache_stats.misses;
+  snapshot.cache_stale_drops = cache_stats.stale_drops;
   snapshot.p50_latency_seconds = latency_.quantile(0.50);
   snapshot.p99_latency_seconds = latency_.quantile(0.99);
   return snapshot;
+}
+
+std::uint64_t AsyncPredictor::swap_model(std::shared_ptr<Estimator> model) {
+  const std::uint64_t generation = shards_.publish(std::move(model));
+  finish_swap(generation);
+  return generation;
+}
+
+std::uint64_t AsyncPredictor::swap_model(
+    std::vector<std::shared_ptr<Estimator>> replicas) {
+  const std::uint64_t generation = shards_.publish(std::move(replicas));
+  finish_swap(generation);
+  return generation;
+}
+
+void AsyncPredictor::finish_swap(std::uint64_t generation) {
+  // Publish-then-bump ordering: between the pool swap and this epoch
+  // clear, new-generation batches see the old cache generation and
+  // simply miss / drop their inserts (stale_drops) — never a wrong
+  // score. Concurrent swaps can land their bumps out of order; the
+  // cache's single-generation invariant holds either way, and the
+  // transient extra misses cost latency, not correctness.
+  cache_.set_generation(generation);
+  const sb::MutexLock lock(stats_mutex_);
+  stats_.model_swaps += 1;
 }
 
 void AsyncPredictor::dispatcher_loop() {
@@ -331,7 +362,14 @@ void AsyncPredictor::dispatch(OpenBatch& batch, CloseReason reason) {
 void AsyncPredictor::run_batch(BatchJob& job) {
   const auto exec_start = Clock::now();
   Estimator& model = job.lease->model();
-  ShardScratch& scratch = scratch_[job.shard];
+  // Captured before the lease resets below: every cache access in this
+  // batch carries the generation the lease pinned, so a batch straddling
+  // a hot swap can neither read the new model's scores nor poison its
+  // cache.
+  const std::uint64_t generation = job.lease->generation();
+  // Leased per batch, not indexed by shard: during a hot swap, shard s of
+  // the retired version and shard s of the new version run concurrently.
+  std::unique_ptr<ShardScratch> scratch;
   const std::vector<Chunk>& chunks = job.chunks;
 
   double model_seconds = 0.0;
@@ -350,24 +388,26 @@ void AsyncPredictor::run_batch(BatchJob& job) {
       model_seconds = seconds_between(model_start, model_end);
       model_rows = request.x.rows();
     } else {
-      // (request, target row) pairs, in batch order — per-shard scratch,
+      scratch = scratch_pool_.acquire();
+      // (request, target row) pairs, in batch order — pooled scratch,
       // reused across batches.
-      auto& rowrefs = scratch.rowrefs;
+      auto& rowrefs = scratch->rowrefs;
       rowrefs.clear();
       for (const Chunk& chunk : chunks) {
         for (std::size_t r = chunk.begin; r < chunk.end; ++r) {
           rowrefs.emplace_back(chunk.request.get(), r);
         }
       }
-      tensor::MatrixF& input = scratch.input;
+      tensor::MatrixF& input = scratch->input;
       if (job.kind == serve::RequestKind::kScores && cache_.enabled()) {
         // Serve cached rows directly; run the model only on the misses.
-        auto& miss = scratch.miss;
+        auto& miss = scratch->miss;
         miss.clear();
         for (std::size_t i = 0; i < rowrefs.size(); ++i) {
           const auto& [request, row] = rowrefs[i];
           double cached = 0.0;
-          if (cache_.lookup(request->x.row(row), job.cols, cached)) {
+          if (cache_.lookup(request->x.row(row), job.cols, generation,
+                            cached)) {
             request->scores[row] = cached;
           } else {
             miss.push_back(i);
@@ -387,7 +427,7 @@ void AsyncPredictor::run_batch(BatchJob& job) {
           for (std::size_t i = 0; i < miss.size(); ++i) {
             const auto& [request, row] = rowrefs[miss[i]];
             request->scores[row] = scores[i];
-            cache_.insert(input.row(i), job.cols, scores[i]);
+            cache_.insert(input.row(i), job.cols, generation, scores[i]);
           }
         }
       } else {
@@ -423,6 +463,7 @@ void AsyncPredictor::run_batch(BatchJob& job) {
     const std::exception_ptr error = std::current_exception();
     for (const Chunk& chunk : chunks) chunk.request->fail(error);
   }
+  if (scratch) scratch_pool_.release(std::move(scratch));
 
   // Fulfill: settle every chunk (the final one per request fires its
   // promise and records end-to-end latency).

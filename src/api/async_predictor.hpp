@@ -114,6 +114,12 @@ struct AsyncPredictorStats {
   std::uint64_t batches = 0;    ///< micro-batches executed on shards
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Model generations published via swap_model() (0 = still serving
+  /// the construction-time model).
+  std::uint64_t model_swaps = 0;
+  /// Cache lookups/inserts refused because their batch was pinned to a
+  /// retired model generation (in-flight traffic straddling a swap).
+  std::uint64_t cache_stale_drops = 0;
   /// Why batches closed (sums to `batches`): filled to max_batch_rows /
   /// deadline expired / adaptive idle-close / flush, drain or shutdown.
   std::uint64_t full_closes = 0;
@@ -218,6 +224,31 @@ class AsyncPredictor {
   /// notify), so a dispatcher between waits can never sleep through it.
   void flush();
 
+  /// Zero-downtime hot swap: publish `model` as the new serving
+  /// generation. Replica cloning (same contract as construction —
+  /// checkpoint round-trip, preserving sparsified/quantized forms; with
+  /// shards == 1 the model is adopted directly and treated as frozen)
+  /// runs on the caller's thread while the old generation keeps serving;
+  /// the swap itself is one pointer exchange in the shard pool. In-
+  /// flight micro-batches finish on the generation their lease pinned —
+  /// a batch can never mix model versions — new batches serve the new
+  /// one, the score cache rolls its generation (epoch clear), and the
+  /// retired replica set is destroyed when its last lease drops. No
+  /// request is rejected, dropped, or blocked by a swap. Returns the new
+  /// generation. Thread-safe; concurrent swaps serialize in the pool.
+  std::uint64_t swap_model(std::shared_ptr<Estimator> model)
+      EXCLUDES(stats_mutex_);
+
+  /// Hot swap with caller-built replicas (for estimators the checkpoint
+  /// round-trip cannot clone); must match shards().
+  std::uint64_t swap_model(std::vector<std::shared_ptr<Estimator>> replicas)
+      EXCLUDES(stats_mutex_);
+
+  /// Current serving generation (1 until the first swap_model()).
+  [[nodiscard]] std::uint64_t generation() const {
+    return shards_.generation();
+  }
+
   [[nodiscard]] AsyncPredictorStats stats() const EXCLUDES(stats_mutex_);
   [[nodiscard]] const AsyncPredictorOptions& options() const noexcept {
     return options_;
@@ -284,18 +315,46 @@ class AsyncPredictor {
     std::shared_ptr<Core> core_;
   };
 
-  /// Per-shard gather/scatter scratch, reused across batches. A shard is
-  /// exclusively leased while its scratch is in use, so no locking.
+  /// Gather/scatter scratch, reused across batches. Leased exclusively
+  /// per running batch from ScratchPool — it must NOT be indexed by
+  /// shard id: across a hot swap, shard s of the retired version and
+  /// shard s of the new version execute concurrently.
   struct ShardScratch {
     std::vector<std::pair<serve::ServeRequest*, std::size_t>> rowrefs;
     std::vector<std::size_t> miss;
     tensor::MatrixF input;
   };
 
+  /// Freelist of ShardScratch objects (capacity-warm buffers). Holds at
+  /// most one entry per concurrently executing batch — the shard count,
+  /// plus the brief doubling while versions overlap during a swap.
+  class ScratchPool {
+   public:
+    [[nodiscard]] std::unique_ptr<ShardScratch> acquire() EXCLUDES(mutex_) {
+      const sb::MutexLock lock(mutex_);
+      if (free_.empty()) return std::make_unique<ShardScratch>();
+      std::unique_ptr<ShardScratch> scratch = std::move(free_.back());
+      free_.pop_back();
+      return scratch;
+    }
+    void release(std::unique_ptr<ShardScratch> scratch) EXCLUDES(mutex_) {
+      const sb::MutexLock lock(mutex_);
+      free_.push_back(std::move(scratch));
+    }
+
+   private:
+    sb::Mutex mutex_;
+    std::vector<std::unique_ptr<ShardScratch>> free_ GUARDED_BY(mutex_);
+  };
+
   /// Shared submit path: admission control, stats, zero-row fast path,
   /// backpressure.
   void enqueue(const std::shared_ptr<serve::ServeRequest>& request)
       EXCLUDES(stats_mutex_);
+
+  /// Post-publish bookkeeping shared by both swap_model overloads: roll
+  /// the score cache's generation (epoch clear) and count the swap.
+  void finish_swap(std::uint64_t generation) EXCLUDES(stats_mutex_);
 
   /// Drop one chunk; when it was the request's last, record the
   /// end-to-end latency and release its admission-control rows. Every
@@ -320,7 +379,7 @@ class AsyncPredictor {
   serve::ScoreCache cache_;
   serve::RequestPool request_pool_;
   BatchJobPool batch_pool_;
-  std::vector<ShardScratch> scratch_;  // indexed by shard
+  ScratchPool scratch_pool_;
 
   mutable sb::Mutex stats_mutex_;
   AsyncPredictorStats stats_ GUARDED_BY(stats_mutex_);

@@ -17,6 +17,12 @@ double Estimator::evaluate(const tensor::MatrixF& x,
   return metrics::accuracy(predict(x), labels);
 }
 
+void Estimator::partial_fit(const tensor::MatrixF& /*x*/,
+                            const std::vector<int>& /*labels*/) {
+  throw std::runtime_error("Estimator '" + name() +
+                           "' does not support partial_fit()");
+}
+
 void Estimator::save(const std::string& /*path*/) const {
   throw std::runtime_error("Estimator '" + name() +
                            "' does not support save()");

@@ -33,6 +33,20 @@ class Estimator {
   virtual void fit(const tensor::MatrixF& x,
                    const std::vector<int>& labels) = 0;
 
+  /// Incremental training on one mini-batch — the streaming counterpart
+  /// to fit(). A partial_fit() call refines the current parameters (one
+  /// plasticity/SGD step, no restart); interleaving it with predict() is
+  /// the caller's concurrency problem (see streambrain::OnlineTrainer,
+  /// which trains a private model and publishes immutable snapshots).
+  /// The default throws std::runtime_error naming the estimator; gate
+  /// calls on supports_partial_fit().
+  virtual void partial_fit(const tensor::MatrixF& x,
+                           const std::vector<int>& labels);
+
+  /// Whether partial_fit() is implemented (and the estimator is in a
+  /// trainable state — e.g. read-only inference forms return false).
+  [[nodiscard]] virtual bool supports_partial_fit() const { return false; }
+
   /// Hard label per row.
   [[nodiscard]] virtual std::vector<int> predict(const tensor::MatrixF& x) = 0;
 

@@ -1,0 +1,210 @@
+#include "api/online_trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/serialization.hpp"
+#include "util/timer.hpp"
+
+namespace streambrain {
+
+namespace {
+
+OnlineTrainerOptions validated(OnlineTrainerOptions options) {
+  if (options.stream_capacity == 0) {
+    throw std::invalid_argument("OnlineTrainer: stream_capacity must be > 0");
+  }
+  if (options.batch_rows == 0) {
+    throw std::invalid_argument("OnlineTrainer: batch_rows must be > 0");
+  }
+  return options;
+}
+
+}  // namespace
+
+OnlineTrainer::OnlineTrainer(std::shared_ptr<core::Model> model,
+                             AsyncPredictor& serving,
+                             OnlineTrainerOptions options)
+    : options_(validated(options)),
+      model_(std::move(model)),
+      serving_(serving) {
+  if (!model_) throw std::invalid_argument("OnlineTrainer: null model");
+  if (!model_->supports_partial_fit()) {
+    throw std::invalid_argument(
+        "OnlineTrainer: model does not support partial_fit() (it must be "
+        "a compiled, dense, 3-layer core::Model)");
+  }
+  trainer_ = std::thread([this] { trainer_loop(); });
+}
+
+OnlineTrainer::~OnlineTrainer() { stop(); }
+
+std::size_t OnlineTrainer::observe(const tensor::MatrixF& x,
+                                   const std::vector<int>& labels) {
+  const std::size_t rows = x.rows();
+  if (rows != labels.size()) {
+    throw std::invalid_argument("OnlineTrainer::observe: rows != labels");
+  }
+  if (rows == 0) return 0;
+
+  std::size_t accepted = 0;
+  {
+    const sb::MutexLock lock(stream_mutex_);
+    if (!stopping_) {
+      const std::size_t room = options_.stream_capacity - stream_rows_;
+      accepted = std::min(rows, room);
+    }
+    if (accepted > 0) {
+      Pending pending;
+      pending.labels.assign(labels.begin(), labels.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    accepted));
+      if (accepted == rows) {
+        pending.x = x;
+      } else {
+        // Partial acceptance at the bound: keep the prefix, shed the rest
+        // (bounded stream, never a blocked producer).
+        pending.x.resize_uninitialized(accepted, x.cols());
+        for (std::size_t r = 0; r < accepted; ++r) {
+          std::copy_n(x.row(r), x.cols(), pending.x.row(r));
+        }
+      }
+      stream_.push_back(std::move(pending));
+      stream_rows_ += accepted;
+    }
+  }
+  if (accepted > 0) stream_cv_.notify_one();
+
+  {
+    const sb::MutexLock lock(stats_mutex_);
+    stats_.observed_rows += accepted;
+    stats_.dropped_rows += rows - accepted;
+  }
+  return accepted;
+}
+
+std::size_t OnlineTrainer::backlog_rows() const {
+  const sb::MutexLock lock(stream_mutex_);
+  return stream_rows_;
+}
+
+OnlineTrainerStats OnlineTrainer::stats() const {
+  const sb::MutexLock lock(stats_mutex_);
+  return stats_;
+}
+
+void OnlineTrainer::stop() {
+  {
+    const sb::MutexLock lock(stream_mutex_);
+    stopping_ = true;
+  }
+  stream_cv_.notify_all();
+  if (trainer_.joinable()) trainer_.join();
+}
+
+void OnlineTrainer::trainer_loop() {
+  std::vector<Pending> parts;
+  tensor::MatrixF batch;
+  std::vector<int> labels;
+  std::size_t rows_since_publish = 0;
+
+  for (;;) {
+    parts.clear();
+    std::size_t rows = 0;
+    {
+      const sb::MutexLock lock(stream_mutex_);
+      while (stream_.empty() && !stopping_) stream_cv_.wait(stream_mutex_);
+      if (stopping_) {
+        // Shutdown sheds the backlog (counted) instead of training it —
+        // stop() must bound at one step, not one backlog.
+        const std::size_t remaining = stream_rows_;
+        stream_.clear();
+        stream_rows_ = 0;
+        if (remaining > 0) {
+          const sb::MutexLock stats_lock(stats_mutex_);
+          stats_.dropped_rows += remaining;
+        }
+        return;
+      }
+      // Coalesce whole observe() batches up to batch_rows per step (a
+      // single oversized observation still trains as one step).
+      while (!stream_.empty() &&
+             (parts.empty() ||
+              rows + stream_.front().x.rows() <= options_.batch_rows)) {
+        rows += stream_.front().x.rows();
+        parts.push_back(std::move(stream_.front()));
+        stream_.pop_front();
+      }
+      stream_rows_ -= rows;
+    }
+
+    const tensor::MatrixF* input = nullptr;
+    const std::vector<int>* targets = nullptr;
+    if (parts.size() == 1) {
+      input = &parts.front().x;  // the common case: no gather copy
+      targets = &parts.front().labels;
+    } else {
+      batch.resize_uninitialized(rows, parts.front().x.cols());
+      labels.clear();
+      std::size_t at = 0;
+      for (const Pending& part : parts) {
+        for (std::size_t r = 0; r < part.x.rows(); ++r) {
+          std::copy_n(part.x.row(r), part.x.cols(), batch.row(at + r));
+        }
+        labels.insert(labels.end(), part.labels.begin(), part.labels.end());
+        at += part.x.rows();
+      }
+      input = &batch;
+      targets = &labels;
+    }
+
+    util::Stopwatch train_watch;
+    {
+      const sb::MutexLock lock(model_mutex_);
+      model_->partial_fit(*input, *targets);
+    }
+    {
+      const sb::MutexLock lock(stats_mutex_);
+      stats_.trained_rows += rows;
+      stats_.train_batches += 1;
+      stats_.train_seconds += train_watch.seconds();
+    }
+
+    rows_since_publish += rows;
+    if (options_.publish_every_rows > 0 &&
+        rows_since_publish >= options_.publish_every_rows) {
+      rows_since_publish = 0;
+      snapshot_and_publish();
+    }
+  }
+}
+
+std::uint64_t OnlineTrainer::publish_now() { return snapshot_and_publish(); }
+
+std::uint64_t OnlineTrainer::snapshot_and_publish() {
+  util::Stopwatch publish_watch;
+  core::Model snapshot;
+  {
+    // Only the clone holds the model mutex — the sparsify/quantize
+    // conversions and the swap run on this thread's time while the
+    // trainer keeps stepping.
+    const sb::MutexLock lock(model_mutex_);
+    snapshot = core::clone_model(*model_);
+  }
+  if (options_.sparsify_snapshots) snapshot = snapshot.sparsify();
+  if (options_.quantize_snapshots) {
+    snapshot = snapshot.quantize({.block_size = options_.quant_block_size});
+  }
+  const std::uint64_t generation =
+      serving_.swap_model(std::make_shared<core::Model>(std::move(snapshot)));
+  {
+    const sb::MutexLock lock(stats_mutex_);
+    stats_.publishes += 1;
+    stats_.generation = std::max(stats_.generation, generation);
+    stats_.publish_seconds += publish_watch.seconds();
+  }
+  return generation;
+}
+
+}  // namespace streambrain

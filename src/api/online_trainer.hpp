@@ -1,0 +1,151 @@
+#pragma once
+// Streaming online learning bridged into zero-downtime serving. An
+// OnlineTrainer owns a private trainable core::Model and a bounded
+// stream of labeled rows; a background thread drains the stream in
+// mini-batches through Estimator::partial_fit() and periodically
+// publishes an immutable snapshot — checkpoint-cloned, optionally
+// sparsified and/or quantized — into a live AsyncPredictor via
+// swap_model(). Serving never touches the training model: requests run
+// on the last published snapshot while the trainer keeps refining its
+// own copy, so training and inference are concurrent by construction,
+// not by locking.
+//
+//   AsyncPredictor server(snapshot_of(model), {.shards = 4});
+//   OnlineTrainer trainer(model, server,
+//                         {.publish_every_rows = 1024,
+//                          .quantize_snapshots = true});
+//   trainer.observe(fresh_rows, fresh_labels);   // never blocks
+//   ... server.submit(...) serves throughout ...
+//   trainer.publish_now();                       // force a snapshot out
+//
+// The stream is bounded in rows and sheds the overflow (observe()
+// returns the accepted count; dropped rows are counted in stats) — the
+// same "shed, don't stall" stance the serving side's admission control
+// takes: a training backlog must not grow without bound or apply
+// backpressure to the ingest path that is also feeding serving.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/async_predictor.hpp"
+#include "core/model.hpp"
+#include "tensor/matrix.hpp"
+#include "util/annotated_mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace streambrain {
+
+struct OnlineTrainerOptions {
+  /// Bound on buffered-but-untrained rows. observe() calls past it shed
+  /// the overflow (never block).
+  std::size_t stream_capacity = 4096;
+  /// Rows the trainer coalesces per partial_fit() step (whole observe()
+  /// batches are never split, so one step can exceed this when a single
+  /// observation does).
+  std::size_t batch_rows = 64;
+  /// Publish a serving snapshot after this many freshly trained rows.
+  /// 0 disables automatic publishing (publish_now() still works).
+  std::size_t publish_every_rows = 1024;
+  /// Convert each snapshot to the read-only sparse inference form
+  /// before publishing (the training model stays dense and trainable).
+  bool sparsify_snapshots = false;
+  /// Quantize each snapshot to int8 before publishing; composes with
+  /// sparsify_snapshots (prune→sparsify→quantize ordering is preserved).
+  bool quantize_snapshots = false;
+  /// Block size for quantize_snapshots (see core::QuantOptions).
+  std::size_t quant_block_size = 32;
+};
+
+/// Monotonic counters; snapshot via OnlineTrainer::stats().
+struct OnlineTrainerStats {
+  std::uint64_t observed_rows = 0;  ///< rows accepted into the stream
+  std::uint64_t dropped_rows = 0;   ///< rows shed at the stream bound
+  std::uint64_t trained_rows = 0;   ///< rows consumed by partial_fit()
+  std::uint64_t train_batches = 0;  ///< partial_fit() steps taken
+  std::uint64_t publishes = 0;      ///< snapshots swapped into serving
+  /// Serving generation of the latest published snapshot (0 before the
+  /// first publish).
+  std::uint64_t generation = 0;
+  double train_seconds = 0.0;    ///< summed partial_fit() time
+  double publish_seconds = 0.0;  ///< summed clone+convert+swap time
+};
+
+class OnlineTrainer {
+ public:
+  /// `model` must be compiled, dense, and 3-layer (supports_partial_fit)
+  /// — it becomes the trainer's private copy to mutate; callers must not
+  /// touch it while the trainer is running. `serving` must outlive this
+  /// trainer.
+  OnlineTrainer(std::shared_ptr<core::Model> model, AsyncPredictor& serving,
+                OnlineTrainerOptions options = {});
+
+  /// Stops and joins the trainer thread; buffered rows not yet trained
+  /// are dropped (counted), and nothing is auto-published on the way out.
+  ~OnlineTrainer();
+
+  OnlineTrainer(const OnlineTrainer&) = delete;
+  OnlineTrainer& operator=(const OnlineTrainer&) = delete;
+
+  /// Feed labeled rows into the training stream. Never blocks: accepts
+  /// up to the stream bound and sheds the rest. Returns the number of
+  /// rows accepted. Thread-safe.
+  std::size_t observe(const tensor::MatrixF& x, const std::vector<int>& labels)
+      EXCLUDES(stream_mutex_, stats_mutex_);
+
+  /// Snapshot + publish the current training model into serving right
+  /// now, on the caller's thread (the trainer keeps training — cloning
+  /// serializes with partial_fit() on the model mutex, the swap itself
+  /// is the pool's pointer exchange). Returns the new serving
+  /// generation.
+  std::uint64_t publish_now() EXCLUDES(model_mutex_, stats_mutex_);
+
+  /// Stop the trainer thread after it finishes its current step.
+  /// Idempotent; implied by destruction. Buffered untrained rows are
+  /// counted as dropped.
+  void stop() EXCLUDES(stream_mutex_, stats_mutex_);
+
+  [[nodiscard]] OnlineTrainerStats stats() const EXCLUDES(stats_mutex_);
+  [[nodiscard]] const OnlineTrainerOptions& options() const noexcept {
+    return options_;
+  }
+  /// Buffered-but-untrained rows right now.
+  [[nodiscard]] std::size_t backlog_rows() const EXCLUDES(stream_mutex_);
+
+ private:
+  /// One observe() batch queued for training (kept whole — partial_fit
+  /// coalesces batches but never splits one).
+  struct Pending {
+    tensor::MatrixF x;
+    std::vector<int> labels;
+  };
+
+  void trainer_loop() EXCLUDES(stream_mutex_, model_mutex_, stats_mutex_);
+  /// Clone under the model mutex, convert + swap outside it.
+  std::uint64_t snapshot_and_publish()
+      EXCLUDES(model_mutex_, stats_mutex_);
+
+  const OnlineTrainerOptions options_;
+  std::shared_ptr<core::Model> model_;
+  AsyncPredictor& serving_;
+
+  /// Serializes every access to *model_: partial_fit steps on the
+  /// trainer thread and clone_model in publishes (either thread).
+  sb::Mutex model_mutex_;
+
+  mutable sb::Mutex stream_mutex_;
+  sb::CondVar stream_cv_;
+  std::deque<Pending> stream_ GUARDED_BY(stream_mutex_);
+  std::size_t stream_rows_ GUARDED_BY(stream_mutex_) = 0;
+  bool stopping_ GUARDED_BY(stream_mutex_) = false;
+
+  mutable sb::Mutex stats_mutex_;
+  OnlineTrainerStats stats_ GUARDED_BY(stats_mutex_);
+
+  std::thread trainer_;
+};
+
+}  // namespace streambrain

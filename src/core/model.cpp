@@ -231,6 +231,33 @@ void Model::fit(const tensor::MatrixF& x, const std::vector<int>& labels) {
   }
 }
 
+void Model::partial_fit(const tensor::MatrixF& x,
+                        const std::vector<int>& labels) {
+  if (!compiled()) {
+    throw std::logic_error("Model: partial_fit() before compile()");
+  }
+  if (quantized()) {
+    throw std::logic_error(
+        "Model: partial_fit() on a quantized model (read-only inference "
+        "form)");
+  }
+  if (sparse()) {
+    throw std::logic_error(
+        "Model: partial_fit() on a sparsified model (read-only inference "
+        "form)");
+  }
+  if (deep_) {
+    throw std::logic_error(
+        "Model: partial_fit() on a deep stack (the layer-wise greedy "
+        "schedule has no incremental counterpart)");
+  }
+  network_->partial_fit(x, labels);
+}
+
+bool Model::supports_partial_fit() const {
+  return network_ != nullptr && !sparse() && !quantized();
+}
+
 std::vector<int> Model::predict(const tensor::MatrixF& x) {
   if (!compiled()) throw std::logic_error("Model: predict() before compile()");
   return network_ ? network_->predict(x) : deep_->predict(x);

@@ -89,6 +89,18 @@ class Model final : public Estimator {
   /// Train (unsupervised hidden phase + supervised head phase).
   void fit(const tensor::MatrixF& x, const std::vector<int>& labels) override;
 
+  /// Incremental step on one labeled mini-batch (see Network::
+  /// partial_fit): streaming refinement of a compiled 3-layer model.
+  /// Throws std::logic_error before compile(), on read-only inference
+  /// forms (sparsified/quantized), and on deep stacks (whose layer-wise
+  /// greedy schedule has no incremental counterpart).
+  void partial_fit(const tensor::MatrixF& x,
+                   const std::vector<int>& labels) override;
+
+  /// True for a compiled, dense (non-sparse, non-quantized) 3-layer
+  /// model — the states partial_fit() accepts.
+  [[nodiscard]] bool supports_partial_fit() const override;
+
   [[nodiscard]] std::vector<int> predict(const tensor::MatrixF& x) override;
   [[nodiscard]] std::vector<double> predict_scores(
       const tensor::MatrixF& x) override;

@@ -133,6 +133,26 @@ double Network::fit_head(const tensor::MatrixF& x,
   return 0.0;
 }
 
+void Network::partial_fit(const tensor::MatrixF& x,
+                          const std::vector<int>& labels) {
+  if (x.rows() != labels.size()) {
+    throw std::invalid_argument("Network::partial_fit: rows != labels");
+  }
+  if (x.rows() == 0) return;
+  // Hidden step at the schedule's terminal noise: a streaming batch
+  // arrives "after" the annealing window, so it trains the way the last
+  // fit() epoch did.
+  hidden_->train_batch(x, config_.bcpnn.noise_end);
+  const tensor::MatrixF hidden_repr = transform(x);
+  const tensor::MatrixF targets =
+      data::one_hot_labels(labels, config_.classes);
+  if (config_.head == HeadType::kSgd) {
+    sgd_head_->train_epoch(hidden_repr, targets);
+  } else {
+    bcpnn_head_->train_batch(hidden_repr, targets);
+  }
+}
+
 tensor::MatrixF Network::transform(const tensor::MatrixF& x) {
   tensor::MatrixF activations;
   hidden_->forward(x, activations);

@@ -61,6 +61,14 @@ class Network {
   /// Full training schedule on encoded inputs + integer labels.
   FitReport fit(const tensor::MatrixF& x, const std::vector<int>& labels);
 
+  /// One incremental step on a labeled mini-batch (streaming learning):
+  /// a hidden train_batch at the annealed-schedule's final noise level,
+  /// then one supervised pass of the head on the batch's hidden
+  /// representation. No shuffling, no plasticity swap, no pruning —
+  /// those remain epoch-cadence concerns of fit(). Safe to call on a
+  /// fit()-trained network to keep refining it.
+  void partial_fit(const tensor::MatrixF& x, const std::vector<int>& labels);
+
   /// Phase 1 only: unsupervised hidden-layer training on unlabeled rows
   /// (annealed noise + per-epoch structural plasticity). Used directly by
   /// the semi-supervised mode.

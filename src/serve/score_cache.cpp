@@ -36,10 +36,19 @@ std::size_t ScoreCache::RowDigest::operator()(
 
 ScoreCache::ScoreCache(std::size_t capacity) : capacity_(capacity) {}
 
-bool ScoreCache::lookup(const float* row, std::size_t cols, double& score) {
+bool ScoreCache::lookup(const float* row, std::size_t cols,
+                        std::uint64_t generation, double& score) {
   if (!enabled()) return false;
   const std::string_view key = row_view(row, cols);
   const sb::MutexLock lock(mutex_);
+  if (generation != generation_) {
+    // A batch pinned to a retired model: its version's scores are gone
+    // (epoch-cleared at publish) and the current entries belong to a
+    // model it is not running — serve the miss, keep version purity.
+    ++stats_.stale_drops;
+    ++stats_.misses;
+    return false;
+  }
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -51,10 +60,15 @@ bool ScoreCache::lookup(const float* row, std::size_t cols, double& score) {
   return true;
 }
 
-void ScoreCache::insert(const float* row, std::size_t cols, double score) {
+void ScoreCache::insert(const float* row, std::size_t cols,
+                        std::uint64_t generation, double score) {
   if (!enabled()) return;
   const std::string_view key = row_view(row, cols);
   const sb::MutexLock lock(mutex_);
+  if (generation != generation_) {
+    ++stats_.stale_drops;  // straggler batch on a retired model
+    return;
+  }
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->score = score;
@@ -68,6 +82,20 @@ void ScoreCache::insert(const float* row, std::size_t cols, double score) {
   }
   lru_.push_front(Entry{std::string(key), score});
   index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+}
+
+std::uint64_t ScoreCache::generation() const {
+  const sb::MutexLock lock(mutex_);
+  return generation_;
+}
+
+void ScoreCache::set_generation(std::uint64_t generation) {
+  const sb::MutexLock lock(mutex_);
+  if (generation == generation_) return;
+  stats_.invalidations += lru_.size();
+  lru_.clear();
+  index_.clear();
+  generation_ = generation;
 }
 
 ScoreCache::Stats ScoreCache::stats() const {

@@ -1,10 +1,24 @@
 #pragma once
-// LRU score cache for the serving layer, keyed by row digest. Repeated
-// traffic (hot feature vectors, retried requests) skips the model
-// entirely; because the cached value is the exact double the model
-// produced and keys compare the full row bytes (the 64-bit FNV-1a
-// digest is only the hash-table index), a hit is bit-identical to a
-// recompute and a digest collision can never alias two distinct rows.
+// LRU score cache for the serving layer, keyed by row digest and gated
+// by model generation. Repeated traffic (hot feature vectors, retried
+// requests) skips the model entirely; because the cached value is the
+// exact double the model produced and keys compare the full row bytes
+// (the 64-bit FNV-1a digest is only the hash-table index), a hit is
+// bit-identical to a recompute and a digest collision can never alias
+// two distinct rows.
+//
+// Model identity: every cached score belongs to exactly one published
+// model generation. set_generation() (called on every hot-swap publish)
+// clears the cache in one epoch — the swap-time invalidation — and both
+// lookup() and insert() carry the caller's pinned generation:
+//   - a lookup whose generation is not the cache's current one misses
+//     (an in-flight batch pinned to a retired model must not read the
+//     new model's scores);
+//   - an insert whose generation is not current is dropped (a straggler
+//     batch on the retired model must not poison the fresh cache).
+// Net: a cached score can never cross model versions in either
+// direction — the stale-serving bug where raw row-byte keys survived a
+// swap is structurally gone.
 
 #include <cstddef>
 #include <cstdint>
@@ -19,28 +33,45 @@
 
 namespace streambrain::serve {
 
-/// Thread-safe LRU map from feature row -> model score. Capacity 0
-/// disables the cache (lookup always misses, insert is a no-op).
+/// Thread-safe LRU map from (generation, feature row) -> model score.
+/// Capacity 0 disables the cache (lookup always misses, insert is a
+/// no-op).
 class ScoreCache {
  public:
   explicit ScoreCache(std::size_t capacity);
 
   [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
 
-  /// If `row` (cols floats) is cached, write its score and promote it to
+  /// If `row` (cols floats) is cached for the current generation — and
+  /// `generation` IS the current one — write its score and promote it to
   /// most-recently-used. Counts a hit or a miss.
-  bool lookup(const float* row, std::size_t cols, double& score)
-      EXCLUDES(mutex_);
+  bool lookup(const float* row, std::size_t cols, std::uint64_t generation,
+              double& score) EXCLUDES(mutex_);
 
-  /// Insert/refresh a row's score, evicting the least-recently-used
-  /// entry when at capacity.
-  void insert(const float* row, std::size_t cols, double score)
-      EXCLUDES(mutex_);
+  /// Insert/refresh a row's score for `generation`, evicting the
+  /// least-recently-used entry when at capacity. Dropped (counted in
+  /// stats().stale_drops) when `generation` is not current.
+  void insert(const float* row, std::size_t cols, std::uint64_t generation,
+              double score) EXCLUDES(mutex_);
+
+  /// The generation whose scores the cache currently holds.
+  [[nodiscard]] std::uint64_t generation() const EXCLUDES(mutex_);
+
+  /// Advance to `generation`, clearing every cached score when it
+  /// actually changes (the swap-time epoch clear). Moving backwards is
+  /// treated the same way — the cache never holds two generations.
+  void set_generation(std::uint64_t generation) EXCLUDES(mutex_);
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Lookups/inserts refused because the caller's pinned generation
+    /// was not the cache's current one (in-flight batches straddling a
+    /// hot swap). Stale lookups also count a miss.
+    std::uint64_t stale_drops = 0;
+    /// Entries invalidated by set_generation() epoch clears.
+    std::uint64_t invalidations = 0;
   };
 
   [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
@@ -65,6 +96,9 @@ class ScoreCache {
 
   const std::size_t capacity_;
   mutable sb::Mutex mutex_;
+  /// Single-generation invariant: every entry in lru_ belongs to
+  /// generation_; set_generation() clears before advancing.
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 1;
   LruList lru_ GUARDED_BY(mutex_);  // front = most recently used
   /// Keys view the owning Entry's bytes (list nodes never move), so each
   /// row's bytes are stored once, not duplicated into the map.

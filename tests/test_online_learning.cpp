@@ -1,0 +1,362 @@
+// Streaming online learning: the Estimator::partial_fit contract (Model
+// implements it for compiled dense 3-layer networks and refuses it for
+// read-only/deep forms), OnlineTrainer's bounded-stream training thread
+// publishing snapshots into a live AsyncPredictor, and the ABLane's
+// deterministic hash-split routing with per-arm ROC/PR attribution.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/ab_lane.hpp"
+#include "api/async_predictor.hpp"
+#include "api/estimator.hpp"
+#include "api/online_trainer.hpp"
+#include "core/model.hpp"
+#include "core/serialization.hpp"
+#include "data/higgs.hpp"
+#include "encode/one_hot.hpp"
+
+namespace sc = streambrain::core;
+namespace st = streambrain::tensor;
+
+using streambrain::ABArm;
+using streambrain::ABLane;
+using streambrain::ABLaneOptions;
+using streambrain::AsyncPredictor;
+using streambrain::AsyncPredictorOptions;
+using streambrain::OnlineTrainer;
+using streambrain::OnlineTrainerOptions;
+
+namespace {
+
+struct Online {
+  std::shared_ptr<sc::Model> model_a;
+  std::shared_ptr<sc::Model> model_b;
+  st::MatrixF x_train;
+  std::vector<int> y_train;
+  st::MatrixF x_test;
+  std::vector<int> y_test;
+  std::vector<double> scores_a;
+  std::vector<double> scores_b;
+};
+
+std::shared_ptr<sc::Model> train_model(std::uint64_t seed,
+                                       const st::MatrixF& x_train,
+                                       const std::vector<int>& labels) {
+  auto model = std::make_shared<sc::Model>();
+  model->input(28, 10)
+      .hidden(1, 40, 0.4)
+      .classifier(2)
+      .set_option("epochs", 2)
+      .compile("simd", seed);
+  model->fit(x_train, labels);
+  return model;
+}
+
+const Online& fixture() {
+  static const Online instance = [] {
+    streambrain::data::SyntheticHiggsGenerator generator;
+    const auto train = generator.generate(600);
+    streambrain::data::HiggsGeneratorOptions opts;
+    opts.seed = 888;
+    streambrain::data::SyntheticHiggsGenerator test_generator(opts);
+    const auto test = test_generator.generate(160);
+    streambrain::encode::OneHotEncoder encoder(10);
+
+    Online o;
+    o.x_train = encoder.fit_transform(train.features);
+    o.y_train = train.labels;
+    o.x_test = encoder.transform(test.features);
+    o.y_test = test.labels;
+    o.model_a = train_model(42, o.x_train, o.y_train);
+    o.model_b = train_model(4242, o.x_train, o.y_train);
+    o.scores_a = o.model_a->predict_scores(o.x_test);
+    o.scores_b = o.model_b->predict_scores(o.x_test);
+    return o;
+  }();
+  return instance;
+}
+
+std::shared_ptr<sc::Model> clone_of(const sc::Model& model) {
+  return std::make_shared<sc::Model>(sc::clone_model(model));
+}
+
+st::MatrixF rows_slice(const st::MatrixF& x, std::size_t begin,
+                       std::size_t end) {
+  st::MatrixF out(end - begin, x.cols());
+  for (std::size_t r = begin; r < end; ++r) {
+    std::copy_n(x.row(r), x.cols(), out.row(r - begin));
+  }
+  return out;
+}
+
+std::vector<int> labels_slice(const std::vector<int>& labels,
+                              std::size_t begin, std::size_t end) {
+  return {labels.begin() + static_cast<std::ptrdiff_t>(begin),
+          labels.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+}  // namespace
+
+// --- Estimator / Model partial_fit contract ---------------------------------
+
+TEST(PartialFit, DefaultIsUnsupportedAndThrowsNamingTheEstimator) {
+  const std::unique_ptr<streambrain::Estimator> baseline =
+      streambrain::make_baseline_estimator("logistic");
+  EXPECT_FALSE(baseline->supports_partial_fit());
+  st::MatrixF x(1, 3);
+  try {
+    baseline->partial_fit(x, {0});
+    FAIL() << "default partial_fit() must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("partial_fit"),
+              std::string::npos);
+  }
+}
+
+TEST(PartialFit, ModelGuardsUncompiledReadOnlyAndDeepForms) {
+  const Online& o = fixture();
+
+  sc::Model uncompiled;
+  EXPECT_FALSE(uncompiled.supports_partial_fit());
+  EXPECT_THROW(uncompiled.partial_fit(o.x_test, o.y_test), std::logic_error);
+
+  const std::shared_ptr<sc::Model> trained = clone_of(*o.model_a);
+  sc::Model sparse = trained->sparsify();
+  EXPECT_FALSE(sparse.supports_partial_fit());
+  EXPECT_THROW(sparse.partial_fit(o.x_test, o.y_test), std::logic_error);
+
+  sc::Model quant = trained->quantize();
+  EXPECT_FALSE(quant.supports_partial_fit());
+  EXPECT_THROW(quant.partial_fit(o.x_test, o.y_test), std::logic_error);
+
+  sc::Model deep;
+  deep.input(28, 10)
+      .hidden(1, 16, 0.4)
+      .hidden(1, 16, 0.4)
+      .classifier(2)
+      .set_option("epochs", 1)
+      .compile("simd", 7);
+  EXPECT_FALSE(deep.supports_partial_fit());
+  EXPECT_THROW(deep.partial_fit(o.x_test, o.y_test), std::logic_error);
+}
+
+TEST(PartialFit, RefinesACompiledModelIncrementally) {
+  const Online& o = fixture();
+  const std::shared_ptr<sc::Model> model = clone_of(*o.model_a);
+  EXPECT_TRUE(model->supports_partial_fit());
+  ASSERT_EQ(model->predict_scores(o.x_test), o.scores_a);
+
+  // One incremental step updates the parameters in place: same output
+  // shape, different scores — no refit-from-scratch, no exception.
+  model->partial_fit(rows_slice(o.x_train, 0, 64),
+                     labels_slice(o.y_train, 0, 64));
+  const std::vector<double> refined = model->predict_scores(o.x_test);
+  ASSERT_EQ(refined.size(), o.scores_a.size());
+  EXPECT_NE(refined, o.scores_a);
+
+  // Mismatched rows/labels are rejected before touching the model.
+  EXPECT_THROW(model->partial_fit(rows_slice(o.x_train, 0, 4), {0}),
+               std::invalid_argument);
+}
+
+// --- OnlineTrainer -----------------------------------------------------------
+
+TEST(OnlineTrainer, RejectsModelsWithoutPartialFit) {
+  const Online& o = fixture();
+  AsyncPredictor server(clone_of(*o.model_a), {});
+  EXPECT_THROW(OnlineTrainer(nullptr, server), std::invalid_argument);
+  auto sparse = std::make_shared<sc::Model>(clone_of(*o.model_a)->sparsify());
+  EXPECT_THROW(OnlineTrainer(sparse, server), std::invalid_argument);
+  OnlineTrainerOptions bad;
+  bad.stream_capacity = 0;
+  EXPECT_THROW(OnlineTrainer(clone_of(*o.model_a), server, bad),
+               std::invalid_argument);
+}
+
+TEST(OnlineTrainer, TrainsTheStreamAndPublishesIntoServing) {
+  const Online& o = fixture();
+  AsyncPredictorOptions serving_options;
+  serving_options.shards = 2;
+  serving_options.score_cache_rows = 256;
+  AsyncPredictor server(clone_of(*o.model_a), serving_options);
+  ASSERT_EQ(server.generation(), 1u);
+
+  OnlineTrainerOptions options;
+  options.batch_rows = 32;
+  options.publish_every_rows = 64;
+  OnlineTrainer trainer(clone_of(*o.model_a), server, options);
+
+  // Feed 4 x 40 labeled rows: enough for >= 2 automatic publishes.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t begin = i * 40;
+    EXPECT_EQ(trainer.observe(rows_slice(o.x_train, begin, begin + 40),
+                              labels_slice(o.y_train, begin, begin + 40)),
+              40u);
+  }
+  ASSERT_TRUE(wait_until(
+      [&] { return trainer.stats().publishes >= 2; },
+      std::chrono::seconds(30)))
+      << "trainer never published; stats: trained_rows="
+      << trainer.stats().trained_rows;
+  trainer.stop();
+
+  const auto stats = trainer.stats();
+  EXPECT_EQ(stats.observed_rows, 160u);
+  EXPECT_EQ(stats.trained_rows + stats.dropped_rows, 160u);
+  EXPECT_GT(stats.train_batches, 0u);
+  EXPECT_GE(stats.generation, 3u);  // >= 2 publishes past generation 1
+  EXPECT_EQ(server.generation(), stats.generation);
+  EXPECT_EQ(server.stats().model_swaps, stats.publishes);
+
+  // Serving stayed live across every publish: the swapped-in snapshot
+  // answers with well-formed scores.
+  const std::vector<double> scores = server.predict_scores(o.x_test);
+  ASSERT_EQ(scores.size(), o.x_test.rows());
+  // The published snapshot has seen extra data — it is a different model
+  // from the construction-time one.
+  EXPECT_NE(scores, o.scores_a);
+}
+
+TEST(OnlineTrainer, BoundedStreamShedsOverflowInsteadOfBlocking) {
+  const Online& o = fixture();
+  AsyncPredictor server(clone_of(*o.model_a), {});
+  OnlineTrainerOptions options;
+  options.stream_capacity = 32;
+  options.publish_every_rows = 0;  // isolate the stream-bound behavior
+  OnlineTrainer trainer(clone_of(*o.model_a), server, options);
+
+  // One observation larger than the whole stream: the prefix is
+  // accepted, the overflow shed — observe() never blocks on a backlog.
+  const std::size_t accepted =
+      trainer.observe(rows_slice(o.x_train, 0, 100),
+                      labels_slice(o.y_train, 0, 100));
+  EXPECT_EQ(accepted, 32u);
+  const auto stats = trainer.stats();
+  EXPECT_EQ(stats.observed_rows, 32u);
+  EXPECT_EQ(stats.dropped_rows, 68u);
+  EXPECT_EQ(server.stats().model_swaps, 0u);  // publishing disabled
+}
+
+TEST(OnlineTrainer, PublishNowSnapshotsOnDemandWithConversions) {
+  const Online& o = fixture();
+  AsyncPredictorOptions serving_options;
+  serving_options.shards = 1;
+  AsyncPredictor server(clone_of(*o.model_a), serving_options);
+
+  OnlineTrainerOptions options;
+  options.publish_every_rows = 0;
+  options.sparsify_snapshots = true;
+  options.quantize_snapshots = true;  // prune→sparsify→quantize composes
+  OnlineTrainer trainer(clone_of(*o.model_a), server, options);
+
+  const std::uint64_t generation = trainer.publish_now();
+  EXPECT_EQ(generation, 2u);
+  EXPECT_EQ(server.generation(), 2u);
+  EXPECT_EQ(trainer.stats().publishes, 1u);
+  EXPECT_EQ(server.stats().model_swaps, 1u);
+
+  // The served snapshot is the read-only quantized-sparse form; serving
+  // keeps answering and the training model stays dense and trainable.
+  const std::vector<double> scores = server.predict_scores(o.x_test);
+  EXPECT_EQ(scores.size(), o.x_test.rows());
+}
+
+// --- ABLane ------------------------------------------------------------------
+
+TEST(ABLane, RoutingIsDeterministicSaltedAndFractionRespecting) {
+  const Online& o = fixture();
+  ABLaneOptions half;
+  half.b_fraction = 0.5;
+  ABLane lane(clone_of(*o.model_a), clone_of(*o.model_b), half);
+
+  std::size_t to_b = 0;
+  for (std::size_t r = 0; r < 64; ++r) {
+    const st::MatrixF row = rows_slice(o.x_test, r, r + 1);
+    const ABArm arm = lane.route(row);
+    EXPECT_EQ(lane.route(row), arm);  // sticky: same input, same arm
+    if (arm == ABArm::kB) ++to_b;
+  }
+  // A 50/50 split over 64 distinct rows lands some traffic on each arm
+  // (all-one-arm has probability 2^-63).
+  EXPECT_GT(to_b, 0u);
+  EXPECT_LT(to_b, 64u);
+
+  ABLaneOptions all_a;
+  all_a.b_fraction = 0.0;
+  ABLane pinned_a(clone_of(*o.model_a), clone_of(*o.model_b), all_a);
+  ABLaneOptions all_b;
+  all_b.b_fraction = 1.0;
+  ABLane pinned_b(clone_of(*o.model_a), clone_of(*o.model_b), all_b);
+  for (std::size_t r = 0; r < 8; ++r) {
+    const st::MatrixF row = rows_slice(o.x_test, r, r + 1);
+    EXPECT_EQ(pinned_a.route(row), ABArm::kA);
+    EXPECT_EQ(pinned_b.route(row), ABArm::kB);
+  }
+
+  ABLaneOptions bad;
+  bad.b_fraction = 1.5;
+  EXPECT_THROW(ABLane(clone_of(*o.model_a), clone_of(*o.model_b), bad),
+               std::invalid_argument);
+}
+
+TEST(ABLane, ServesPerArmModelsAndAttributesOutcomes) {
+  const Online& o = fixture();
+  ABLaneOptions options;
+  options.b_fraction = 0.5;
+  options.serving.score_cache_rows = 128;
+  ABLane lane(clone_of(*o.model_a), clone_of(*o.model_b), options);
+
+  const std::size_t n = o.x_test.rows();
+  std::size_t routed_a = 0;
+  std::size_t routed_b = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    auto routed = lane.submit_scores(rows_slice(o.x_test, r, r + 1));
+    const std::vector<double> scores = routed.scores.get();
+    ASSERT_EQ(scores.size(), 1u);
+    // The answer must be the routed arm's model, bit-identically.
+    const double expected =
+        routed.arm == ABArm::kA ? o.scores_a[r] : o.scores_b[r];
+    EXPECT_EQ(scores[0], expected);
+    lane.record_outcome(routed.arm, scores, {o.y_test[r]});
+    (routed.arm == ABArm::kA ? routed_a : routed_b) += 1;
+  }
+
+  const streambrain::ABReport report_a = lane.report(ABArm::kA);
+  const streambrain::ABReport report_b = lane.report(ABArm::kB);
+  EXPECT_EQ(report_a.routed_requests, routed_a);
+  EXPECT_EQ(report_b.routed_requests, routed_b);
+  EXPECT_EQ(report_a.routed_rows + report_b.routed_rows, n);
+  EXPECT_EQ(report_a.labeled_rows + report_b.labeled_rows, n);
+  EXPECT_EQ(report_a.serving.requests, routed_a);
+  EXPECT_EQ(report_b.serving.requests, routed_b);
+  // Both arms saw both-class traffic at these sizes, so the per-arm
+  // quality metrics are live numbers, not placeholders.
+  EXPECT_GT(report_a.roc_auc, 0.0);
+  EXPECT_LE(report_a.roc_auc, 1.0);
+  EXPECT_GT(report_b.pr_auc, 0.0);
+  EXPECT_LE(report_b.pr_auc, 1.0);
+
+  // Rollout path: hot-swap the candidate arm independently; the
+  // incumbent arm is untouched.
+  const std::uint64_t generation =
+      lane.predictor(ABArm::kB).swap_model(clone_of(*o.model_a));
+  EXPECT_EQ(generation, 2u);
+  EXPECT_EQ(lane.predictor(ABArm::kA).generation(), 1u);
+}

@@ -214,7 +214,8 @@ TEST(QuantServing, ShardPoolReplicasPreserveQuantizedForm) {
   sv::ShardPool pool(q.quant_sparse, 3);
   ASSERT_EQ(pool.size(), 3u);
   for (std::size_t shard = 0; shard < pool.size(); ++shard) {
-    auto* replica = dynamic_cast<sc::Model*>(&pool.replica(shard));
+    const sv::ShardPool::Lease lease = pool.acquire_shard(shard);
+    auto* replica = dynamic_cast<sc::Model*>(&lease.model());
     ASSERT_NE(replica, nullptr);
     EXPECT_TRUE(replica->quantized())
         << "replica " << shard << " lost the quantized form in cloning";

@@ -163,20 +163,21 @@ TEST(RequestQueue, InterruptWakesABlockedPop) {
 
 TEST(ScoreCache, LruHitMissEvict) {
   sv::ScoreCache cache(2);
+  const std::uint64_t gen = cache.generation();
   const float row_a[3] = {1.0f, 2.0f, 3.0f};
   const float row_b[3] = {4.0f, 5.0f, 6.0f};
   const float row_c[3] = {7.0f, 8.0f, 9.0f};
   double score = 0.0;
 
-  EXPECT_FALSE(cache.lookup(row_a, 3, score));
-  cache.insert(row_a, 3, 0.25);
-  cache.insert(row_b, 3, 0.75);
-  EXPECT_TRUE(cache.lookup(row_a, 3, score));  // promotes a to MRU
+  EXPECT_FALSE(cache.lookup(row_a, 3, gen, score));
+  cache.insert(row_a, 3, gen, 0.25);
+  cache.insert(row_b, 3, gen, 0.75);
+  EXPECT_TRUE(cache.lookup(row_a, 3, gen, score));  // promotes a to MRU
   EXPECT_EQ(score, 0.25);
-  cache.insert(row_c, 3, 0.5);  // evicts b (LRU), not a
-  EXPECT_TRUE(cache.lookup(row_a, 3, score));
-  EXPECT_FALSE(cache.lookup(row_b, 3, score));
-  EXPECT_TRUE(cache.lookup(row_c, 3, score));
+  cache.insert(row_c, 3, gen, 0.5);  // evicts b (LRU), not a
+  EXPECT_TRUE(cache.lookup(row_a, 3, gen, score));
+  EXPECT_FALSE(cache.lookup(row_b, 3, gen, score));
+  EXPECT_TRUE(cache.lookup(row_c, 3, gen, score));
   EXPECT_EQ(score, 0.5);
 
   const auto stats = cache.stats();
@@ -185,8 +186,8 @@ TEST(ScoreCache, LruHitMissEvict) {
   EXPECT_EQ(stats.misses, 2u);
 
   sv::ScoreCache disabled(0);
-  disabled.insert(row_a, 3, 0.25);
-  EXPECT_FALSE(disabled.lookup(row_a, 3, score));
+  disabled.insert(row_a, 3, gen, 0.25);
+  EXPECT_FALSE(disabled.lookup(row_a, 3, gen, score));
 }
 
 TEST(LatencyHistogram, QuantilesAreUpperEdgesAndNeverBelowTheSample) {
@@ -221,9 +222,13 @@ TEST(ShardPool, ReplicasPredictBitIdentically) {
   sv::ShardPool pool(serving().model, 3);
   ASSERT_EQ(pool.size(), 3u);
   for (std::size_t s = 1; s < pool.size(); ++s) {
-    EXPECT_EQ(pool.replica(s).predict(serving().x_test),
+    // acquire_shard: the lease pins the replica and its version for the
+    // whole verification — the raw-reference footgun is gone.
+    const sv::ShardPool::Lease lease = pool.acquire_shard(s);
+    EXPECT_EQ(lease.shard(), s);
+    EXPECT_EQ(lease.model().predict(serving().x_test),
               serving().reference_labels);
-    EXPECT_EQ(pool.replica(s).predict_scores(serving().x_test),
+    EXPECT_EQ(lease.model().predict_scores(serving().x_test),
               serving().reference_scores);
   }
 }

@@ -196,7 +196,8 @@ TEST(SparseServing, ShardPoolReplicasOfSparseModelAreSparseAndBitwise) {
   sv::ShardPool pool(s.sparse, 3);
   ASSERT_EQ(pool.size(), 3u);
   for (std::size_t shard = 0; shard < pool.size(); ++shard) {
-    auto* replica = dynamic_cast<sc::Model*>(&pool.replica(shard));
+    const sv::ShardPool::Lease lease = pool.acquire_shard(shard);
+    auto* replica = dynamic_cast<sc::Model*>(&lease.model());
     ASSERT_NE(replica, nullptr);
     EXPECT_TRUE(replica->sparse()) << "replica " << shard
                                    << " lost the sparse form in cloning";
