@@ -24,11 +24,14 @@ namespace {
 
 struct Result {
   int ranks = 1;
+  std::string backend;
   std::string algorithm;
   double seconds = 0.0;
   double speedup_vs_1rank = 1.0;
   std::uint64_t bytes_per_rank = 0;
   std::uint64_t total_bytes = 0;
+  std::uint64_t wire_bytes_per_rank = 0;
+  std::uint64_t total_wire_bytes = 0;
   double mb_per_rank_per_epoch = 0.0;
   std::size_t syncs = 0;
   double accuracy = 0.0;
@@ -79,42 +82,73 @@ int main(int argc, char** argv) {
   const auto x_test = encoder.transform(test.features);
 
   std::vector<Result> results;
-  util::Table table({"algorithm", "ranks", "train time (s)", "speedup",
-                     "reductions", "MB/rank/epoch", "test acc"});
+  const auto run_case = [&](comm::Backend backend,
+                            comm::AllreduceAlgorithm algorithm, int ranks,
+                            double seconds_1rank) {
+    core::Model model = build_model(mcus, epochs, head_epochs);
+    core::DistributedOptions options;
+    options.ranks = ranks;
+    options.backend = backend;
+    options.algorithm = algorithm;
+    options.sync_cadence = cadence;
+    const auto report =
+        core::fit_distributed(model, x_train, train.labels, options);
+
+    Result result;
+    result.ranks = ranks;
+    result.backend = comm::backend_name(backend);
+    result.algorithm = comm::algorithm_name(algorithm);
+    result.seconds = report.seconds;
+    result.speedup_vs_1rank =
+        report.seconds > 0.0 && seconds_1rank > 0.0
+            ? seconds_1rank / report.seconds
+            : 1.0;
+    result.bytes_per_rank = report.bytes_per_rank;
+    result.total_bytes = report.total_bytes;
+    result.wire_bytes_per_rank = report.wire_bytes_per_rank;
+    result.total_wire_bytes = report.total_wire_bytes;
+    result.mb_per_rank_per_epoch =
+        static_cast<double>(report.bytes_per_rank) / 1e6 /
+        static_cast<double>(epochs + head_epochs);
+    result.syncs = report.sync_count;
+    result.accuracy = model.evaluate(x_test, test.labels);
+    results.push_back(result);
+    return result;
+  };
+
+  util::Table table({"backend", "algorithm", "ranks", "train time (s)",
+                     "speedup", "reductions", "MB/rank/epoch", "wire MB/rank",
+                     "test acc"});
+  const auto add_row = [&table](const Result& result) {
+    table.add_row({result.backend, result.algorithm,
+                   std::to_string(result.ranks),
+                   util::Table::num(result.seconds),
+                   util::Table::num(result.speedup_vs_1rank),
+                   std::to_string(result.syncs),
+                   util::Table::num(result.mb_per_rank_per_epoch, 2),
+                   util::Table::num(
+                       static_cast<double>(result.wire_bytes_per_rank) / 1e6,
+                       2),
+                   util::Table::pct(result.accuracy)});
+  };
+
+  // Algorithm sweep over the in-process substrate (the schedule study).
   for (const auto algorithm : {comm::AllreduceAlgorithm::kFlat,
                                comm::AllreduceAlgorithm::kRing}) {
     double seconds_1rank = 0.0;
     for (const int ranks : {1, 2, 4, 8}) {
-      core::Model model = build_model(mcus, epochs, head_epochs);
-      core::DistributedOptions options;
-      options.ranks = ranks;
-      options.algorithm = algorithm;
-      options.sync_cadence = cadence;
-      const auto report =
-          core::fit_distributed(model, x_train, train.labels, options);
-      if (ranks == 1) seconds_1rank = report.seconds;
+      const Result result = run_case(comm::Backend::kInProcess, algorithm,
+                                     ranks, seconds_1rank);
+      if (ranks == 1) seconds_1rank = result.seconds;
+      add_row(result);
+    }
+  }
 
-      Result result;
-      result.ranks = ranks;
-      result.algorithm = comm::algorithm_name(algorithm);
-      result.seconds = report.seconds;
-      result.speedup_vs_1rank =
-          report.seconds > 0.0 ? seconds_1rank / report.seconds : 1.0;
-      result.bytes_per_rank = report.bytes_per_rank;
-      result.total_bytes = report.total_bytes;
-      result.mb_per_rank_per_epoch =
-          static_cast<double>(report.bytes_per_rank) / 1e6 /
-          static_cast<double>(epochs + head_epochs);
-      result.syncs = report.sync_count;
-      result.accuracy = model.evaluate(x_test, test.labels);
-      results.push_back(result);
-
-      table.add_row({result.algorithm, std::to_string(ranks),
-                     util::Table::num(result.seconds),
-                     util::Table::num(result.speedup_vs_1rank),
-                     std::to_string(result.syncs),
-                     util::Table::num(result.mb_per_rank_per_epoch, 2),
-                     util::Table::pct(result.accuracy)});
+  // Backend sweep: identical schedule and logical bytes, real wire cost
+  // (shm segment / TCP loopback frames) on top.
+  for (const auto backend : {comm::Backend::kShm, comm::Backend::kTcp}) {
+    for (const int ranks : {2, 4}) {
+      add_row(run_case(backend, comm::AllreduceAlgorithm::kRing, ranks, 0.0));
     }
   }
   table.print();
@@ -131,11 +165,14 @@ int main(int argc, char** argv) {
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
-    out << "    {\"algorithm\": \"" << r.algorithm
-        << "\", \"ranks\": " << r.ranks << ", \"seconds\": " << r.seconds
+    out << "    {\"backend\": \"" << r.backend << "\", \"algorithm\": \""
+        << r.algorithm << "\", \"ranks\": " << r.ranks
+        << ", \"seconds\": " << r.seconds
         << ", \"speedup_vs_1rank\": " << r.speedup_vs_1rank
         << ", \"bytes_per_rank\": " << r.bytes_per_rank
         << ", \"total_bytes\": " << r.total_bytes
+        << ", \"wire_bytes_per_rank\": " << r.wire_bytes_per_rank
+        << ", \"total_wire_bytes\": " << r.total_wire_bytes
         << ", \"mb_per_rank_per_epoch\": " << r.mb_per_rank_per_epoch
         << ", \"syncs\": " << r.syncs << ", \"accuracy\": " << r.accuracy
         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
@@ -150,7 +187,9 @@ int main(int argc, char** argv) {
       "moves 2*(P-1)/P*n bytes per rank vs the flat path's (P-1)*n. Note\n"
       "the exact mode's payload is virtual_shards (default 8) x the trace\n"
       "block — the zero padding that buys reproducibility; --cadence k >= 2\n"
-      "drops to one trace-sized average per k batches.\n");
+      "drops to one trace-sized average per k batches. The backend rows\n"
+      "train the SAME bits over a real shm segment / TCP loopback mesh;\n"
+      "wire MB/rank adds the frame headers the logical model omits.\n");
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

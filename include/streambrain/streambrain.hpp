@@ -54,6 +54,8 @@
 
 // --- Message passing --------------------------------------------------------
 #include "comm/communicator.hpp"
+#include "comm/hierarchical.hpp"
+#include "comm/transport.hpp"
 
 // --- Tensor primitives ------------------------------------------------------
 #include "tensor/cpu_features.hpp"

@@ -1,43 +1,45 @@
 #pragma once
-// In-process message-passing substrate with MPI semantics.
+// Message-passing substrate with MPI semantics over pluggable transports.
 //
 // The paper's MPI backend exists to show that BCPNN's local learning makes
 // data-parallel training communication-light (one trace reduction per
 // batch). This substrate reproduces that communication pattern exactly:
-// ranks are threads, collectives have MPI semantics, reductions are
-// deterministic (fixed schedules), and every operation accounts the bytes
-// that would have crossed the network, so benchmarks can report
-// communication volume per epoch.
+// collectives have MPI semantics, reductions are deterministic (fixed
+// schedules), and every operation accounts the bytes that cross the
+// network, so benchmarks can report communication volume per epoch. The
+// same collective schedules run over threads-as-ranks mailboxes, POSIX
+// shared memory, or a TCP mesh (see transport.hpp) — and a rank failure
+// poisons the world so peers fail fast with comm::CommError instead of
+// hanging in a collective.
 //
 // Two allreduce algorithms are available, selectable per call so
 // benchmarks can compare them on the same payload:
-//   kFlat — every rank walks all deposited buffers in rank order into a
-//           private accumulator. Association is rank 0 first, so the
-//           result is bitwise identical to a serial left-to-right
-//           reduction. Logical cost: (P-1)*n elements sent per rank
-//           (each rank's buffer must reach every other rank).
+//   kFlat — pairwise exchange; every rank reduces all contributions in
+//           rank order into a private accumulator. Association is rank 0
+//           first, so the result is bitwise identical to a serial
+//           left-to-right reduction. Logical cost: (P-1)*n elements sent
+//           per rank.
 //   kRing — bandwidth-optimal chunked ring (reduce-scatter phase then
 //           allgather phase). Association differs from kFlat by floating-
 //           point rounding only. Logical cost: 2*(P-1)/P*n elements per
 //           rank.
 //
-// Usage:
-//   comm::run(4, [](comm::Communicator& comm) {
+// Usage (threads-as-ranks, any backend):
+//   comm::run_transport(comm::Backend::kShm, 4, [](comm::Communicator& c) {
 //     std::vector<float> grads = ...;
-//     comm.allreduce_mean(grads.data(), grads.size());
+//     c.allreduce_mean(grads.data(), grads.size());
 //   });
+// Multi-process ranks (launched by tools/sb_launch) instead do:
+//   comm::Endpoint ep = comm::connect_env();
+//   body(ep.comm());
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <tuple>
-#include <utility>
+#include <memory>
 #include <vector>
 
-#include "util/annotated_mutex.hpp"
-#include "util/thread_annotations.hpp"
+#include "comm/transport.hpp"
 
 namespace streambrain::comm {
 
@@ -48,21 +50,22 @@ enum class AllreduceAlgorithm { kFlat, kRing };
 /// Short name for reports/benchmarks ("flat" / "ring").
 const char* algorithm_name(AllreduceAlgorithm algorithm) noexcept;
 
-class World;
 class Communicator;
 
 /// Handle for a nonblocking collective. The operation completes inside
 /// wait(), which every participating rank must call in the same relative
 /// order as the iallreduce that produced it (MPI nonblocking semantics).
-/// wait() is idempotent; destroying a pending Request without waiting
-/// leaves peers blocked, exactly like real MPI.
+/// wait() is idempotent. Destroying a pending Request is a bug that real
+/// MPI punishes with a silent peer deadlock — here it logs loudly and
+/// poisons the world, so every rank aborts with CommError instead.
 class Request {
  public:
   Request() = default;
-  Request(Request&&) noexcept = default;
-  Request& operator=(Request&&) noexcept = default;
+  Request(Request&& other) noexcept;
+  Request& operator=(Request&& other) noexcept;
   Request(const Request&) = delete;
   Request& operator=(const Request&) = delete;
+  ~Request();
 
   /// Complete the collective (no-op when already completed or empty).
   void wait();
@@ -72,18 +75,25 @@ class Request {
 
  private:
   friend class Communicator;
-  explicit Request(std::function<void()> complete)
-      : complete_(std::move(complete)) {}
+  Request(Transport* transport, std::function<void()> complete)
+      : transport_(transport), complete_(std::move(complete)) {}
+  Transport* transport_ = nullptr;
   std::function<void()> complete_;
 };
 
-/// Per-rank handle. Valid only inside the closure passed to run().
+/// Per-rank handle over a connected Transport. Valid only while the
+/// transport outlives it (inside run_transport()'s closure, or alongside
+/// the owning Endpoint).
 class Communicator {
  public:
-  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+  explicit Communicator(Transport& transport) : transport_(&transport) {}
 
-  [[nodiscard]] int rank() const noexcept { return rank_; }
-  [[nodiscard]] int size() const noexcept;
+  [[nodiscard]] int rank() const noexcept { return transport_->rank(); }
+  [[nodiscard]] int size() const noexcept { return transport_->size(); }
+  [[nodiscard]] Backend backend() const noexcept {
+    return transport_->backend();
+  }
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
 
   /// Synchronize all ranks.
   void barrier();
@@ -135,81 +145,82 @@ class Communicator {
   /// r-th `count`-element block of the reduced vector. Deterministic.
   void reduce_scatter(const float* data, std::size_t count, float* out);
 
-  /// Blocking point-to-point. Matching is by (source, tag).
+  /// Blocking point-to-point. Matching is by (source, tag); tags must be
+  /// non-negative (negative tags are reserved for the collectives).
+  /// Sending to self is allowed and delivered locally.
   void send(const float* data, std::size_t count, int dest, int tag);
   void recv(float* data, std::size_t count, int source, int tag);
 
-  /// Bytes this rank has logically sent so far.
-  [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
+  /// Bytes this rank has logically sent so far (the backend-independent
+  /// cost model the benchmarks assert).
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return transport_->logical_bytes_sent();
+  }
+  /// Bytes this rank actually pushed over its backend's wire (payloads +
+  /// frame overhead; 0 for self-sends and for single-rank worlds).
+  [[nodiscard]] std::uint64_t wire_bytes_sent() const noexcept {
+    return transport_->wire_bytes_sent();
+  }
 
  private:
   template <typename T>
   void allreduce_dispatch(T* data, std::size_t count, ReduceOp op,
                           AllreduceAlgorithm algorithm);
 
-  World* world_;
-  int rank_;
-};
-
-/// Shared collective state for one group of ranks.
-class World {
- public:
-  explicit World(int size);
-
-  [[nodiscard]] int size() const noexcept { return size_; }
-
-  /// Total bytes logically sent by all ranks.
-  [[nodiscard]] std::uint64_t total_bytes_sent() const noexcept {
-    return total_bytes_.load(std::memory_order_relaxed);
-  }
-
- private:
-  friend class Communicator;
-
-  void barrier_wait() EXCLUDES(barrier_mutex_);
-
-  struct Message {
-    std::vector<float> payload;
-  };
-
-  int size_;
-  // Sense-reversing barrier.
-  sb::Mutex barrier_mutex_;
-  sb::CondVar barrier_cv_;
-  int barrier_arrived_ GUARDED_BY(barrier_mutex_) = 0;
-  bool barrier_sense_ GUARDED_BY(barrier_mutex_) = false;
-  // Collective scratch: per-rank buffer pointers. Deliberately NOT
-  // GUARDED_BY any mutex: each slot is written only by its own rank and
-  // every cross-rank read is separated from that write by a full
-  // barrier_wait() (which provides the release/acquire edge). A mutex
-  // here would serialize the very fan-out the collectives exist to
-  // parallelize; the TSan job is the checker of record for this protocol.
-  std::vector<const void*> deposit_;
-  // Point-to-point mailboxes keyed by (source, dest, tag).
-  sb::Mutex mailbox_mutex_;
-  sb::CondVar mailbox_cv_;
-  std::map<std::tuple<int, int, int>, std::vector<Message>> mailboxes_
-      GUARDED_BY(mailbox_mutex_);
-  // Byte accounting. bytes_sent_[r] is written only by rank r (and read
-  // after the join in run_reported), so like deposit_ it is
-  // barrier/join-synchronized rather than lock-guarded.
-  std::vector<std::uint64_t> bytes_sent_;
-  std::atomic<std::uint64_t> total_bytes_{0};
+  Transport* transport_;
 };
 
 /// Per-run communication accounting, captured after all ranks joined.
 struct RunStats {
-  std::uint64_t total_bytes = 0;               ///< sum over all ranks
-  std::vector<std::uint64_t> bytes_per_rank;   ///< indexed by rank
+  std::uint64_t total_bytes = 0;              ///< logical, sum over ranks
+  std::vector<std::uint64_t> bytes_per_rank;  ///< logical, indexed by rank
+  std::uint64_t total_wire_bytes = 0;         ///< on-the-wire, sum
+  std::vector<std::uint64_t> wire_bytes_per_rank;  ///< on-the-wire
 };
 
-/// Spawn `size` rank threads, invoke `body(comm)` on each, join them all.
-/// Exceptions thrown by any rank are rethrown (first rank wins).
+/// Spawn `size` rank threads over the in-process backend, invoke
+/// `body(comm)` on each, join them all. A rank failure poisons the world
+/// (peers abort with CommError) and the *original* exception is rethrown
+/// after every thread joined.
 void run(int size, const std::function<void(Communicator&)>& body);
 
 /// Like run(), but returns the true per-rank byte counters so callers can
 /// report honest totals even when traffic is asymmetric across ranks.
 RunStats run_reported(int size,
                       const std::function<void(Communicator&)>& body);
+
+/// Threads-as-ranks execution over any backend: builds a `size`-rank
+/// world of `backend` transports (loopback TCP mesh / private shm
+/// segment), runs `body` on each rank thread, joins, returns the byte
+/// counters. `base` seeds timeouts/session/ports; rank/world are filled
+/// in per rank. This is how the conformance suite and DistributedTrainer
+/// exercise the real wire without multi-process launch.
+RunStats run_transport(Backend backend, int size,
+                       const std::function<void(Communicator&)>& body,
+                       const TransportOptions& base = {});
+
+/// Owns one connected rank endpoint (transport + communicator) of a
+/// multi-process world. The constructor blocks until the world is
+/// established or connect_timeout_ms expires.
+class Endpoint {
+ public:
+  explicit Endpoint(const TransportOptions& options);
+  Endpoint(Endpoint&&) noexcept = default;
+  Endpoint& operator=(Endpoint&&) noexcept = default;
+
+  [[nodiscard]] Communicator& comm() noexcept { return *comm_; }
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+
+ private:
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<Communicator> comm_;
+};
+
+/// Connect this process's rank into a world described by `options`.
+Endpoint connect(const TransportOptions& options);
+
+/// connect(options_from_env()) — the multi-process entry point used by
+/// binaries launched under tools/sb_launch.
+Endpoint connect_env();
 
 }  // namespace streambrain::comm

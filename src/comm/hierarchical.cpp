@@ -1,0 +1,129 @@
+#include "comm/hierarchical.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/transport_internal.hpp"
+
+namespace streambrain::comm {
+
+void HierarchicalComm::allreduce(float* data, std::size_t count, ReduceOp op,
+                                 AllreduceAlgorithm inter_algorithm) {
+  intra_->allreduce(data, count, op, AllreduceAlgorithm::kFlat);
+  if (hosts_ > 1) {
+    if (inter_ != nullptr) {
+      inter_->allreduce(data, count, op, inter_algorithm);
+    }
+    // Every rank already holds the intra-host result; the broadcast
+    // replaces it with the leader's global one.
+    intra_->broadcast(data, count, /*root=*/0);
+  }
+}
+
+void HierarchicalComm::allreduce_mean(float* data, std::size_t count) {
+  allreduce(data, count, ReduceOp::kSum);
+  const float inv = 1.0f / static_cast<float>(world());
+  for (std::size_t i = 0; i < count; ++i) data[i] *= inv;
+}
+
+void HierarchicalComm::barrier() {
+  intra_->barrier();
+  if (hosts_ > 1) {
+    if (inter_ != nullptr) inter_->barrier();
+    intra_->barrier();  // non-leaders wait for the leader's return
+  }
+}
+
+RunStats run_hierarchical(const HierarchicalOptions& options,
+                          const std::function<void(HierarchicalComm&)>& body) {
+  const int hosts = options.hosts;
+  const int rph = options.ranks_per_host;
+  if (hosts <= 0 || rph <= 0) {
+    throw std::invalid_argument(
+        "run_hierarchical: hosts and ranks_per_host must be positive");
+  }
+
+  // One shm world per simulated host, one tcp world linking the leaders.
+  std::vector<std::vector<std::unique_ptr<Transport>>> intra;
+  intra.reserve(static_cast<std::size_t>(hosts));
+  for (int h = 0; h < hosts; ++h) {
+    intra.push_back(detail::make_shm_world(rph, options.base));
+  }
+  std::vector<std::unique_ptr<Transport>> inter =
+      detail::make_tcp_world(hosts, options.base);
+
+  const int world = hosts * rph;
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+  threads.reserve(static_cast<std::size_t>(world));
+  for (int h = 0; h < hosts; ++h) {
+    for (int l = 0; l < rph; ++l) {
+      const int g = h * rph + l;
+      Transport* intra_t = intra[static_cast<std::size_t>(h)]
+                               [static_cast<std::size_t>(l)]
+                                   .get();
+      Transport* inter_t =
+          (l == 0) ? inter[static_cast<std::size_t>(h)].get() : nullptr;
+      threads.emplace_back([&body, &errors, intra_t, inter_t, h, hosts, g] {
+        try {
+          intra_t->establish();
+          if (inter_t != nullptr) inter_t->establish();
+          Communicator intra_comm(*intra_t);
+          Communicator inter_comm(inter_t != nullptr ? *inter_t : *intra_t);
+          HierarchicalComm comm(intra_comm,
+                                inter_t != nullptr ? &inter_comm : nullptr,
+                                h, hosts);
+          body(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(g)] = std::current_exception();
+          std::string reason = "global rank " + std::to_string(g) + " failed: ";
+          try {
+            throw;
+          } catch (const std::exception& e) {
+            reason += e.what();
+          } catch (...) {
+            reason += "unknown exception";
+          }
+          // Poison both levels: intra wakes this host's ranks, inter (via
+          // the leader's transport) wakes the other hosts' leaders, whose
+          // intra failures then cascade. Timeouts bound the stragglers.
+          intra_t->poison(g, reason);
+          if (inter_t != nullptr) inter_t->poison(h, reason);
+        }
+      });
+    }
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  RunStats stats;
+  stats.bytes_per_rank.reserve(static_cast<std::size_t>(world));
+  stats.wire_bytes_per_rank.reserve(static_cast<std::size_t>(world));
+  for (int h = 0; h < hosts; ++h) {
+    for (int l = 0; l < rph; ++l) {
+      std::uint64_t logical =
+          intra[static_cast<std::size_t>(h)][static_cast<std::size_t>(l)]
+              ->logical_bytes_sent();
+      std::uint64_t wire =
+          intra[static_cast<std::size_t>(h)][static_cast<std::size_t>(l)]
+              ->wire_bytes_sent();
+      if (l == 0) {
+        logical += inter[static_cast<std::size_t>(h)]->logical_bytes_sent();
+        wire += inter[static_cast<std::size_t>(h)]->wire_bytes_sent();
+      }
+      stats.bytes_per_rank.push_back(logical);
+      stats.wire_bytes_per_rank.push_back(wire);
+      stats.total_bytes += logical;
+      stats.total_wire_bytes += wire;
+    }
+  }
+  return stats;
+}
+
+}  // namespace streambrain::comm

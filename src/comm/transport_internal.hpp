@@ -1,0 +1,37 @@
+#pragma once
+// Internal seams between the transport factory (collectives.cpp) and the
+// per-backend TUs. Not installed; include only from src/comm/*.cpp.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace streambrain::comm::detail {
+
+// Tags below this are reserved for internal protocol traffic; user-facing
+// send/recv enforces tag >= 0.
+inline constexpr int kCollTag = -2;     // collective payload frames
+inline constexpr int kBarrierTag = -3;  // TCP dissemination-barrier tokens
+
+/// Whole thread-mode worlds: `world` transports sharing one PoisonState
+/// (and, for shm/tcp, one pre-created segment / pre-bound listener set).
+std::vector<std::unique_ptr<Transport>> make_inproc_world(
+    int world, const TransportOptions& base);
+std::vector<std::unique_ptr<Transport>> make_shm_world(
+    int world, const TransportOptions& base);
+std::vector<std::unique_ptr<Transport>> make_tcp_world(
+    int world, const TransportOptions& base);
+
+/// Single multi-process endpoints (options.rank identifies this process).
+std::unique_ptr<Transport> make_shm_transport(const TransportOptions& options);
+std::unique_ptr<Transport> make_tcp_transport(const TransportOptions& options);
+
+/// Unique-enough session id for auto-named thread-mode shm segments
+/// (pid + monotonic counter; no wall clock so runs are reproducible).
+std::string generate_session();
+
+}  // namespace streambrain::comm::detail

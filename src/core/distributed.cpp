@@ -615,6 +615,7 @@ DistributedReport DistributedTrainer::fit(Model& model,
 
   DistributedReport report;
   report.ranks = options_.ranks;
+  report.backend = options_.backend;
   report.algorithm = options_.algorithm;
   util::Stopwatch watch;
 
@@ -628,8 +629,8 @@ DistributedReport DistributedTrainer::fit(Model& model,
   std::vector<std::size_t> sync_counts(
       static_cast<std::size_t>(options_.ranks), 0);
 
-  const comm::RunStats stats = comm::run_reported(
-      options_.ranks, [&](comm::Communicator& comm) {
+  const comm::RunStats stats = comm::run_transport(
+      options_.backend, options_.ranks, [&](comm::Communicator& comm) {
         train_replica(comm, options_,
                       replicas[static_cast<std::size_t>(comm.rank())], x,
                       labels, sync_counts[static_cast<std::size_t>(comm.rank())]);
@@ -641,8 +642,34 @@ DistributedReport DistributedTrainer::fit(Model& model,
                               ? 0
                               : stats.bytes_per_rank[0];
   report.total_bytes = stats.total_bytes;
+  report.wire_bytes_per_rank = stats.wire_bytes_per_rank.empty()
+                                   ? 0
+                                   : stats.wire_bytes_per_rank[0];
+  report.total_wire_bytes = stats.total_wire_bytes;
   report.sync_count = sync_counts[0];
   return report;
+}
+
+std::size_t DistributedTrainer::fit_rank(comm::Communicator& comm,
+                                         Model& model,
+                                         const tensor::MatrixF& x,
+                                         const std::vector<int>& labels) {
+  if (!model.compiled()) {
+    throw std::logic_error("DistributedTrainer::fit_rank: model not compiled");
+  }
+  if (x.rows() != labels.size()) {
+    throw std::invalid_argument("DistributedTrainer::fit_rank: rows != labels");
+  }
+  if (x.rows() == 0) {
+    throw std::invalid_argument("DistributedTrainer::fit_rank: empty dataset");
+  }
+  // Train a clone and adopt it, exactly like fit() does per rank, so the
+  // multi-process path shares fit()'s state handling bit for bit.
+  Model replica = clone_model(model);
+  std::size_t sync_count = 0;
+  train_replica(comm, options_, replica, x, labels, sync_count);
+  adopt_state(replica, model);
+  return sync_count;
 }
 
 DistributedReport fit_distributed(Model& model, const tensor::MatrixF& x,

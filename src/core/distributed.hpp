@@ -32,8 +32,13 @@
 namespace streambrain::core {
 
 struct DistributedOptions {
-  /// Simulated MPI ranks (threads).
+  /// Rank threads when fit() runs the world itself.
   int ranks = 1;
+  /// Transport the ranks communicate over. kInProcess (default) uses the
+  /// original mailbox substrate; kShm and kTcp run the same schedules
+  /// over a real shared-memory segment / loopback TCP mesh — results are
+  /// bit-identical, only the wire (and wire_bytes accounting) changes.
+  comm::Backend backend = comm::Backend::kInProcess;
   /// Allreduce algorithm used for every synchronization; changes the
   /// communication pattern and byte accounting, never the result.
   comm::AllreduceAlgorithm algorithm = comm::AllreduceAlgorithm::kFlat;
@@ -60,10 +65,13 @@ struct DistributedOptions {
 
 struct DistributedReport {
   int ranks = 1;
+  comm::Backend backend = comm::Backend::kInProcess;
   comm::AllreduceAlgorithm algorithm = comm::AllreduceAlgorithm::kFlat;
   double seconds = 0.0;
   std::uint64_t bytes_per_rank = 0;    ///< logical network traffic, rank 0
   std::uint64_t total_bytes = 0;       ///< true sum over all ranks
+  std::uint64_t wire_bytes_per_rank = 0;  ///< bytes on the wire, rank 0
+  std::uint64_t total_wire_bytes = 0;     ///< wire bytes, sum over ranks
   std::size_t sync_count = 0;          ///< number of reductions (rank 0)
 };
 
@@ -84,6 +92,18 @@ class DistributedTrainer {
   /// full dataset; on return the model holds the rank-synchronized state.
   DistributedReport fit(Model& model, const tensor::MatrixF& x,
                         const std::vector<int>& labels);
+
+  /// Multi-process mode: train this process's rank of an already
+  /// connected world (comm::connect_env(), as launched by
+  /// tools/sb_launch). Every process passes the identically built model
+  /// and the full dataset; `options().ranks` is ignored in favor of the
+  /// communicator's world size. On return `model` holds the
+  /// rank-synchronized state — bit-identical on every rank, and to a
+  /// single-process fit() with the same options and rank count. Returns
+  /// the number of reductions this rank issued.
+  std::size_t fit_rank(comm::Communicator& comm, Model& model,
+                       const tensor::MatrixF& x,
+                       const std::vector<int>& labels);
 
  private:
   DistributedOptions options_;

@@ -1,14 +1,36 @@
 // Tests for the comm substrate: MPI-semantics collectives over
-// threads-as-ranks, determinism, byte accounting, point-to-point.
+// threads-as-ranks, determinism, byte accounting, point-to-point,
+// world-poisoning fault semantics, real multi-process transports
+// (fork + shm / TCP), and the hierarchical two-level collectives.
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 
 #include "comm/communicator.hpp"
+#include "comm/hierarchical.hpp"
 #include "util/rng.hpp"
+
+// fork() inside a ThreadSanitizer'd gtest binary trips TSan's
+// fork-with-threads machinery; the multi-process death tests are
+// single-process-visible hangs anyway, so skip them under TSan only.
+#if defined(__SANITIZE_THREAD__)
+#define STREAMBRAIN_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define STREAMBRAIN_TSAN_BUILD 1
+#endif
+#endif
 
 namespace sc = streambrain::comm;
 namespace su = streambrain::util;
@@ -27,9 +49,10 @@ TEST(Comm, RunRejectsNonPositiveSize) {
 }
 
 TEST(Comm, RunPropagatesRankExceptions) {
-  // NOTE: like real MPI, a rank that dies inside a collective would
-  // deadlock its peers — so the failing rank here throws while the other
-  // ranks do only local work.
+  // Unlike real MPI, a dying rank does NOT strand its peers: the failure
+  // poisons the world, every blocked collective aborts with CommError,
+  // and run() rethrows the original exception (see the fault-semantics
+  // tests below for the collective-in-flight cases).
   EXPECT_THROW(sc::run(3,
                        [](sc::Communicator& comm) {
                          if (comm.rank() == 1) {
@@ -266,4 +289,331 @@ TEST(Comm, ManyBarriersDoNotDeadlock) {
     for (int i = 0; i < 200; ++i) comm.barrier();
   });
   SUCCEED();
+}
+
+// --- Fault semantics: rank failures must never hang the world ---------------
+
+TEST(Comm, RankExceptionBeforeBarrierPoisonsWorldAndReturns) {
+  // The original bug: rank 1 dies before the barrier, ranks 0 and 2 are
+  // already inside it, and run() never returns. Now the failure poisons
+  // the world: the barrier aborts with CommError naming rank 1 on every
+  // survivor, and run() rethrows rank 1's original exception.
+  std::atomic<int> survivors_aborted{0};
+  try {
+    sc::run(3, [&](sc::Communicator& comm) {
+      if (comm.rank() == 1) {
+        throw std::runtime_error("rank 1 failed before the barrier");
+      }
+      try {
+        comm.barrier();
+      } catch (const sc::CommError& error) {
+        EXPECT_EQ(error.failed_rank(), 1);
+        EXPECT_NE(std::string(error.what()).find("rank 1"), std::string::npos);
+        ++survivors_aborted;
+        throw;
+      }
+    });
+    FAIL() << "run() swallowed the rank failure";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "rank 1 failed before the barrier");
+  }
+  EXPECT_EQ(survivors_aborted.load(), 2);
+}
+
+TEST(Comm, PendingRequestDestructionPoisonsWorld) {
+  // Dropping a Request while its collective is still pending used to be
+  // documented as an MPI-style footgun ("peers deadlock, exactly like
+  // real MPI"). Now it is loud and survivable: the destructor poisons
+  // the world, so the run fails fast with a descriptive CommError
+  // instead of stranding the other ranks inside the allreduce.
+  try {
+    sc::run(2, [](sc::Communicator& comm) {
+      std::vector<float> data(32, 1.0f);
+      {
+        sc::Request dropped =
+            comm.iallreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+        EXPECT_TRUE(dropped.pending());
+        // ...destroyed without wait().
+      }
+    });
+    FAIL() << "abandoned collective did not surface";
+  } catch (const sc::CommError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("Request destroyed while pending"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("wait()"), std::string::npos) << what;
+  }
+}
+
+TEST(Comm, MovedFromRequestIsInert) {
+  sc::run(2, [](sc::Communicator& comm) {
+    std::vector<float> data(8, 1.0f);
+    sc::Request request =
+        comm.iallreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+    sc::Request moved = std::move(request);
+    EXPECT_FALSE(request.pending());  // NOLINT(bugprone-use-after-move)
+    request.wait();                   // no-op, not a double wait
+    EXPECT_TRUE(moved.pending());
+    moved.wait();
+    EXPECT_FALSE(moved.pending());
+  });
+}
+
+TEST(Comm, NegativeUserTagsAreRejected) {
+  // Negative tags are reserved for the transports' internal traffic
+  // (collective payloads, barrier tokens); user code must not forge them.
+  sc::run(2, [](sc::Communicator& comm) {
+    float v = 0.0f;
+    EXPECT_THROW(comm.send(&v, 1, /*dest=*/1 - comm.rank(), /*tag=*/-1),
+                 std::invalid_argument);
+    EXPECT_THROW(comm.recv(&v, 1, /*source=*/1 - comm.rank(), /*tag=*/-2),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Comm, OutOfRangePeersAreRejected) {
+  sc::run(2, [](sc::Communicator& comm) {
+    float v = 0.0f;
+    EXPECT_THROW(comm.send(&v, 1, /*dest=*/2, /*tag=*/0),
+                 std::invalid_argument);
+    EXPECT_THROW(comm.recv(&v, 1, /*source=*/-1, /*tag=*/0),
+                 std::invalid_argument);
+  });
+}
+
+// --- Real multi-process transports (fork + shm / TCP) -----------------------
+
+#ifndef STREAMBRAIN_TSAN_BUILD
+
+namespace {
+
+/// Bind port 0 on loopback and return the kernel-assigned port.
+int pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const int port = static_cast<int>(ntohs(addr.sin_port));
+  ::close(fd);
+  return port;
+}
+
+}  // namespace
+
+TEST(Comm, ShmTwoProcessAllreduce) {
+  sc::TransportOptions options;
+  options.backend = sc::Backend::kShm;
+  options.world = 2;
+  options.session = "sb_test_shm_" + std::to_string(::getpid());
+  options.op_timeout_ms = 20000;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child = rank 1: contribute and verify; any failure exits nonzero.
+    options.rank = 1;
+    int code = 1;
+    try {
+      sc::Endpoint endpoint(options);
+      std::vector<float> data = {1.0f, 10.0f};
+      endpoint.comm().allreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+      code = (data[0] == 2.0f && data[1] == 30.0f) ? 0 : 2;
+    } catch (...) {
+    }
+    std::_Exit(code);
+  }
+  options.rank = 0;
+  sc::Endpoint endpoint(options);
+  std::vector<float> data = {1.0f, 20.0f};
+  endpoint.comm().allreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+  EXPECT_FLOAT_EQ(data[0], 2.0f);
+  EXPECT_FLOAT_EQ(data[1], 30.0f);
+  EXPECT_GT(endpoint.comm().wire_bytes_sent(),
+            endpoint.comm().bytes_sent());  // frame headers on a real wire
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+TEST(Comm, ShmPeerProcessDeathPoisonsSurvivor) {
+  sc::TransportOptions options;
+  options.backend = sc::Backend::kShm;
+  options.world = 2;
+  options.session = "sb_test_shm_death_" + std::to_string(::getpid());
+  options.op_timeout_ms = 1500;  // the survivor's escape hatch
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child = rank 1: join the world, then die without a word.
+    options.rank = 1;
+    try {
+      sc::Endpoint endpoint(options);
+    } catch (...) {
+      std::_Exit(1);
+    }
+    std::_Exit(0);
+  }
+  options.rank = 0;
+  sc::Endpoint endpoint(options);
+  std::vector<float> data(16, 1.0f);
+  try {
+    endpoint.comm().allreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+    FAIL() << "allreduce with a dead shm peer did not fail";
+  } catch (const sc::CommError& error) {
+    EXPECT_EQ(error.failed_rank(), 1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+}
+
+TEST(Comm, TcpTwoProcessAllreduce) {
+  sc::TransportOptions options;
+  options.backend = sc::Backend::kTcp;
+  options.world = 2;
+  options.ports = {pick_free_port(), pick_free_port()};
+  options.connect_timeout_ms = 20000;
+  options.op_timeout_ms = 20000;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    options.rank = 1;
+    int code = 1;
+    try {
+      sc::Endpoint endpoint(options);
+      std::vector<float> data = {3.0f};
+      endpoint.comm().allreduce(data.data(), 1, sc::ReduceOp::kSum);
+      code = data[0] == 7.0f ? 0 : 2;
+    } catch (...) {
+    }
+    std::_Exit(code);
+  }
+  options.rank = 0;
+  sc::Endpoint endpoint(options);
+  std::vector<float> data = {4.0f};
+  endpoint.comm().allreduce(data.data(), 1, sc::ReduceOp::kSum);
+  EXPECT_FLOAT_EQ(data[0], 7.0f);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+TEST(Comm, TcpPeerProcessDeathPoisonsSurvivor) {
+  // The killed peer's sockets close, the survivor reads EOF the moment
+  // it needs that rank, and the op aborts with CommError — no waiting
+  // for the op timeout.
+  sc::TransportOptions options;
+  options.backend = sc::Backend::kTcp;
+  options.world = 2;
+  options.ports = {pick_free_port(), pick_free_port()};
+  options.connect_timeout_ms = 20000;
+  options.op_timeout_ms = 20000;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    options.rank = 1;
+    try {
+      sc::Endpoint endpoint(options);
+    } catch (...) {
+      std::_Exit(1);
+    }
+    std::_Exit(0);  // sockets close; rank 0 sees EOF mid-collective
+  }
+  options.rank = 0;
+  sc::Endpoint endpoint(options);
+  std::vector<float> data(16, 1.0f);
+  try {
+    endpoint.comm().allreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+    FAIL() << "allreduce with a dead tcp peer did not fail";
+  } catch (const sc::CommError& error) {
+    EXPECT_EQ(error.failed_rank(), 1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+}
+
+#endif  // !STREAMBRAIN_TSAN_BUILD
+
+// --- Hierarchical (intra-host shm + inter-host TCP) collectives -------------
+
+TEST(Comm, HierarchicalAllreduceAcrossHosts) {
+  sc::HierarchicalOptions options;  // 2 hosts × 2 ranks
+  sc::run_hierarchical(options, [](sc::HierarchicalComm& comm) {
+    EXPECT_EQ(comm.world(), 4);
+    EXPECT_EQ(comm.global_rank(), comm.host() * 2 + comm.local_rank());
+    EXPECT_EQ(comm.is_leader(), comm.local_rank() == 0);
+
+    std::vector<float> sum = {static_cast<float>(comm.global_rank() + 1)};
+    comm.allreduce(sum.data(), 1, sc::ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(sum[0], 10.0f);  // 1+2+3+4
+
+    std::vector<float> lo = {static_cast<float>(comm.global_rank())};
+    std::vector<float> hi = {static_cast<float>(comm.global_rank())};
+    comm.allreduce(lo.data(), 1, sc::ReduceOp::kMin);
+    comm.allreduce(hi.data(), 1, sc::ReduceOp::kMax);
+    EXPECT_FLOAT_EQ(lo[0], 0.0f);  // exact: min/max associate freely
+    EXPECT_FLOAT_EQ(hi[0], 3.0f);
+
+    std::vector<float> mean = {static_cast<float>(10 * comm.global_rank())};
+    comm.allreduce_mean(mean.data(), 1);
+    EXPECT_FLOAT_EQ(mean[0], 15.0f);  // mean of 0,10,20,30
+
+    comm.barrier();
+  });
+}
+
+TEST(Comm, HierarchicalDisjointShardPayloadsAreExact) {
+  // The payload shape DistributedTrainer reduces: each rank's slots are
+  // disjoint and zero-padded, so every addition is x + 0 and the
+  // two-level association cannot change a single bit.
+  sc::HierarchicalOptions options;
+  options.hosts = 2;
+  options.ranks_per_host = 2;
+  sc::run_hierarchical(options, [](sc::HierarchicalComm& comm) {
+    std::vector<float> data(4, 0.0f);
+    data[static_cast<std::size_t>(comm.global_rank())] =
+        0.1f * static_cast<float>(comm.global_rank() + 1);
+    comm.allreduce(data.data(), data.size(), sc::ReduceOp::kSum);
+    for (int g = 0; g < 4; ++g) {
+      EXPECT_EQ(data[static_cast<std::size_t>(g)],
+                0.1f * static_cast<float>(g + 1));  // bitwise
+    }
+  });
+}
+
+TEST(Comm, HierarchicalRankFailureDoesNotHang) {
+  // Global rank 3 (host 1, non-leader) dies before contributing; every
+  // other rank is already inside the two-level allreduce. The failure
+  // must cascade through both levels and run_hierarchical must return.
+  sc::HierarchicalOptions options;
+  EXPECT_THROW(
+      sc::run_hierarchical(options,
+                           [](sc::HierarchicalComm& comm) {
+                             if (comm.global_rank() == 3) {
+                               throw std::runtime_error("rank 3 down");
+                             }
+                             std::vector<float> data(32, 1.0f);
+                             comm.allreduce(data.data(), data.size(),
+                                            sc::ReduceOp::kSum);
+                           }),
+      std::runtime_error);
+}
+
+TEST(Comm, HierarchicalSingleHostDegeneratesToIntra) {
+  sc::HierarchicalOptions options;
+  options.hosts = 1;
+  options.ranks_per_host = 3;
+  sc::run_hierarchical(options, [](sc::HierarchicalComm& comm) {
+    EXPECT_EQ(comm.world(), 3);
+    std::vector<float> data = {static_cast<float>(comm.global_rank() + 1)};
+    comm.allreduce(data.data(), 1, sc::ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(data[0], 6.0f);
+    comm.barrier();
+  });
 }

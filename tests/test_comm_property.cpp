@@ -1,16 +1,28 @@
-// Conformance / property suite for the comm substrate: every collective
-// over randomized counts (including 0 and 1), float and double, world
-// sizes 1–8; rank-order determinism of the flat allreduce (bitwise equal
-// to a serial left-to-right reduction), flat-vs-ring agreement (exact for
-// min/max, tight tolerance for float sums), nonblocking iallreduce
-// equivalence, and the byte-accounting invariants of every operation.
+// Conformance / property suite for the comm substrate, parameterized
+// over every transport backend (in-process mailboxes, POSIX shared
+// memory, TCP loopback): every collective over randomized counts
+// (including 0 and 1), float and double, world sizes 1–8; rank-order
+// determinism of the flat allreduce (bitwise equal to a serial
+// left-to-right reduction), flat-vs-ring agreement (exact for min/max,
+// tight tolerance for float sums), nonblocking iallreduce equivalence,
+// the byte-accounting invariants of every operation, and the fault
+// contract: a rank failure mid-collective must surface as comm::CommError
+// on every surviving rank instead of hanging.
+//
+// The collectives are written once against the Transport interface, so
+// passing here means the three backends are observationally identical up
+// to wire framing overhead — which the WireVsLogicalBytes case pins.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -22,6 +34,34 @@ namespace su = streambrain::util;
 namespace {
 
 constexpr std::size_t kCounts[] = {0, 1, 2, 7, 64, 257};
+
+class CommProperty : public ::testing::TestWithParam<sc::Backend> {
+ protected:
+  sc::Backend backend() const { return GetParam(); }
+
+  void run(int world, const std::function<void(sc::Communicator&)>& body) {
+    sc::run_transport(backend(), world, body);
+  }
+
+  sc::RunStats run_reported(
+      int world, const std::function<void(sc::Communicator&)>& body) {
+    return sc::run_transport(backend(), world, body);
+  }
+
+  template <typename T>
+  std::vector<std::vector<T>> run_allreduce(
+      const std::vector<std::vector<T>>& inputs, sc::ReduceOp op,
+      sc::AllreduceAlgorithm algorithm) {
+    const int world = static_cast<int>(inputs.size());
+    std::vector<std::vector<T>> results(inputs.size());
+    run(world, [&](sc::Communicator& comm) {
+      std::vector<T> mine = inputs[static_cast<std::size_t>(comm.rank())];
+      comm.allreduce(mine.data(), mine.size(), op, algorithm);
+      results[static_cast<std::size_t>(comm.rank())] = std::move(mine);
+    });
+    return results;
+  }
+};
 
 template <typename T>
 std::vector<std::vector<T>> random_contributions(int world, std::size_t count,
@@ -60,25 +100,11 @@ std::vector<T> serial_reference(const std::vector<std::vector<T>>& inputs,
   return acc;
 }
 
-template <typename T>
-std::vector<std::vector<T>> run_allreduce(
-    const std::vector<std::vector<T>>& inputs, sc::ReduceOp op,
-    sc::AllreduceAlgorithm algorithm) {
-  const int world = static_cast<int>(inputs.size());
-  std::vector<std::vector<T>> results(inputs.size());
-  sc::run(world, [&](sc::Communicator& comm) {
-    std::vector<T> mine = inputs[static_cast<std::size_t>(comm.rank())];
-    comm.allreduce(mine.data(), mine.size(), op, algorithm);
-    results[static_cast<std::size_t>(comm.rank())] = std::move(mine);
-  });
-  return results;
-}
-
 }  // namespace
 
 // --- Allreduce: determinism & algorithm agreement --------------------------
 
-TEST(CommProperty, FlatAllreduceMatchesSerialReferenceBitwise) {
+TEST_P(CommProperty, FlatAllreduceMatchesSerialReferenceBitwise) {
   for (int world = 1; world <= 8; ++world) {
     for (const std::size_t count : kCounts) {
       const auto inputs =
@@ -97,7 +123,7 @@ TEST(CommProperty, FlatAllreduceMatchesSerialReferenceBitwise) {
   }
 }
 
-TEST(CommProperty, FlatAllreduceDoubleMatchesSerialReference) {
+TEST_P(CommProperty, FlatAllreduceDoubleMatchesSerialReference) {
   for (int world : {1, 3, 5, 8}) {
     const auto inputs = random_contributions<double>(world, 33, 7);
     const auto reference = serial_reference(inputs, sc::ReduceOp::kSum);
@@ -111,7 +137,7 @@ TEST(CommProperty, FlatAllreduceDoubleMatchesSerialReference) {
   }
 }
 
-TEST(CommProperty, RingAgreesWithFlatWithinExactTolerance) {
+TEST_P(CommProperty, RingAgreesWithFlatWithinExactTolerance) {
   for (int world = 1; world <= 8; ++world) {
     for (const std::size_t count : kCounts) {
       const auto inputs =
@@ -133,7 +159,7 @@ TEST(CommProperty, RingAgreesWithFlatWithinExactTolerance) {
   }
 }
 
-TEST(CommProperty, MinMaxAreExactUnderBothAlgorithms) {
+TEST_P(CommProperty, MinMaxAreExactUnderBothAlgorithms) {
   for (int world : {1, 2, 4, 7}) {
     for (const sc::ReduceOp op : {sc::ReduceOp::kMin, sc::ReduceOp::kMax}) {
       const auto inputs = random_contributions<float>(world, 65, 31);
@@ -152,7 +178,7 @@ TEST(CommProperty, MinMaxAreExactUnderBothAlgorithms) {
   }
 }
 
-TEST(CommProperty, Uint64AllreduceIsExactUnderBothAlgorithms) {
+TEST_P(CommProperty, Uint64AllreduceIsExactUnderBothAlgorithms) {
   for (int world : {1, 2, 5, 8}) {
     for (const std::size_t count : {std::size_t{0}, std::size_t{1},
                                     std::size_t{19}}) {
@@ -160,7 +186,7 @@ TEST(CommProperty, Uint64AllreduceIsExactUnderBothAlgorithms) {
           static_cast<std::size_t>(world));
       for (const auto algorithm : {sc::AllreduceAlgorithm::kFlat,
                                    sc::AllreduceAlgorithm::kRing}) {
-        sc::run(world, [&](sc::Communicator& comm) {
+        run(world, [&](sc::Communicator& comm) {
           std::vector<std::uint64_t> mine(count);
           for (std::size_t i = 0; i < count; ++i) {
             mine[i] = (static_cast<std::uint64_t>(comm.rank()) << 32) + i + 1;
@@ -182,7 +208,7 @@ TEST(CommProperty, Uint64AllreduceIsExactUnderBothAlgorithms) {
   }
 }
 
-TEST(CommProperty, AllreduceIsRepeatableAcrossRuns) {
+TEST_P(CommProperty, AllreduceIsRepeatableAcrossRuns) {
   for (const auto algorithm :
        {sc::AllreduceAlgorithm::kFlat, sc::AllreduceAlgorithm::kRing}) {
     const auto inputs = random_contributions<float>(6, 129, 55);
@@ -192,7 +218,7 @@ TEST(CommProperty, AllreduceIsRepeatableAcrossRuns) {
   }
 }
 
-TEST(CommProperty, AllRanksAgreeUnderBothAlgorithms) {
+TEST_P(CommProperty, AllRanksAgreeUnderBothAlgorithms) {
   for (const auto algorithm :
        {sc::AllreduceAlgorithm::kFlat, sc::AllreduceAlgorithm::kRing}) {
     const auto inputs = random_contributions<float>(7, 97, 21);
@@ -203,11 +229,11 @@ TEST(CommProperty, AllRanksAgreeUnderBothAlgorithms) {
   }
 }
 
-TEST(CommProperty, MeanDividesBothAlgorithms) {
+TEST_P(CommProperty, MeanDividesBothAlgorithms) {
   for (int world : {1, 4}) {
     for (const auto algorithm :
          {sc::AllreduceAlgorithm::kFlat, sc::AllreduceAlgorithm::kRing}) {
-      sc::run(world, [&](sc::Communicator& comm) {
+      run(world, [&](sc::Communicator& comm) {
         std::vector<double> mine = {static_cast<double>(comm.rank() * 2)};
         comm.allreduce_mean(mine.data(), 1, algorithm);
         EXPECT_DOUBLE_EQ(mine[0], static_cast<double>(world - 1));
@@ -216,16 +242,35 @@ TEST(CommProperty, MeanDividesBothAlgorithms) {
   }
 }
 
+// --- Cross-backend agreement ------------------------------------------------
+
+TEST_P(CommProperty, ResultBitwiseIdenticalToInprocBackend) {
+  // The collectives never touch the wire directly, so every backend must
+  // produce the in-process backend's bits exactly — not approximately.
+  for (const auto algorithm :
+       {sc::AllreduceAlgorithm::kFlat, sc::AllreduceAlgorithm::kRing}) {
+    const auto inputs = random_contributions<float>(5, 193, 77);
+    std::vector<std::vector<float>> reference(5);
+    sc::run_transport(sc::Backend::kInProcess, 5, [&](sc::Communicator& comm) {
+      std::vector<float> mine = inputs[static_cast<std::size_t>(comm.rank())];
+      comm.allreduce(mine.data(), mine.size(), sc::ReduceOp::kSum, algorithm);
+      reference[static_cast<std::size_t>(comm.rank())] = std::move(mine);
+    });
+    const auto mine = run_allreduce(inputs, sc::ReduceOp::kSum, algorithm);
+    EXPECT_EQ(mine, reference);
+  }
+}
+
 // --- Nonblocking -----------------------------------------------------------
 
-TEST(CommProperty, IallreduceMatchesBlockingAndOverlapsCompute) {
+TEST_P(CommProperty, IallreduceMatchesBlockingAndOverlapsCompute) {
   for (const auto algorithm :
        {sc::AllreduceAlgorithm::kFlat, sc::AllreduceAlgorithm::kRing}) {
     const auto inputs = random_contributions<float>(4, 77, 13);
     const auto blocking =
         run_allreduce(inputs, sc::ReduceOp::kSum, algorithm);
     std::vector<std::vector<float>> results(4);
-    sc::run(4, [&](sc::Communicator& comm) {
+    run(4, [&](sc::Communicator& comm) {
       std::vector<float> mine = inputs[static_cast<std::size_t>(comm.rank())];
       sc::Request request =
           comm.iallreduce(mine.data(), mine.size(), sc::ReduceOp::kSum,
@@ -244,7 +289,7 @@ TEST(CommProperty, IallreduceMatchesBlockingAndOverlapsCompute) {
   }
 }
 
-TEST(CommProperty, DefaultRequestIsEmpty) {
+TEST_P(CommProperty, DefaultRequestIsEmpty) {
   sc::Request request;
   EXPECT_FALSE(request.pending());
   request.wait();  // no-op
@@ -252,11 +297,11 @@ TEST(CommProperty, DefaultRequestIsEmpty) {
 
 // --- Other collectives over randomized shapes ------------------------------
 
-TEST(CommProperty, BroadcastEveryRootEveryCount) {
+TEST_P(CommProperty, BroadcastEveryRootEveryCount) {
   for (int world : {1, 3, 6}) {
     for (const std::size_t count : kCounts) {
       for (int root = 0; root < world; ++root) {
-        sc::run(world, [&](sc::Communicator& comm) {
+        run(world, [&](sc::Communicator& comm) {
           std::vector<float> data(count);
           for (std::size_t i = 0; i < count; ++i) {
             data[i] = comm.rank() == root
@@ -273,11 +318,11 @@ TEST(CommProperty, BroadcastEveryRootEveryCount) {
   }
 }
 
-TEST(CommProperty, AllgatherOrdersByRankEveryCount) {
+TEST_P(CommProperty, AllgatherOrdersByRankEveryCount) {
   for (int world : {1, 2, 5, 8}) {
     for (const std::size_t count : {std::size_t{0}, std::size_t{1},
                                     std::size_t{13}}) {
-      sc::run(world, [&](sc::Communicator& comm) {
+      run(world, [&](sc::Communicator& comm) {
         std::vector<float> mine(count);
         for (std::size_t i = 0; i < count; ++i) {
           mine[i] = static_cast<float>(comm.rank() * 1000 + i);
@@ -295,13 +340,13 @@ TEST(CommProperty, AllgatherOrdersByRankEveryCount) {
   }
 }
 
-TEST(CommProperty, ReduceScatterMatchesAllreduceSliceRandomized) {
+TEST_P(CommProperty, ReduceScatterMatchesAllreduceSliceRandomized) {
   for (int world : {1, 2, 4, 8}) {
     for (const std::size_t per_rank : {std::size_t{0}, std::size_t{1},
                                        std::size_t{9}}) {
       const std::size_t count = per_rank * static_cast<std::size_t>(world);
       const auto inputs = random_contributions<float>(world, count, 404);
-      sc::run(world, [&](sc::Communicator& comm) {
+      run(world, [&](sc::Communicator& comm) {
         std::vector<float> reference =
             inputs[static_cast<std::size_t>(comm.rank())];
         comm.allreduce(reference.data(), count, sc::ReduceOp::kSum);
@@ -319,10 +364,10 @@ TEST(CommProperty, ReduceScatterMatchesAllreduceSliceRandomized) {
   }
 }
 
-TEST(CommProperty, ScatterGatherRoundTrip) {
+TEST_P(CommProperty, ScatterGatherRoundTrip) {
   for (int world : {1, 4, 7}) {
     for (const std::size_t count : {std::size_t{1}, std::size_t{6}}) {
-      sc::run(world, [&](sc::Communicator& comm) {
+      run(world, [&](sc::Communicator& comm) {
         std::vector<float> source(static_cast<std::size_t>(world) * count);
         for (std::size_t i = 0; i < source.size(); ++i) {
           source[i] = static_cast<float>(i * 3 + 1);
@@ -339,8 +384,8 @@ TEST(CommProperty, ScatterGatherRoundTrip) {
   }
 }
 
-TEST(CommProperty, SendRecvRandomizedSizesAndTags) {
-  sc::run(3, [](sc::Communicator& comm) {
+TEST_P(CommProperty, SendRecvRandomizedSizesAndTags) {
+  run(3, [](sc::Communicator& comm) {
     su::Rng rng(808);
     // Deterministic shared plan: 12 messages rank 0 -> {1,2}.
     for (int m = 0; m < 12; ++m) {
@@ -361,12 +406,129 @@ TEST(CommProperty, SendRecvRandomizedSizesAndTags) {
   });
 }
 
+TEST_P(CommProperty, SelfSendRoundTripsAndCostsNoWire) {
+  // MPI-style self messaging: send to your own rank, then receive it.
+  const auto stats = run_reported(2, [](sc::Communicator& comm) {
+    std::vector<float> payload = {1.5f, -2.5f,
+                                  static_cast<float>(comm.rank())};
+    comm.send(payload.data(), payload.size(), comm.rank(), /*tag=*/4);
+    std::vector<float> received(payload.size(), 0.0f);
+    comm.recv(received.data(), received.size(), comm.rank(), /*tag=*/4);
+    EXPECT_EQ(received, payload);
+  });
+  // Self-sends are charged logically but never cross the wire.
+  EXPECT_EQ(stats.bytes_per_rank[0], 3 * sizeof(float));
+  EXPECT_EQ(stats.total_wire_bytes, 0u);
+}
+
+TEST_P(CommProperty, RecvCountMismatchFailsWithDescriptiveError) {
+  // Sender posts 5 floats, receiver asks for 3: a silent truncation bug
+  // in disguise. The transport must refuse with an error naming both
+  // sizes, and the world must come down poisoned rather than hang.
+  try {
+    run(2, [](sc::Communicator& comm) {
+      std::vector<float> buffer(5, 1.0f);
+      if (comm.rank() == 0) {
+        comm.send(buffer.data(), 5, /*dest=*/1, /*tag=*/0);
+      } else {
+        comm.recv(buffer.data(), 3, /*source=*/0, /*tag=*/0);
+      }
+    });
+    FAIL() << "count mismatch did not throw";
+  } catch (const sc::CommError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("size mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("12"), std::string::npos) << what;  // posted bytes
+    EXPECT_NE(what.find("20"), std::string::npos) << what;  // carried bytes
+  }
+}
+
+// --- Fault injection: the bugfix this suite pins ---------------------------
+
+TEST_P(CommProperty, RankDeathMidCollectivePoisonsSurvivors) {
+  // Rank 2 dies before joining the allreduce. Without world poisoning
+  // the other ranks would block forever inside the collective — the
+  // original hang. run() must return promptly with rank 2's exception,
+  // and every survivor must have observed a CommError naming rank 2.
+  for (const auto algorithm :
+       {sc::AllreduceAlgorithm::kFlat, sc::AllreduceAlgorithm::kRing}) {
+    std::atomic<int> survivors_poisoned{0};
+    try {
+      run(4, [&](sc::Communicator& comm) {
+        if (comm.rank() == 2) {
+          throw std::runtime_error("injected fault on rank 2");
+        }
+        std::vector<float> data(64, 1.0f);
+        try {
+          comm.allreduce(data.data(), data.size(), sc::ReduceOp::kSum,
+                         algorithm);
+        } catch (const sc::CommError& error) {
+          EXPECT_EQ(error.failed_rank(), 2);
+          survivors_poisoned.fetch_add(1);
+          throw;
+        }
+      });
+      FAIL() << "rank death did not surface";
+    } catch (const std::runtime_error& error) {
+      // The *original* exception wins over the survivors' CommErrors.
+      EXPECT_NE(std::string(error.what()).find("injected fault"),
+                std::string::npos)
+          << error.what();
+    }
+    EXPECT_EQ(survivors_poisoned.load(), 3);
+  }
+}
+
+TEST_P(CommProperty, RankDeathDuringSendRecvPoisonsPeer) {
+  // Rank 1 dies while rank 0 is blocked in recv() on it.
+  std::atomic<bool> receiver_got_comm_error{false};
+  try {
+    run(2, [&](sc::Communicator& comm) {
+      if (comm.rank() == 1) {
+        throw std::runtime_error("receiver will never hear from me");
+      }
+      std::vector<float> data(8, 0.0f);
+      try {
+        comm.recv(data.data(), data.size(), /*source=*/1, /*tag=*/0);
+      } catch (const sc::CommError& error) {
+        EXPECT_EQ(error.failed_rank(), 1);
+        receiver_got_comm_error.store(true);
+        throw;
+      }
+    });
+    FAIL() << "rank death did not surface";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_TRUE(receiver_got_comm_error.load());
+}
+
+TEST_P(CommProperty, PoisonedWorldRejectsFurtherOperations) {
+  // After the world is poisoned every subsequent operation must fail
+  // immediately — no timeout, no hang.
+  try {
+    run(2, [&](sc::Communicator& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("down");
+      float v = 0.0f;
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        try {
+          comm.allreduce(&v, 1, sc::ReduceOp::kSum);
+          FAIL() << "operation succeeded in a dead world";
+        } catch (const sc::CommError& error) {
+          EXPECT_EQ(error.failed_rank(), 1);
+        }
+      }
+    });
+    FAIL() << "rank death did not surface";
+  } catch (const std::runtime_error&) {
+  }
+}
+
 // --- Byte accounting invariants --------------------------------------------
 
-TEST(CommProperty, FlatAllreduceByteFormula) {
+TEST_P(CommProperty, FlatAllreduceByteFormula) {
   for (int world : {1, 2, 4, 8}) {
     for (const std::size_t count : {std::size_t{0}, std::size_t{100}}) {
-      const auto stats = sc::run_reported(world, [&](sc::Communicator& comm) {
+      const auto stats = run_reported(world, [&](sc::Communicator& comm) {
         std::vector<float> data(count, 1.0f);
         comm.allreduce(data.data(), count, sc::ReduceOp::kSum,
                        sc::AllreduceAlgorithm::kFlat);
@@ -384,10 +546,10 @@ TEST(CommProperty, FlatAllreduceByteFormula) {
   }
 }
 
-TEST(CommProperty, RingAllreduceByteFormulaAndAdvantage) {
+TEST_P(CommProperty, RingAllreduceByteFormulaAndAdvantage) {
   const std::size_t count = 1024;
   for (int world : {2, 4, 8}) {
-    const auto stats = sc::run_reported(world, [&](sc::Communicator& comm) {
+    const auto stats = run_reported(world, [&](sc::Communicator& comm) {
       std::vector<float> data(count, 1.0f);
       comm.allreduce(data.data(), count, sc::ReduceOp::kSum,
                      sc::AllreduceAlgorithm::kRing);
@@ -408,9 +570,29 @@ TEST(CommProperty, RingAllreduceByteFormulaAndAdvantage) {
   }
 }
 
-TEST(CommProperty, RootedCollectiveBytesAreAsymmetric) {
+TEST_P(CommProperty, LogicalBytesIdenticalAcrossBackendsWireDiffers) {
+  // The logical byte model is a property of the algorithm, not the wire:
+  // every backend must report the in-process backend's numbers exactly.
+  // Wire bytes add real framing on shm/tcp and are zero only when
+  // nothing actually moves between ranks.
+  const std::size_t count = 300;
+  const auto body = [count](sc::Communicator& comm) {
+    std::vector<float> data(count, static_cast<float>(comm.rank()));
+    comm.allreduce(data.data(), count, sc::ReduceOp::kSum,
+                   sc::AllreduceAlgorithm::kRing);
+  };
+  const auto reference =
+      sc::run_transport(sc::Backend::kInProcess, 4, body);
+  const auto stats = run_reported(4, body);
+  EXPECT_EQ(stats.bytes_per_rank, reference.bytes_per_rank);
+  EXPECT_EQ(stats.total_bytes, reference.total_bytes);
+  // Framing can only add bytes on top of the payload.
+  EXPECT_GE(stats.total_wire_bytes, stats.total_bytes);
+}
+
+TEST_P(CommProperty, RootedCollectiveBytesAreAsymmetric) {
   // broadcast charges the root only; gather charges the leaves only.
-  const auto stats = sc::run_reported(4, [](sc::Communicator& comm) {
+  const auto stats = run_reported(4, [](sc::Communicator& comm) {
     std::vector<float> data(10, static_cast<float>(comm.rank()));
     comm.broadcast(data.data(), data.size(), /*root=*/2);
     std::vector<float> out(40);
@@ -430,8 +612,8 @@ TEST(CommProperty, RootedCollectiveBytesAreAsymmetric) {
   EXPECT_NE(stats.total_bytes, stats.bytes_per_rank[0] * 4);
 }
 
-TEST(CommProperty, ZeroCountCollectivesSendNothing) {
-  const auto stats = sc::run_reported(5, [](sc::Communicator& comm) {
+TEST_P(CommProperty, ZeroCountCollectivesSendNothing) {
+  const auto stats = run_reported(5, [](sc::Communicator& comm) {
     comm.allreduce(static_cast<float*>(nullptr), 0, sc::ReduceOp::kSum,
                    sc::AllreduceAlgorithm::kFlat);
     float dummy = 0.0f;
@@ -443,19 +625,31 @@ TEST(CommProperty, ZeroCountCollectivesSendNothing) {
   EXPECT_EQ(stats.total_bytes, 0u);
 }
 
-TEST(CommProperty, SingleRankSendsNothingForAnyAlgorithm) {
+TEST_P(CommProperty, SingleRankSendsNothingForAnyAlgorithm) {
   for (const auto algorithm :
        {sc::AllreduceAlgorithm::kFlat, sc::AllreduceAlgorithm::kRing}) {
-    const auto stats = sc::run_reported(1, [&](sc::Communicator& comm) {
+    const auto stats = run_reported(1, [&](sc::Communicator& comm) {
       std::vector<float> data(256, 2.0f);
       comm.allreduce(data.data(), data.size(), sc::ReduceOp::kSum, algorithm);
       for (const float v : data) EXPECT_FLOAT_EQ(v, 2.0f);
     });
     EXPECT_EQ(stats.total_bytes, 0u);
+    EXPECT_EQ(stats.total_wire_bytes, 0u);
   }
 }
 
-TEST(CommProperty, AlgorithmNames) {
+TEST_P(CommProperty, AlgorithmAndBackendNames) {
   EXPECT_STREQ(sc::algorithm_name(sc::AllreduceAlgorithm::kFlat), "flat");
   EXPECT_STREQ(sc::algorithm_name(sc::AllreduceAlgorithm::kRing), "ring");
+  EXPECT_STREQ(sc::backend_name(sc::Backend::kInProcess), "inproc");
+  EXPECT_STREQ(sc::backend_name(sc::Backend::kShm), "shm");
+  EXPECT_STREQ(sc::backend_name(sc::Backend::kTcp), "tcp");
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, CommProperty,
+    ::testing::Values(sc::Backend::kInProcess, sc::Backend::kShm,
+                      sc::Backend::kTcp),
+    [](const ::testing::TestParamInfo<sc::Backend>& info) {
+      return std::string(sc::backend_name(info.param));
+    });

@@ -221,6 +221,55 @@ TEST(Distributed, RingAlgorithmBitIdenticalToFlat) {
   EXPECT_LT(ring.report.bytes_per_rank, flat.report.bytes_per_rank);
 }
 
+// --- Transport-backend invariance (shm segment / TCP loopback mesh) --------
+
+TEST(Distributed, BackendBitIdenticalAcrossTransportsAtEveryRankCount) {
+  // The collectives never touch the wire directly, so swapping the
+  // in-process mailboxes for a real shared-memory segment or a TCP
+  // loopback mesh must not move a single bit — at any rank count.
+  for (const int ranks : {1, 2, 4}) {
+    sc::DistributedOptions options;
+    options.ranks = ranks;
+    options.backend = scomm::Backend::kInProcess;
+    const auto reference =
+        train_snapshot(make_shallow(sc::HeadType::kBcpnn), options);
+    for (const auto backend : {scomm::Backend::kShm, scomm::Backend::kTcp}) {
+      options.backend = backend;
+      const auto snap =
+          train_snapshot(make_shallow(sc::HeadType::kBcpnn), options);
+      expect_bit_identical(reference, snap,
+                           std::string("backend=") +
+                               scomm::backend_name(backend) +
+                               ", ranks=" + std::to_string(ranks));
+      EXPECT_EQ(snap.report.backend, backend);
+      // The logical byte model is backend-independent by construction.
+      EXPECT_EQ(snap.report.bytes_per_rank, reference.report.bytes_per_rank);
+      EXPECT_EQ(snap.report.total_bytes, reference.report.total_bytes);
+    }
+  }
+}
+
+TEST(Distributed, WireBytesIncludeFramingOnRealTransports) {
+  sc::DistributedOptions options;
+  options.ranks = 2;
+  for (const auto backend : {scomm::Backend::kShm, scomm::Backend::kTcp}) {
+    options.backend = backend;
+    const auto snap =
+        train_snapshot(make_shallow(sc::HeadType::kBcpnn), options);
+    // Real wires pay a frame header per message on top of the payload.
+    EXPECT_GT(snap.report.wire_bytes_per_rank, snap.report.bytes_per_rank)
+        << scomm::backend_name(backend);
+    EXPECT_GE(snap.report.total_wire_bytes,
+              snap.report.wire_bytes_per_rank * 2)
+        << scomm::backend_name(backend);
+  }
+  // In-process "wire" carries the payloads without framing.
+  options.backend = scomm::Backend::kInProcess;
+  const auto inproc =
+      train_snapshot(make_shallow(sc::HeadType::kBcpnn), options);
+  EXPECT_GE(inproc.report.wire_bytes_per_rank, inproc.report.bytes_per_rank);
+}
+
 TEST(Distributed, OverlapDoesNotChangeResults) {
   const auto on = train_snapshot(make_shallow(sc::HeadType::kSgd),
                                  {.ranks = 2, .overlap = true});
@@ -233,13 +282,16 @@ TEST(Distributed, OverlapDoesNotChangeResults) {
 
 namespace {
 
-void check_distributed_golden(const std::string& name, sc::HeadType head) {
+void check_distributed_golden(
+    const std::string& name, sc::HeadType head,
+    scomm::Backend backend = scomm::Backend::kInProcess) {
   const FixtureData& data = fixture();
   sg::Digest actual;
   {
     const sg::ScopedDispatch pin(st::DispatchLevel::kScalar);
     sc::Model model = make_shallow(head);
-    sc::fit_distributed(model, data.x_train, data.y_train, {.ranks = 2});
+    sc::fit_distributed(model, data.x_train, data.y_train,
+                        {.ranks = 2, .backend = backend});
     actual.labels = model.predict(data.x_test);
     actual.scores = model.predict_scores(data.x_test);
     actual.accuracy = model.evaluate(data.x_test, data.y_test);
@@ -279,6 +331,58 @@ TEST(DistributedGolden, BcpnnHeadMatchesCommittedDigest) {
 
 TEST(DistributedGolden, SgdHeadMatchesCommittedDigest) {
   check_distributed_golden("distributed_sgd_head", sc::HeadType::kSgd);
+}
+
+// The shm and TCP backends must reproduce the SAME committed digests —
+// the transport is invisible to the trained bits.
+
+TEST(DistributedGolden, BcpnnHeadMatchesCommittedDigestOverShm) {
+  check_distributed_golden("distributed_bcpnn_head", sc::HeadType::kBcpnn,
+                           scomm::Backend::kShm);
+}
+
+TEST(DistributedGolden, SgdHeadMatchesCommittedDigestOverTcp) {
+  check_distributed_golden("distributed_sgd_head", sc::HeadType::kSgd,
+                           scomm::Backend::kTcp);
+}
+
+// --- fit_rank: the one-rank-per-process entry point -------------------------
+
+TEST(Distributed, FitRankMatchesFitAndSynchronizesEveryRank) {
+  // fit_rank is what sb_launch-launched processes call; driven here over
+  // an in-test world it must land every rank on fit()'s exact bits.
+  const FixtureData& data = fixture();
+  sc::Model reference = make_shallow(sc::HeadType::kBcpnn);
+  const auto report =
+      sc::fit_distributed(reference, data.x_train, data.y_train, {.ranks = 2});
+  const auto reference_state = state_vector(reference);
+
+  std::vector<std::vector<float>> states(2);
+  std::vector<std::size_t> syncs(2, 0);
+  scomm::run_transport(scomm::Backend::kShm, 2, [&](scomm::Communicator& comm) {
+    sc::Model model = make_shallow(sc::HeadType::kBcpnn);
+    sc::DistributedTrainer trainer;  // ranks option ignored by fit_rank
+    syncs[static_cast<std::size_t>(comm.rank())] =
+        trainer.fit_rank(comm, model, data.x_train, data.y_train);
+    states[static_cast<std::size_t>(comm.rank())] = state_vector(model);
+  });
+  EXPECT_EQ(states[0], reference_state);
+  EXPECT_EQ(states[1], reference_state);  // rank-synchronized
+  EXPECT_EQ(syncs[0], report.sync_count);
+}
+
+TEST(Distributed, FitRankValidatesInputs) {
+  const FixtureData& data = fixture();
+  scomm::run_transport(scomm::Backend::kInProcess, 1,
+                       [&](scomm::Communicator& comm) {
+                         sc::Model uncompiled;
+                         uncompiled.input(28, 10).hidden(1, 8, 0.4);
+                         sc::DistributedTrainer trainer;
+                         EXPECT_THROW(trainer.fit_rank(comm, uncompiled,
+                                                       data.x_train,
+                                                       data.y_train),
+                                      std::logic_error);
+                       });
 }
 
 // --- Cadence (approximate) mode --------------------------------------------
